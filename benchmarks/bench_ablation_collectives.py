@@ -1,0 +1,66 @@
+"""ABL-3: collective algorithm choice vs communication shape.
+
+The fitted communication class (paper step 2) depends on the runtime's
+collective algorithms: recursive-doubling allreduce needs log2(n)
+paired rounds, while the naive reduce+broadcast needs two tree
+traversals.  This ablation refits EP's communication under both
+algorithm sets and reports the fitted curves and the allreduce-heavy
+MG's end-to-end times.
+"""
+
+from conftest import run_once
+
+from repro.cluster.machines import athlon_cluster
+from repro.core.commclass import classify_communication
+from repro.mpi.collectives import CollectiveAlgorithms
+from repro.mpi.world import World
+from repro.util.tables import TextTable
+from repro.workloads.nas import EP, MG
+
+
+def _measure(workload, algorithms, node_counts):
+    cluster = athlon_cluster()
+    idle = {}
+    elapsed = {}
+    for n in node_counts:
+        def factory(comm, _w=workload, _a=algorithms):
+            comm.algorithms = _a
+            return _w.program(comm)
+
+        result = World(cluster, factory, nodes=n, gear=1).run()
+        idle[n] = result.idle_time
+        elapsed[n] = result.elapsed
+    return idle, elapsed
+
+
+def _run_ablation(scale):
+    out = {}
+    for label, algorithms in (
+        ("tree", CollectiveAlgorithms()),
+        ("naive", CollectiveAlgorithms.naive()),
+    ):
+        ep_idle, _ = _measure(EP(scale), algorithms, (2, 4, 8))
+        _, mg_time = _measure(MG(scale), algorithms, (2, 4, 8))
+        out[label] = (
+            classify_communication(ep_idle),
+            ep_idle,
+            mg_time,
+        )
+    return out
+
+
+def test_ablation_collectives(benchmark, bench_scale):
+    """EP's fitted comm shape and MG's runtimes under both algorithm sets."""
+    out = run_once(benchmark, _run_ablation, bench_scale)
+    table = TextTable(
+        ["algorithms", "EP comm class", "EP T^I(8) (s)", "MG T(8) (s)"],
+        title="Ablation: collective algorithms vs fitted communication",
+    )
+    for label, (classification, ep_idle, mg_time) in out.items():
+        table.add_row(
+            [label, classification.family.value, ep_idle[8], mg_time[8]]
+        )
+    print()
+    print(table.render())
+    # The naive allreduce roughly doubles EP's (tiny) communication time.
+    assert out["naive"][1][8] > out["tree"][1][8]

@@ -1,0 +1,62 @@
+"""ABL-1: naive (Eqs. 1-2) vs refined (critical/reducible) predictor.
+
+The refinement matters exactly where the paper says it does: codes with
+compute after their last send can absorb gear slowdown into slack, so
+the refined model predicts smaller delays at low gears.  This ablation
+quantifies the gap per workload against simulated ground truth.
+"""
+
+from conftest import run_once
+
+from repro.cluster.machines import athlon_cluster
+from repro.core.model import EnergyTimeModel, gather_inputs
+from repro.core.run import run_workload
+from repro.util.tables import TextTable
+from repro.workloads.nas import CG, LU, MG
+
+
+def _run_ablation(scale):
+    cluster = athlon_cluster()
+    rows = []
+    for workload_cls in (LU, MG, CG):
+        workload = workload_cls(scale)
+        inputs = gather_inputs(cluster, workload, node_counts=(1, 2, 4, 8))
+        naive = EnergyTimeModel(inputs, refined=False)
+        refined = EnergyTimeModel(inputs, refined=True)
+        truth = run_workload(cluster, workload, nodes=8, gear=5)
+        rows.append(
+            (
+                workload.name,
+                refined.reducible_share,
+                naive.predict(nodes=8, gear=5),
+                refined.predict(nodes=8, gear=5),
+                truth,
+            )
+        )
+    return rows
+
+
+def test_ablation_predictor(benchmark, bench_scale):
+    """Per-code naive/refined predicted time vs simulation at 8 nodes, gear 5."""
+    rows = run_once(benchmark, _run_ablation, bench_scale)
+    table = TextTable(
+        ["code", "T^R share", "naive T (s)", "refined T (s)", "simulated T (s)",
+         "naive err", "refined err"],
+        title="Ablation: naive vs refined predictor (8 nodes, gear 5)",
+    )
+    for name, share, naive, refined, truth in rows:
+        table.add_row(
+            [
+                name,
+                f"{share:.1%}",
+                naive.time,
+                refined.time,
+                truth.time,
+                f"{naive.time / truth.time - 1:+.1%}",
+                f"{refined.time / truth.time - 1:+.1%}",
+            ]
+        )
+    print()
+    print(table.render())
+    for name, share, naive, refined, truth in rows:
+        assert refined.time <= naive.time + 1e-9, name

@@ -1,0 +1,22 @@
+"""EXT-1: adaptive DVFS policies (the paper's Section 5 future work).
+
+Regenerates the policy-comparison table: static gear 1, the static
+EDP-oracle gear, idle-low downshifting, and the trial-slack
+node-bottleneck policy, for all six NAS codes plus Jacobi.
+"""
+
+from conftest import run_once
+
+from repro.experiments.adaptive import adaptive_policies
+
+
+def test_adaptive_policies(benchmark, bench_scale):
+    """Four strategies x seven workloads, time/energy/EDP vs gear 1."""
+    result = run_once(benchmark, adaptive_policies, scale=bench_scale)
+    print()
+    print(result.render())
+    for name in result.outcomes:
+        base = result.outcome(name, "static g1")
+        idle = result.outcome(name, "idle-low")
+        assert idle.time <= base.time * 1.001
+        assert idle.energy <= base.energy * 1.001

@@ -1,0 +1,31 @@
+"""EXT-3: disk spindle scaling (the paper's future-work item #1).
+
+"First we will consider scaling down other components, such as the
+disk."  The sweep answers it quantitatively: for checkpoint-style HPC
+I/O the disk's idle power (~9 W) is second-order next to the node
+(~130 W), so spinning down is roughly energy-neutral in the light-I/O
+regime and sharply counterproductive in the heavy-I/O regime — the CPU
+gear remains the dominant knob, consistent with the server-farm framing
+of the DRPM work the paper cites.
+"""
+
+from conftest import run_once
+
+from repro.experiments.disk import disk_scaling
+
+
+def test_disk_scaling(benchmark, bench_scale):
+    """CPU gear x disk speed sweep, light and heavy checkpoint regimes."""
+    result = run_once(benchmark, disk_scaling, scale=bench_scale)
+    print()
+    print(result.render())
+    light_base = result.cell("light I/O", 1, 1)
+    light_slow = result.cell("light I/O", 1, 5)
+    heavy_base = result.cell("heavy I/O", 1, 1)
+    heavy_slow = result.cell("heavy I/O", 1, 5)
+    # Light checkpointing: spindle-down is ~energy-neutral.
+    assert abs(light_slow.energy / light_base.energy - 1) < 0.03
+    # Heavy checkpointing: spindle-down is sharply counterproductive.
+    assert heavy_slow.energy > heavy_base.energy * 1.15
+    # The CPU gear remains the dominant energy knob in both regimes.
+    assert result.cell("light I/O", 2, 1).energy < light_base.energy

@@ -1,0 +1,15 @@
+"""EXP-F1: regenerate Figure 1 (single-node energy-time curves)."""
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark, bench_scale):
+    """Six NAS codes, one node, six gears each."""
+    result = run_once(benchmark, figure1, scale=bench_scale)
+    print()
+    print(result.render())
+    assert set(result.curves) == {"EP", "BT", "LU", "MG", "SP", "CG"}
+    for curve in result.curves.values():
+        assert curve.is_fastest_leftmost()

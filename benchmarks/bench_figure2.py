@@ -1,0 +1,15 @@
+"""EXP-F2: regenerate Figure 2 (multi-node curves + case taxonomy)."""
+
+from conftest import run_once
+
+from repro.core.cases import SpeedupCase
+from repro.experiments import figure2
+
+
+def test_figure2(benchmark, bench_scale):
+    """Six NAS codes on the paper's node counts, every gear."""
+    result = run_once(benchmark, figure2, scale=bench_scale)
+    print()
+    print(result.render())
+    assert result.case_for("LU", 4, 8).case is SpeedupCase.GOOD
+    assert result.case_for("CG", 4, 8).case is SpeedupCase.POOR

@@ -1,0 +1,14 @@
+"""EXP-F3: regenerate Figure 3 (Jacobi on 2-10 nodes)."""
+
+from conftest import run_once
+
+from repro.core.cases import SpeedupCase
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, bench_scale):
+    """Jacobi speedups 1.9/3.6/5.0/6.4/7.7 and universal case 3."""
+    result = run_once(benchmark, figure3, scale=bench_scale)
+    print()
+    print(result.render())
+    assert all(c.case is SpeedupCase.GOOD for c in result.cases)

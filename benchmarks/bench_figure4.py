@@ -1,0 +1,14 @@
+"""EXP-F4: regenerate Figure 4 (synthetic high-memory-pressure code)."""
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, bench_scale):
+    """~3 % delay / ~24 % saving at gear 5; 8-node gear 5 dominance."""
+    result = run_once(benchmark, figure4, scale=bench_scale)
+    print()
+    print(result.render())
+    assert result.gear5_saving > 0.18
+    assert result.cross_time_ratio < 0.6

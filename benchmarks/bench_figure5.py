@@ -1,0 +1,14 @@
+"""EXP-F5: regenerate Figure 5 (model extrapolation to 16/25/32 nodes)."""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark, bench_scale):
+    """Measured <=9 nodes plus model-predicted 16/25/32-node curves."""
+    result = run_once(benchmark, figure5, scale=bench_scale)
+    print()
+    print(result.render())
+    panel = result.panel("CG")
+    assert 32 not in {c.nodes for c in panel.plotted_predictions}

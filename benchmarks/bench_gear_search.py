@@ -1,0 +1,90 @@
+"""EXT-2: per-rank gear-vector search vs uniform gears.
+
+Quantifies the third dimension the paper's node-bottleneck observation
+opens: per-rank gears.  For CG (uniformly memory-bound) the search
+converges to a uniform lower gear — matching the paper's cluster-wide
+sweep.  For an imbalanced workload it leaves the bottleneck rank fast
+and slows everyone else, beating every uniform gear.
+"""
+
+from conftest import run_once
+
+from repro.cluster.machines import athlon_cluster
+from repro.core.run import gear_sweep
+from repro.core.search import Objective, search_gear_vector
+from repro.util.tables import TextTable
+from repro.workloads.base import CommScheme, Workload, WorkloadSpec
+from repro.workloads.nas import CG
+
+
+class _Imbalanced(Workload):
+    """Rank 0 does 2x work; barrier-coupled."""
+
+    def __init__(self, scale: float):
+        iterations = max(3, round(20 * scale))
+        self.spec = WorkloadSpec(
+            name="Imbalanced",
+            iterations=iterations,
+            total_uops=6e10 * iterations / 20,
+            upm=70.0,
+            miss_latency=25e-9,
+            serial_fraction=0.0,
+            paper_comm_class=CommScheme.LOGARITHMIC,
+        )
+
+    def program(self, comm):
+        heavy = 2.0 if comm.rank == 0 else 1.0
+        per_iter = self.spec.total_uops / self.spec.iterations / comm.size
+        for _ in range(self.spec.iterations):
+            yield from comm.compute(
+                uops=heavy * per_iter, l2_misses=heavy * per_iter / 70.0
+            )
+            yield from comm.barrier()
+
+
+def _run_search(scale):
+    cluster = athlon_cluster()
+    rows = []
+    for workload in (CG(scale), _Imbalanced(scale)):
+        nodes = 4
+        tuned = search_gear_vector(
+            cluster,
+            workload,
+            nodes=nodes,
+            objective=Objective.ENERGY,
+            max_time_penalty=0.05,
+        )
+        uniform = gear_sweep(cluster, workload, nodes=nodes)
+        best_uniform = min(
+            (p for p in uniform.points if p.time <= tuned.baseline_time * 1.05),
+            key=lambda p: p.energy,
+        )
+        rows.append((workload.name, tuned, best_uniform))
+    return rows
+
+
+def test_gear_search(benchmark, bench_scale):
+    """Greedy per-rank search vs the best uniform gear (<=5 % slowdown)."""
+    rows = run_once(benchmark, _run_search, bench_scale)
+    table = TextTable(
+        ["workload", "gear vector", "vector E (J)", "best uniform gear",
+         "uniform E (J)", "vector advantage"],
+        title="Per-rank gear search vs uniform gears (energy, <=5% slowdown)",
+    )
+    for name, tuned, best_uniform in rows:
+        table.add_row(
+            [
+                name,
+                str(list(tuned.gears)),
+                tuned.energy,
+                best_uniform.gear,
+                best_uniform.energy,
+                f"{1 - tuned.energy / best_uniform.energy:+.1%}",
+            ]
+        )
+    print()
+    print(table.render())
+    imbalanced = rows[1][1]
+    # The bottleneck rank stays fast; the others slow down.
+    assert imbalanced.gears[0] == 1
+    assert any(g > 1 for g in imbalanced.gears[1:])

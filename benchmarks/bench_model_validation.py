@@ -1,0 +1,72 @@
+"""EXP-V1: the paper's Section 4.1 validation, plus ground truth.
+
+Two checks the paper runs:
+
+- fitted F_p/F_s agreement between the power-scalable and reference
+  clusters;
+- identical communication-shape classification on both machines.
+
+Plus one the paper could not run: simulate the extrapolated
+configurations directly and report the model's prediction error.
+"""
+
+from conftest import run_once
+
+from repro.cluster.machines import athlon_cluster, reference_cluster
+from repro.core.model import EnergyTimeModel, gather_inputs
+from repro.core.validation import cross_cluster_check, validate_model
+from repro.util.tables import TextTable
+from repro.workloads.nas import CG, EP, LU, MG
+
+
+def _run_validation(scale):
+    ps = athlon_cluster()
+    truth = athlon_cluster(16)
+    ref = reference_cluster()
+    rows = []
+    for workload_cls in (EP, LU, MG, CG):
+        workload = workload_cls(scale)
+        check = cross_cluster_check(
+            workload, ps, ref, node_counts=(1, 2, 4, 8)
+        )
+        inputs = gather_inputs(ps, workload, node_counts=(1, 2, 4, 8))
+        model = EnergyTimeModel(inputs)
+        report = validate_model(
+            model, truth, workload, node_counts=(16,), gears=(1, 4)
+        )
+        rows.append((workload.name, check, report))
+    return rows
+
+
+def test_model_validation(benchmark, bench_scale):
+    """Cross-cluster agreement and extrapolation error per workload."""
+    rows = run_once(benchmark, _run_validation, bench_scale)
+    table = TextTable(
+        [
+            "code",
+            "F_s (power-scalable)",
+            "F_s (reference)",
+            "shape (ps)",
+            "shape (ref)",
+            "max |time err| @16",
+            "max |energy err| @16",
+        ],
+        title="Model validation (paper checks + simulated ground truth)",
+    )
+    for name, check, report in rows:
+        table.add_row(
+            [
+                name,
+                check.fs_power_scalable,
+                check.fs_reference,
+                check.family_power_scalable.value,
+                check.family_reference.value,
+                f"{report.max_abs_time_error():.1%}",
+                f"{report.max_abs_energy_error():.1%}",
+            ]
+        )
+    print()
+    print(table.render())
+    for name, check, report in rows:
+        assert check.fs_gap < 0.05, name
+        assert report.max_abs_time_error() < 0.40, name

@@ -1,0 +1,13 @@
+"""EXP-T1: regenerate Table 1 (UPM and energy-time slopes)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, bench_scale):
+    """UPM fingerprints and slope columns, paper ordering."""
+    result = run_once(benchmark, table1, scale=bench_scale)
+    print()
+    print(result.render())
+    assert result.upm_order() == ["EP", "BT", "LU", "MG", "SP", "CG"]

@@ -1,0 +1,64 @@
+"""EXT-4: weak scaling — the paper's own caveat, quantified.
+
+Section 4.2: "speedup on the NAS suite generally starts to tail off
+around 25 or 32 nodes.  Again, this is because this benchmark suite uses
+non-scaled speedup" — i.e. strong scaling.  This bench runs Jacobi both
+ways: fixed total problem (strong) and fixed per-node problem (weak),
+and compares cluster energy per node and the gear-5 saving as nodes
+grow.  Under weak scaling the per-node energy stays nearly flat and the
+lower-gear benefit persists at every size — supporting the paper's
+suggestion that the dramatic 32-node energy climb is an artifact of the
+benchmark's scaling mode, not of power-scalable clusters.
+"""
+
+from conftest import run_once
+
+from repro.cluster.machines import athlon_cluster
+from repro.core.run import run_workload
+from repro.util.tables import TextTable
+from repro.workloads.jacobi import Jacobi
+
+NODE_COUNTS = (2, 8, 32)
+
+
+def _run_scaling(scale):
+    cluster = athlon_cluster(32)
+    rows = []
+    for mode in ("strong", "weak"):
+        for nodes in NODE_COUNTS:
+            multiplier = 1.0 if mode == "strong" else nodes / 2
+            workload = Jacobi(scale, work_multiplier=multiplier)
+            fast = run_workload(cluster, workload, nodes=nodes, gear=1)
+            slow = run_workload(cluster, workload, nodes=nodes, gear=5)
+            rows.append((mode, nodes, fast, slow))
+    return rows
+
+
+def test_weak_scaling(benchmark, bench_scale):
+    """Strong vs weak scaling: per-node energy and the gear-5 saving."""
+    rows = run_once(benchmark, _run_scaling, bench_scale)
+    table = TextTable(
+        ["mode", "nodes", "T gear1 (s)", "E/node gear1 (J)", "gear-5 saving"],
+        title="Weak vs strong scaling (Jacobi)",
+    )
+    cells = {}
+    for mode, nodes, fast, slow in rows:
+        saving = 1 - slow.energy / fast.energy
+        cells[(mode, nodes)] = (fast, saving)
+        table.add_row(
+            [mode, nodes, fast.time, fast.energy / nodes, f"{saving:+.1%}"]
+        )
+    print()
+    print(table.render())
+
+    # Strong scaling at 32 nodes: communication swamps the shrunken
+    # per-node work, and the gear-5 saving collapses to ~zero.
+    _, strong32_saving = cells[("strong", 32)]
+    assert strong32_saving < 0.02
+    # Weak scaling: per-node energy stays nearly flat...
+    weak2, weak2_saving = cells[("weak", 2)]
+    weak32, weak32_saving = cells[("weak", 32)]
+    flatness = (weak32.energy / 32) / (weak2.energy / 2)
+    assert 0.9 <= flatness <= 1.15
+    # ...and the lower-gear benefit persists essentially undiminished.
+    assert weak32_saving > 0.75 * weak2_saving

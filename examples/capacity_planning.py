@@ -1,0 +1,55 @@
+"""Capacity planning with the paper's five-step model.
+
+The paper's Section 4 scenario: you own a 10-node power-scalable
+cluster and are deciding whether a 32-node one is worth buying.  This
+example fits the model from <=8-node measurements, extrapolates SP and
+CG to 16 and 32 nodes, and — because our substrate is a simulator —
+checks the prediction against direct simulation, which the authors
+could not do.
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro import athlon_cluster
+from repro.core.commclass import PAPER_CLASSES
+from repro.core.model import EnergyTimeModel, gather_inputs
+from repro.core.run import run_workload
+from repro.workloads import CG, SP
+
+
+def main() -> None:
+    measured_cluster = athlon_cluster(10)
+    big_cluster = athlon_cluster(32)
+
+    for workload, counts, targets, forced in (
+        (SP(scale=0.5), (1, 4, 9), (16, 25), PAPER_CLASSES["SP"]),
+        (CG(scale=0.5), (1, 2, 4, 8), (16, 32), None),
+    ):
+        print(f"=== {workload.name} ===")
+        inputs = gather_inputs(measured_cluster, workload, node_counts=counts)
+        model = EnergyTimeModel(inputs, comm_family=forced)
+        print(
+            f"fitted: F_s ~ {model.amdahl.fs_mean:.4f}, "
+            f"communication {model.comm.family.value}"
+        )
+        for nodes in targets:
+            predicted = model.predict(nodes=nodes, gear=1)
+            simulated = run_workload(big_cluster, workload, nodes=nodes, gear=1)
+            speedup = model.predicted_speedup(nodes)
+            print(
+                f"  {nodes:>2} nodes gear 1: predicted {predicted.time:8.2f} s "
+                f"/ {predicted.energy:9.0f} J | simulated {simulated.time:8.2f} s "
+                f"/ {simulated.energy:9.0f} J | predicted speedup {speedup:5.2f}"
+            )
+        if workload.name == "CG":
+            s32 = model.predicted_speedup(32)
+            print(
+                f"  verdict: CG speedup at 32 nodes is {s32:.2f} (< 1) — "
+                "the paper drops that curve; don't buy 32 nodes for CG."
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""More nodes at a lower gear: the paper's case-3 result on Jacobi.
+
+Sweeps the hand-written Jacobi solver over 2-10 nodes at every gear
+(paper Figure 3) and shows that running 6 nodes at gear 2 or 3 beats 4
+nodes at the fastest gear in *both* time and energy — the option a
+conventional cluster does not offer.
+
+Run:
+    python examples/jacobi_scaling.py
+"""
+
+from repro import athlon_cluster, classify_family, node_sweep
+from repro.workloads import Jacobi
+
+
+def main() -> None:
+    cluster = athlon_cluster()
+    family = node_sweep(
+        cluster, Jacobi(scale=0.5), node_counts=(1, 2, 4, 6, 8, 10)
+    )
+
+    print("speedups vs 1 node (paper: 1.9 / 3.6 / 5.0 / 6.4 / 7.7):")
+    for nodes, speedup in family.speedups().items():
+        if nodes > 1:
+            print(f"  {nodes:>2} nodes: {speedup:.2f}")
+    print()
+
+    print("adjacent node-count transitions:")
+    for analysis in classify_family(family)[1:]:
+        print(
+            f"  {analysis.small_nodes} -> {analysis.large_nodes}: "
+            f"{analysis.case.value} (dominating gear: "
+            f"{analysis.dominating_gear})"
+        )
+    print()
+
+    anchor = family.curve(4).fastest
+    print(
+        f"4 nodes, gear 1: {anchor.time:.2f} s, {anchor.energy:.0f} J"
+    )
+    for gear in (2, 3):
+        point = family.curve(6).point(gear)
+        verdict = "DOMINATES" if point.dominates(anchor) else "does not dominate"
+        print(
+            f"6 nodes, gear {gear}: {point.time:.2f} s, {point.energy:.0f} J "
+            f"-> {verdict}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Scheduling under a heat limit: the paper's energy-cap scenario.
+
+"We believe in the future a given supercomputer cluster will be
+restricted to a certain amount of power consumption or heat dissipation.
+If there is a limit ... this would be represented as a horizontal line.
+The most desirable point would be the leftmost (fastest) one under the
+limit."  (Paper, Section 3.2, case 1.)
+
+This example sweeps MG across node counts and gears, then asks the
+Advisor for the fastest configuration under progressively tighter
+cluster power caps and under a deadline.
+
+Run:
+    python examples/power_capped_scheduling.py
+"""
+
+from repro import Advisor, athlon_cluster, node_sweep
+from repro.util.errors import ModelError
+from repro.workloads import MG
+
+
+def main() -> None:
+    cluster = athlon_cluster()
+    family = node_sweep(cluster, MG(scale=0.5), node_counts=(1, 2, 4, 8))
+    advisor = Advisor(family)
+
+    print("Pareto-optimal (nodes, gear) configurations:")
+    for rec in advisor.pareto():
+        print(
+            f"  {rec.nodes} nodes @ gear {rec.gear}: {rec.time:7.2f} s, "
+            f"{rec.energy:8.0f} J, {rec.average_power:6.1f} W avg"
+        )
+    print()
+
+    print("fastest configuration under a cluster average-power cap:")
+    for cap in (1000.0, 600.0, 300.0, 150.0, 100.0):
+        try:
+            rec = advisor.fastest_under_power_cap(cap)
+            print(
+                f"  cap {cap:6.0f} W -> {rec.nodes} nodes @ gear {rec.gear} "
+                f"({rec.time:.2f} s, {rec.average_power:.0f} W)"
+            )
+        except ModelError:
+            print(f"  cap {cap:6.0f} W -> infeasible")
+    print()
+
+    deadline = family.curve(8).fastest.time * 1.3
+    rec = advisor.cheapest_under_deadline(deadline)
+    print(
+        f"cheapest configuration finishing within {deadline:.2f} s: "
+        f"{rec.nodes} nodes @ gear {rec.gear} ({rec.energy:.0f} J)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Hardware substrate: power-scalable CPUs, memory, caches, network, nodes.
+
+This package models the paper's experimental platform — a cluster of
+frequency/voltage-scalable AMD Athlon-64 nodes on 100 Mb/s Ethernet,
+metered at the wall outlet — as a set of parametric, analytically-timed
+components.  Everything the discrete-event simulator needs to charge time
+and energy to a rank lives here.
+"""
+
+from repro.cluster.gears import Gear, GearTable, ATHLON64_GEARS
+from repro.cluster.cpu import CPUSpec, CPUPowerModel, ATHLON64_CPU
+from repro.cluster.memory import MemorySpec, ComputeBlock, MemoryModel, ATHLON64_MEMORY
+from repro.cluster.network import LinkSpec, NetworkModel, FAST_ETHERNET
+from repro.cluster.power import NodePowerModel, PowerMeter, PowerSample
+from repro.cluster.node import NodeSpec
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.machines import athlon_cluster, reference_cluster
+from repro.cluster.counters import CounterBank
+from repro.cluster.cache import (
+    CacheSpec,
+    SetAssociativeCache,
+    CacheHierarchy,
+    ReplacementPolicy,
+)
+from repro.cluster.disk import DiskSpec, DiskSpeed, DiskModel, drpm_disk
+
+__all__ = [
+    "Gear",
+    "GearTable",
+    "ATHLON64_GEARS",
+    "CPUSpec",
+    "CPUPowerModel",
+    "ATHLON64_CPU",
+    "MemorySpec",
+    "ComputeBlock",
+    "MemoryModel",
+    "ATHLON64_MEMORY",
+    "LinkSpec",
+    "NetworkModel",
+    "FAST_ETHERNET",
+    "NodePowerModel",
+    "PowerMeter",
+    "PowerSample",
+    "NodeSpec",
+    "ClusterSpec",
+    "athlon_cluster",
+    "reference_cluster",
+    "CounterBank",
+    "CacheSpec",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "ReplacementPolicy",
+    "DiskSpec",
+    "DiskSpeed",
+    "DiskModel",
+    "drpm_disk",
+]

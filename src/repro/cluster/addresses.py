@@ -1,0 +1,79 @@
+"""Synthetic address-trace generators for the cache simulator.
+
+Each generator models the dominant access pattern of a workload family:
+
+- :func:`sequential_stream` — unit-stride array sweeps (EP's RNG state,
+  streaming kernels): essentially one miss per line.
+- :func:`strided_stream` — constant-stride sweeps (column accesses in
+  BT/SP/LU's structured grids).
+- :func:`random_in_working_set` — uniform random touches inside a working
+  set (CG's sparse matrix-vector gather): miss rate governed by the ratio
+  of working set to cache capacity.
+- :func:`blocked_reuse` — repeated sweeps over a block (tiled kernels):
+  hits when the block fits in cache.
+
+All generators are deterministic given a seed and return ``numpy`` arrays
+of byte addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+def _check_positive(**kwargs: int) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def sequential_stream(
+    n_accesses: int, *, element_bytes: int = 8, base: int = 0
+) -> np.ndarray:
+    """Unit-stride sweep of ``n_accesses`` elements from ``base``."""
+    _check_positive(n_accesses=n_accesses, element_bytes=element_bytes)
+    return base + np.arange(n_accesses, dtype=np.int64) * element_bytes
+
+
+def strided_stream(
+    n_accesses: int, stride_bytes: int, *, base: int = 0
+) -> np.ndarray:
+    """Constant-stride sweep: addresses ``base + i*stride``."""
+    _check_positive(n_accesses=n_accesses, stride_bytes=stride_bytes)
+    return base + np.arange(n_accesses, dtype=np.int64) * stride_bytes
+
+
+def random_in_working_set(
+    n_accesses: int,
+    working_set_bytes: int,
+    *,
+    element_bytes: int = 8,
+    seed: int = 0,
+    base: int = 0,
+) -> np.ndarray:
+    """Uniform random element touches within a working set."""
+    _check_positive(
+        n_accesses=n_accesses,
+        working_set_bytes=working_set_bytes,
+        element_bytes=element_bytes,
+    )
+    n_elements = max(1, working_set_bytes // element_bytes)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, n_elements, size=n_accesses)
+    return base + idx.astype(np.int64) * element_bytes
+
+
+def blocked_reuse(
+    block_bytes: int,
+    sweeps: int,
+    *,
+    element_bytes: int = 8,
+    base: int = 0,
+) -> np.ndarray:
+    """``sweeps`` sequential passes over one block of ``block_bytes``."""
+    _check_positive(block_bytes=block_bytes, sweeps=sweeps, element_bytes=element_bytes)
+    n_elements = max(1, block_bytes // element_bytes)
+    one = base + np.arange(n_elements, dtype=np.int64) * element_bytes
+    return np.tile(one, sweeps)

@@ -1,0 +1,208 @@
+"""Trace-driven set-associative cache simulator.
+
+The main simulation times compute blocks analytically from (uops, misses)
+pairs, but those miss counts have to come from somewhere.  This module is
+the grounding substrate: a faithful set-associative cache model (L1D over
+L2, LRU/FIFO/random replacement) that turns an address trace into hit/miss
+counts.  Workload kernels document their miss rates; the calibration tests
+replay each kernel's access pattern through this simulator and check that
+the documented rate matches what the modelled 128 KB-split-L1 / 512 KB-L2
+hierarchy actually produces.
+
+Addresses are byte addresses; the simulator tracks cache lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+
+class ReplacementPolicy(enum.Enum):
+    """Replacement policy of a set-associative cache."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of one cache level.
+
+    Attributes:
+        size_bytes: total capacity.
+        line_bytes: cache line size (power of two).
+        associativity: ways per set; must divide ``size_bytes/line_bytes``.
+        policy: replacement policy.
+    """
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    policy: ReplacementPolicy = ReplacementPolicy.LRU
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigurationError("cache geometry values must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError(
+                f"line size must be a power of two, got {self.line_bytes}"
+            )
+        lines = self.size_bytes // self.line_bytes
+        if lines * self.line_bytes != self.size_bytes:
+            raise ConfigurationError("size must be a multiple of the line size")
+        if lines % self.associativity:
+            raise ConfigurationError(
+                f"{lines} lines not divisible by associativity {self.associativity}"
+            )
+        n_sets = lines // self.associativity
+        if n_sets & (n_sets - 1):
+            raise ConfigurationError(
+                f"set count must be a power of two, got {n_sets}"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // self.line_bytes // self.associativity
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of lines."""
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access; NaN if nothing was accessed."""
+        if self.accesses == 0:
+            return float("nan")
+        return self.misses / self.accesses
+
+
+class SetAssociativeCache:
+    """One level of set-associative cache with pluggable replacement.
+
+    Each set holds up to ``associativity`` line tags.  LRU and FIFO are
+    exact; RANDOM uses a seeded generator so simulations stay
+    deterministic.
+    """
+
+    def __init__(self, spec: CacheSpec, *, seed: int = 0):
+        self.spec = spec
+        self.stats = CacheStats()
+        self._sets: list[dict[int, int]] = [dict() for _ in range(spec.n_sets)]
+        self._clock = 0
+        self._rng = np.random.default_rng(seed)
+        self._set_mask = spec.n_sets - 1
+        self._line_shift = spec.line_bytes.bit_length() - 1
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address >> self._line_shift
+        return line & self._set_mask, line >> (self._set_mask.bit_length())
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; return ``True`` on hit.
+
+        On a miss the line is installed, evicting per the policy when the
+        set is full.
+        """
+        if address < 0:
+            raise ConfigurationError(f"address must be non-negative, got {address}")
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        self._clock += 1
+        if tag in ways:
+            self.stats.hits += 1
+            if self.spec.policy is ReplacementPolicy.LRU:
+                ways[tag] = self._clock
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.spec.associativity:
+            victim = self._choose_victim(ways)
+            del ways[victim]
+            self.stats.evictions += 1
+        ways[tag] = self._clock
+        return False
+
+    def _choose_victim(self, ways: dict[int, int]) -> int:
+        if self.spec.policy is ReplacementPolicy.RANDOM:
+            keys = list(ways)
+            return keys[int(self._rng.integers(len(keys)))]
+        # LRU evicts the stalest touch; FIFO the earliest install.  Both
+        # reduce to the minimum stored timestamp because FIFO never
+        # refreshes it.
+        return min(ways, key=ways.__getitem__)
+
+    def contains(self, address: int) -> bool:
+        """True if the line holding ``address`` is resident (no side effects)."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    @property
+    def resident_lines(self) -> int:
+        """How many lines are currently cached."""
+        return sum(len(ways) for ways in self._sets)
+
+
+class CacheHierarchy:
+    """A two-level data-cache hierarchy (L1D backed by L2).
+
+    Accesses hit L1 first; L1 misses are forwarded to L2.  The paper's UPM
+    metric counts L2 misses, so :attr:`l2.stats.misses` is the quantity of
+    interest.
+    """
+
+    def __init__(self, l1: CacheSpec, l2: CacheSpec, *, seed: int = 0):
+        if l2.size_bytes < l1.size_bytes:
+            raise ConfigurationError("L2 must be at least as large as L1")
+        self.l1 = SetAssociativeCache(l1, seed=seed)
+        self.l2 = SetAssociativeCache(l2, seed=seed + 1)
+
+    def access(self, address: int) -> str:
+        """Access one address; returns ``'l1'``, ``'l2'`` or ``'mem'``."""
+        if self.l1.access(address):
+            return "l1"
+        if self.l2.access(address):
+            return "l2"
+        return "mem"
+
+    def run_trace(self, addresses: Iterable[int]) -> CacheStats:
+        """Replay an address trace; returns the L2 stats (UPM's domain)."""
+        for address in addresses:
+            self.access(int(address))
+        return self.l2.stats
+
+    @property
+    def l2_miss_rate_per_access(self) -> float:
+        """L2 misses per *L1* access — the per-reference miss rate."""
+        if self.l1.stats.accesses == 0:
+            return float("nan")
+        return self.l2.stats.misses / self.l1.stats.accesses
+
+
+def athlon_hierarchy(*, seed: int = 0) -> CacheHierarchy:
+    """The paper's node data-cache hierarchy: 64 KB L1D, 512 KB L2."""
+    from repro.util.units import KIB
+
+    return CacheHierarchy(
+        CacheSpec(size_bytes=64 * KIB, line_bytes=64, associativity=2),
+        CacheSpec(size_bytes=512 * KIB, line_bytes=64, associativity=16),
+        seed=seed,
+    )

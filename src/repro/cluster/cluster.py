@@ -1,0 +1,61 @@
+"""Cluster specification: homogeneous nodes plus an interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gears import GearTable
+from repro.cluster.network import LinkSpec, NetworkModel
+from repro.cluster.node import NodeSpec
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster.
+
+    Attributes:
+        name: human-readable cluster name.
+        node: the node specification shared by all nodes.
+        link: the interconnect.
+        max_nodes: how many nodes exist.
+        power_scalable: whether gears other than gear 1 may be selected.
+            The paper's reference (Sun) cluster is *not* power scalable;
+            asking it to run at a lower gear is a configuration error.
+    """
+
+    name: str
+    node: NodeSpec
+    link: LinkSpec
+    max_nodes: int
+    power_scalable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1:
+            raise ConfigurationError(f"max_nodes must be >= 1, got {self.max_nodes}")
+
+    @property
+    def gears(self) -> GearTable:
+        """Gear table of the cluster's nodes."""
+        return self.node.gears
+
+    def network_model(self) -> NetworkModel:
+        """Build the interconnect timing model."""
+        return NetworkModel(self.link)
+
+    def validate_run(self, nodes: int, gear_index: int) -> None:
+        """Check that a run configuration is legal on this cluster.
+
+        Raises:
+            ConfigurationError: too many nodes, an unknown gear, or a
+                non-fastest gear on a cluster that is not power scalable.
+        """
+        if not 1 <= nodes <= self.max_nodes:
+            raise ConfigurationError(
+                f"{self.name} has {self.max_nodes} nodes; requested {nodes}"
+            )
+        self.gears[gear_index]  # raises on unknown gear
+        if gear_index != 1 and not self.power_scalable:
+            raise ConfigurationError(
+                f"{self.name} is not power scalable; only gear 1 is available"
+            )

@@ -1,0 +1,72 @@
+"""Per-rank hardware performance counters.
+
+The paper derives its UPM predictor from hardware counters: retired
+micro-operations and L2 cache misses.  :class:`CounterBank` accumulates the
+same events as the simulator executes compute blocks, plus elapsed core
+cycles so UPC can be recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CounterBank:
+    """Accumulated hardware events for one rank.
+
+    Attributes:
+        uops: retired micro-operations.
+        l2_misses: L2 cache misses.
+        cycles: elapsed core cycles while executing application compute
+            blocks (excludes cycles spent blocked in MPI).
+        compute_seconds: wall time spent in compute blocks.
+    """
+
+    uops: float = 0.0
+    l2_misses: float = 0.0
+    cycles: float = 0.0
+    compute_seconds: float = 0.0
+
+    def charge(self, uops: float, l2_misses: float, cycles: float, seconds: float) -> None:
+        """Accumulate one compute block's events."""
+        self.uops += uops
+        self.l2_misses += l2_misses
+        self.cycles += cycles
+        self.compute_seconds += seconds
+
+    @property
+    def upm(self) -> float:
+        """Micro-ops per L2 miss (the paper's Table 1 metric).
+
+        Infinite when no misses were recorded; NaN when nothing ran.
+        """
+        if self.uops == 0 and self.l2_misses == 0:
+            return float("nan")
+        if self.l2_misses == 0:
+            return float("inf")
+        return self.uops / self.l2_misses
+
+    @property
+    def upc(self) -> float:
+        """Micro-ops per cycle over all compute blocks."""
+        if self.cycles == 0:
+            return float("nan")
+        return self.uops / self.cycles
+
+    def merged(self, other: "CounterBank") -> "CounterBank":
+        """Return a new bank with both banks' events summed."""
+        return CounterBank(
+            uops=self.uops + other.uops,
+            l2_misses=self.l2_misses + other.l2_misses,
+            cycles=self.cycles + other.cycles,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+        )
+
+    @staticmethod
+    def total(banks: "list[CounterBank] | tuple[CounterBank, ...]") -> "CounterBank":
+        """Sum a collection of banks into one."""
+        out = CounterBank()
+        for bank in banks:
+            out = out.merged(bank)
+        return out

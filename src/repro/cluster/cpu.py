@@ -1,0 +1,148 @@
+"""CPU specification and the CMOS power model.
+
+Power here follows the standard first-order CMOS decomposition used by the
+DVFS literature the paper builds on:
+
+- dynamic power ``P_dyn = D0 * (f/f_max) * (V/V_max)^2 * activity`` —
+  switching power scales linearly with frequency and quadratically with
+  voltage;
+- leakage ``P_leak = L0 * (V/V_max)`` — static power falls with voltage;
+- the *activity factor* depends on what the core is doing.  A stalled
+  cycle (waiting on DRAM) still clocks the pipeline and toggles part of
+  the out-of-order window, so it burns a fraction
+  :attr:`CPUSpec.stall_activity_fraction` of a busy cycle's dynamic power.
+
+That last term is what makes the energy-time tradeoff non-trivial: a
+memory-bound code at a low gear has *fewer* stall cycles (DRAM latency is
+fixed in wall time, so it spans fewer, longer cycles), which raises the
+average activity factor — exactly the "UPC increases as frequency
+decreases" effect the paper measures.
+
+Constants for :data:`ATHLON64_CPU` are calibrated so that at the fastest
+gear a compute-bound application draws a whole-system power of 140-150 W
+with the CPU contributing 45-55 % (paper Section 3, footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gears import ATHLON64_GEARS, Gear, GearTable
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Parameters of one power-scalable CPU model.
+
+    Attributes:
+        name: human-readable model name.
+        gears: the available frequency/voltage operating points.
+        issue_rate: sustained micro-ops per cycle when not stalled (the
+            core's effective superscalar throughput on these codes).
+        dynamic_power_full: dynamic power in watts at the fastest gear
+            with activity factor 1.0.
+        leakage_power_max: static power in watts at the maximum voltage.
+        active_activity: activity factor of a busy (non-stalled) cycle
+            while an application runs.
+        idle_activity: activity factor while the OS idle loop runs (no
+            application work; this is the paper's idle-system state
+            measured for ``I_g``).
+        stall_activity_fraction: fraction of a busy cycle's dynamic power
+            burned by a cycle stalled on memory.
+        gear_switch_latency: seconds the core stalls while changing
+            frequency/voltage (PLL relock + voltage ramp).  The paper's
+            measurements use per-run static gears, so the stock value is
+            0; the DVFS-overhead ablation sets era-realistic values
+            (~100 us for PowerNow!-class hardware).
+    """
+
+    name: str
+    gears: GearTable
+    issue_rate: float
+    dynamic_power_full: float
+    leakage_power_max: float
+    active_activity: float
+    idle_activity: float
+    stall_activity_fraction: float
+    gear_switch_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.issue_rate <= 0:
+            raise ConfigurationError(f"issue_rate must be positive, got {self.issue_rate}")
+        if self.gear_switch_latency < 0:
+            raise ConfigurationError(
+                f"gear_switch_latency must be >= 0, got {self.gear_switch_latency}"
+            )
+        if self.dynamic_power_full <= 0 or self.leakage_power_max < 0:
+            raise ConfigurationError("power constants must be positive")
+        for field_name in ("active_activity", "idle_activity", "stall_activity_fraction"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{field_name} must be in [0, 1], got {value}"
+                )
+        if self.idle_activity > self.active_activity:
+            raise ConfigurationError(
+                "idle_activity must not exceed active_activity"
+            )
+
+
+class CPUPowerModel:
+    """Evaluates CPU power at a gear for a given pipeline occupancy."""
+
+    def __init__(self, spec: CPUSpec):
+        self.spec = spec
+        self._fmax = spec.gears.fastest.frequency_mhz
+        self._vmax = spec.gears.fastest.voltage
+
+    def dynamic_scale(self, gear: Gear) -> float:
+        """``(f/f_max) * (V/V_max)^2`` — dynamic power scale of a gear."""
+        return (gear.frequency_mhz / self._fmax) * (gear.voltage / self._vmax) ** 2
+
+    def leakage_power(self, gear: Gear) -> float:
+        """Static power at a gear's voltage, in watts."""
+        return self.spec.leakage_power_max * (gear.voltage / self._vmax)
+
+    def active_power(self, gear: Gear, stall_fraction: float = 0.0) -> float:
+        """CPU power while running application code.
+
+        Args:
+            gear: the operating point.
+            stall_fraction: fraction of cycles stalled on memory, in
+                [0, 1].  Stalled cycles burn
+                :attr:`CPUSpec.stall_activity_fraction` of a busy cycle's
+                dynamic power.
+        """
+        if not 0.0 <= stall_fraction <= 1.0:
+            raise ConfigurationError(
+                f"stall_fraction must be in [0, 1], got {stall_fraction}"
+            )
+        spec = self.spec
+        occupancy = (1.0 - stall_fraction) + spec.stall_activity_fraction * stall_fraction
+        dynamic = (
+            spec.dynamic_power_full
+            * self.dynamic_scale(gear)
+            * spec.active_activity
+            * occupancy
+        )
+        return dynamic + self.leakage_power(gear)
+
+    def idle_power(self, gear: Gear) -> float:
+        """CPU power while the node idles (blocked in MPI or no work)."""
+        spec = self.spec
+        dynamic = spec.dynamic_power_full * self.dynamic_scale(gear) * spec.idle_activity
+        return dynamic + self.leakage_power(gear)
+
+
+#: The paper's frequency/voltage-scalable Athlon-64.
+ATHLON64_CPU = CPUSpec(
+    name="AMD Athlon-64",
+    gears=ATHLON64_GEARS,
+    issue_rate=1.3,
+    dynamic_power_full=75.0,
+    leakage_power_max=8.0,
+    active_activity=0.90,
+    idle_activity=0.15,
+    stall_activity_fraction=0.70,
+)

@@ -1,0 +1,170 @@
+"""Multi-speed disk model (DRPM-style), for the disk-scaling future work.
+
+The paper's Section 5: "First we will consider scaling down other
+components, such as the disk", citing DRPM [14, 15] — disks whose
+spindle speed modulates dynamically, trading access latency and transfer
+bandwidth for power.  This module provides that substrate:
+
+- :class:`DiskSpeed` — one spindle operating point (RPM, bandwidth,
+  access latency, active/idle power);
+- :class:`DiskSpec` — an ordered multi-speed table (speed 1 fastest),
+  validated the same way as CPU gear tables;
+- :class:`DiskModel` — times an I/O burst and reports power at a speed.
+
+Physics: sequential transfer bandwidth scales linearly with RPM; the
+rotational-latency component of the average access scales inversely;
+spindle power scales roughly with RPM^2.2 (windage dominates), which the
+stock table below bakes in following the DRPM paper's 12k-3k RPM range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DiskSpeed:
+    """One spindle operating point.
+
+    Attributes:
+        index: 1-based speed number; 1 is the fastest spindle.
+        rpm: rotational speed.
+        bandwidth: sustained sequential transfer rate, bytes/second.
+        access_latency: average positioning time (seek + rotation), s.
+        active_power: watts while transferring.
+        idle_power: watts while spinning idle at this speed.
+    """
+
+    index: int
+    rpm: float
+    bandwidth: float
+    access_latency: float
+    active_power: float
+    idle_power: float
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ConfigurationError(f"speed index must be >= 1, got {self.index}")
+        if min(self.rpm, self.bandwidth, self.access_latency) <= 0:
+            raise ConfigurationError("rpm, bandwidth and access latency must be positive")
+        if self.active_power < self.idle_power or self.idle_power < 0:
+            raise ConfigurationError(
+                "need active_power >= idle_power >= 0"
+            )
+
+
+class DiskSpec:
+    """An ordered, validated multi-speed disk.
+
+    Args:
+        name: model name.
+        speeds: the spindle operating points.
+        transition_time: seconds a speed change takes to settle (DRPM
+            transitions are hundreds of milliseconds — the reason disk
+            speed is shifted per-phase, not per-request).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        speeds: Sequence[DiskSpeed],
+        *,
+        transition_time: float = 0.4,
+    ):
+        if not speeds:
+            raise ConfigurationError("a disk needs at least one speed")
+        if transition_time < 0:
+            raise ConfigurationError(
+                f"transition_time must be >= 0, got {transition_time}"
+            )
+        self.transition_time = transition_time
+        ordered = sorted(speeds, key=lambda s: s.index)
+        if [s.index for s in ordered] != list(range(1, len(ordered) + 1)):
+            raise ConfigurationError("speed indices must be contiguous from 1")
+        for fast, slow in zip(ordered, ordered[1:]):
+            if slow.rpm >= fast.rpm or slow.bandwidth >= fast.bandwidth:
+                raise ConfigurationError(
+                    "rpm and bandwidth must strictly decrease with speed index"
+                )
+            if slow.idle_power > fast.idle_power:
+                raise ConfigurationError(
+                    "idle power must not increase with speed index"
+                )
+        self.name = name
+        self._speeds = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self._speeds)
+
+    def __iter__(self) -> Iterator[DiskSpeed]:
+        return iter(self._speeds)
+
+    def __getitem__(self, index: int) -> DiskSpeed:
+        """Look up a speed by its 1-based index."""
+        if not 1 <= index <= len(self._speeds):
+            raise ConfigurationError(
+                f"disk speed {index} out of range 1..{len(self._speeds)}"
+            )
+        return self._speeds[index - 1]
+
+    @property
+    def fastest(self) -> DiskSpeed:
+        """Speed 1."""
+        return self._speeds[0]
+
+    @property
+    def slowest(self) -> DiskSpeed:
+        """The lowest spindle speed."""
+        return self._speeds[-1]
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """All speed numbers, ascending."""
+        return tuple(s.index for s in self._speeds)
+
+
+class DiskModel:
+    """Times I/O bursts and reports disk power."""
+
+    def __init__(self, spec: DiskSpec):
+        self.spec = spec
+
+    def io_time(self, nbytes: int, speed: DiskSpeed) -> float:
+        """Duration of one I/O burst: positioning plus transfer."""
+        if nbytes < 0:
+            raise ConfigurationError(f"I/O size must be >= 0, got {nbytes}")
+        return speed.access_latency + nbytes / speed.bandwidth
+
+    def io_power(self, speed: DiskSpeed) -> float:
+        """Disk power while transferring at a speed."""
+        return speed.active_power
+
+    def idle_power(self, speed: DiskSpeed) -> float:
+        """Disk power while spinning idle at a speed."""
+        return speed.idle_power
+
+
+def drpm_disk() -> DiskSpec:
+    """A DRPM-style five-speed SCSI disk (12k..4k RPM).
+
+    Bandwidth tracks RPM linearly; the rotational half of the access
+    latency scales inversely with RPM; power follows the DRPM paper's
+    near-quadratic spindle law.
+    """
+    speeds = []
+    for index, rpm in enumerate((12000, 10000, 8000, 6000, 4000), start=1):
+        ratio = rpm / 12000.0
+        speeds.append(
+            DiskSpeed(
+                index=index,
+                rpm=float(rpm),
+                bandwidth=55e6 * ratio,
+                access_latency=4.5e-3 + 2.5e-3 / ratio,
+                active_power=4.0 + 9.5 * ratio**2.2,
+                idle_power=2.0 + 7.0 * ratio**2.2,
+            )
+        )
+    return DiskSpec("drpm-scsi", speeds)

@@ -1,0 +1,155 @@
+"""Energy gears: the discrete frequency/voltage operating points.
+
+The paper's cluster exposes six *gears* per node, gear 1 being the fastest
+(2000 MHz) and gear 6 the slowest (800 MHz), with core voltage falling from
+1.5 V to 1.0 V across the range.  (The paper notes 1000 MHz exists but is
+unreliable on some nodes, so it is excluded — we exclude it too.)
+
+Gears are numbered from 1 as in the paper; :class:`GearTable` validates
+that frequency and voltage are strictly decreasing with gear number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import mhz_to_hz
+
+
+@dataclass(frozen=True, order=True)
+class Gear:
+    """One CPU operating point.
+
+    Attributes:
+        index: 1-based gear number; 1 is the fastest gear.
+        frequency_mhz: core clock in MHz.
+        voltage: core voltage in volts.
+    """
+
+    index: int
+    frequency_mhz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ConfigurationError(f"gear index must be >= 1, got {self.index}")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError(
+                f"gear frequency must be positive, got {self.frequency_mhz}"
+            )
+        if self.voltage <= 0:
+            raise ConfigurationError(f"gear voltage must be positive, got {self.voltage}")
+
+    @property
+    def frequency_hz(self) -> float:
+        """Core clock in Hz."""
+        return mhz_to_hz(self.frequency_mhz)
+
+    @property
+    def cycle_time(self) -> float:
+        """Duration of one core cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"gear {self.index} ({self.frequency_mhz:.0f} MHz, {self.voltage:.2f} V)"
+
+
+class GearTable:
+    """An ordered, validated collection of gears for one CPU model.
+
+    Iteration and indexing use the paper's 1-based gear numbers::
+
+        table[1]      # fastest gear
+        table.slowest # highest-numbered gear
+
+    Raises:
+        ConfigurationError: empty table, duplicate/non-contiguous indices,
+            or frequency/voltage not strictly decreasing with gear number.
+    """
+
+    def __init__(self, gears: Sequence[Gear]):
+        if not gears:
+            raise ConfigurationError("a gear table needs at least one gear")
+        ordered = sorted(gears, key=lambda g: g.index)
+        expected = list(range(1, len(ordered) + 1))
+        if [g.index for g in ordered] != expected:
+            raise ConfigurationError(
+                f"gear indices must be contiguous from 1, got "
+                f"{[g.index for g in ordered]}"
+            )
+        for lo, hi in zip(ordered, ordered[1:]):
+            if hi.frequency_mhz >= lo.frequency_mhz:
+                raise ConfigurationError(
+                    f"frequency must strictly decrease with gear number: "
+                    f"{lo} then {hi}"
+                )
+            if hi.voltage > lo.voltage:
+                raise ConfigurationError(
+                    f"voltage must not increase with gear number: {lo} then {hi}"
+                )
+        self._gears: tuple[Gear, ...] = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self._gears)
+
+    def __iter__(self) -> Iterator[Gear]:
+        return iter(self._gears)
+
+    def __getitem__(self, index: int) -> Gear:
+        """Look up a gear by its 1-based paper number."""
+        if not 1 <= index <= len(self._gears):
+            raise ConfigurationError(
+                f"gear {index} out of range 1..{len(self._gears)}"
+            )
+        return self._gears[index - 1]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GearTable):
+            return NotImplemented
+        return self._gears == other._gears
+
+    def __hash__(self) -> int:
+        return hash(self._gears)
+
+    @property
+    def fastest(self) -> Gear:
+        """Gear 1."""
+        return self._gears[0]
+
+    @property
+    def slowest(self) -> Gear:
+        """The highest-numbered gear."""
+        return self._gears[-1]
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """All gear numbers, ascending (1 first)."""
+        return tuple(g.index for g in self._gears)
+
+    def frequency_ratio(self, a: int, b: int) -> float:
+        """Return ``f_a / f_b`` for gear numbers ``a`` and ``b``.
+
+        This is the paper's upper bound on the slowdown when shifting from
+        gear ``a`` to the slower gear ``b``.
+        """
+        return self[a].frequency_mhz / self[b].frequency_mhz
+
+
+#: The paper's Athlon-64 gear table: 2000..800 MHz at 1.50..1.00 V.  The
+#: paper gives only the voltage range (1.5-1.0 V, "reduced in each gear");
+#: the per-gear values below follow a production Athlon-64 P-state ladder
+#: with its characteristically large first voltage step — which is what
+#: makes gear 2 the paper's best energy-per-delay point (CG: ~10 % energy
+#: for ~1 % time).
+ATHLON64_GEARS = GearTable(
+    [
+        Gear(1, 2000.0, 1.50),
+        Gear(2, 1800.0, 1.35),
+        Gear(3, 1600.0, 1.25),
+        Gear(4, 1400.0, 1.15),
+        Gear(5, 1200.0, 1.08),
+        Gear(6, 800.0, 1.00),
+    ]
+)

@@ -1,0 +1,174 @@
+"""Memory hierarchy timing: how long a compute block takes at a gear.
+
+A :class:`ComputeBlock` describes a slice of application work by its
+micro-op count and its L2 miss count (the same two events the paper's UPM
+metric is built from).  The timing model is::
+
+    t(f) = uops / (issue_rate * f)  +  misses * effective_miss_latency
+
+The first term scales with the gear's clock; the second is wall-time
+constant because DRAM does not slow down when the CPU does.  Two exact
+consequences, both measured by the paper:
+
+- the slowdown bound ``1 <= T_slow/T_fast <= f_fast/f_slow`` holds for
+  every block (Section 3.1's empirical bound holds analytically here);
+- UPC (micro-ops per cycle) rises as frequency falls for blocks with
+  misses, because the constant-wall-time stall spans fewer cycles.
+
+``effective_miss_latency`` is the *visible* latency per miss after
+memory-level parallelism and prefetching have overlapped part of the raw
+DRAM round trip; workloads with high MLP use a lower effective value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cpu import CPUSpec
+from repro.cluster.gears import Gear
+from repro.util.errors import ConfigurationError
+from repro.util.units import KIB
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Capacity and latency parameters of a node's memory hierarchy.
+
+    Attributes:
+        l1_data_bytes / l1_inst_bytes: split L1 sizes.
+        l2_bytes: unified L2 size.
+        line_bytes: cache line size.
+        effective_miss_latency: default visible DRAM latency per L2 miss,
+            in seconds, used when a compute block does not override it.
+        reference_miss_bandwidth: L2 miss rate (misses/second) that drives
+            the DRAM subsystem to full power; used to scale memory power.
+    """
+
+    l1_data_bytes: int
+    l1_inst_bytes: int
+    l2_bytes: int
+    line_bytes: int
+    effective_miss_latency: float
+    reference_miss_bandwidth: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "l1_data_bytes",
+            "l1_inst_bytes",
+            "l2_bytes",
+            "line_bytes",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.effective_miss_latency <= 0:
+            raise ConfigurationError("effective_miss_latency must be positive")
+        if self.reference_miss_bandwidth <= 0:
+            raise ConfigurationError("reference_miss_bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class ComputeBlock:
+    """One uninterrupted slice of application computation.
+
+    Attributes:
+        uops: retired micro-operations in the block.
+        l2_misses: L2 cache misses (the paper's "memory references").
+        miss_latency: optional per-block override of the effective visible
+            latency per miss (seconds); workloads use this to express
+            their memory-level parallelism.
+    """
+
+    uops: float
+    l2_misses: float
+    miss_latency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.uops < 0 or self.l2_misses < 0:
+            raise ConfigurationError("uops and l2_misses must be non-negative")
+        if self.uops == 0 and self.l2_misses == 0:
+            raise ConfigurationError("a compute block must contain some work")
+        if self.miss_latency is not None and self.miss_latency <= 0:
+            raise ConfigurationError("miss_latency override must be positive")
+
+    @property
+    def upm(self) -> float:
+        """Micro-ops per L2 miss — the paper's UPM metric for this block.
+
+        Infinite for a block with no misses (EP-like work).
+        """
+        if self.l2_misses == 0:
+            return float("inf")
+        return self.uops / self.l2_misses
+
+    def scaled(self, factor: float) -> "ComputeBlock":
+        """Return a copy with uops and misses multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return ComputeBlock(self.uops * factor, self.l2_misses * factor, self.miss_latency)
+
+
+class MemoryModel:
+    """Times compute blocks on a given CPU/memory pair."""
+
+    def __init__(self, cpu: CPUSpec, memory: MemorySpec):
+        self.cpu = cpu
+        self.memory = memory
+
+    def _latency(self, block: ComputeBlock) -> float:
+        return (
+            block.miss_latency
+            if block.miss_latency is not None
+            else self.memory.effective_miss_latency
+        )
+
+    def core_time(self, block: ComputeBlock, gear: Gear) -> float:
+        """Seconds the core spends issuing (non-stalled) for the block."""
+        return block.uops / (self.cpu.issue_rate * gear.frequency_hz)
+
+    def stall_time(self, block: ComputeBlock) -> float:
+        """Seconds stalled on memory — independent of the gear."""
+        return block.l2_misses * self._latency(block)
+
+    def duration(self, block: ComputeBlock, gear: Gear) -> float:
+        """Total wall time of the block at a gear."""
+        return self.core_time(block, gear) + self.stall_time(block)
+
+    def stall_fraction(self, block: ComputeBlock, gear: Gear) -> float:
+        """Fraction of the block's cycles stalled on memory, in [0, 1]."""
+        total = self.duration(block, gear)
+        return self.stall_time(block) / total
+
+    def upc(self, block: ComputeBlock, gear: Gear) -> float:
+        """Micro-ops per cycle over the whole block at a gear.
+
+        Rises as the gear slows for memory-bound blocks: the wall-time
+        stall spans fewer of the (longer) cycles.
+        """
+        cycles = self.duration(block, gear) * gear.frequency_hz
+        return block.uops / cycles
+
+    def memory_intensity(self, block: ComputeBlock, gear: Gear) -> float:
+        """DRAM utilisation in [0, 1] while the block runs.
+
+        The miss throughput (misses/second) relative to the spec's
+        reference bandwidth, clamped to 1.  Scales the DRAM contribution
+        in the node power model.
+        """
+        duration = self.duration(block, gear)
+        if duration == 0:
+            return 0.0
+        rate = block.l2_misses / duration
+        return min(1.0, rate / self.memory.reference_miss_bandwidth)
+
+
+#: The paper's node memory system: 128 KB split L1, 512 KB L2, 1 GB DRAM.
+#: The 55 ns default visible miss latency reflects a 2004-era DDR round
+#: trip (~120 ns) partially hidden by hardware prefetch and MLP ~2.
+ATHLON64_MEMORY = MemorySpec(
+    l1_data_bytes=64 * KIB,
+    l1_inst_bytes=64 * KIB,
+    l2_bytes=512 * KIB,
+    line_bytes=64,
+    effective_miss_latency=55e-9,
+    reference_miss_bandwidth=5.0e7,
+)

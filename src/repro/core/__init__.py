@@ -1,0 +1,73 @@
+"""The paper's contribution: energy-time measurement, metrics, and model.
+
+Layers:
+
+- :mod:`repro.core.run` — run workloads on simulated clusters at chosen
+  gears/node counts; gear sweeps produce energy-time curves.
+- :mod:`repro.core.metrics` / :mod:`repro.core.curves` — UPM, slowdown,
+  curve slopes, Pareto analysis (Section 3 / Table 1 machinery).
+- :mod:`repro.core.cases` — the three-way classification of 2P-vs-P
+  curves (Section 3.2).
+- :mod:`repro.core.amdahl`, :mod:`repro.core.commclass`,
+  :mod:`repro.core.calibration`, :mod:`repro.core.predictor`,
+  :mod:`repro.core.model` — the five-step simulation model (Section 4).
+- :mod:`repro.core.advisor` — gear/node selection under energy or power
+  caps (the paper's heat-limit discussion).
+"""
+
+from repro.core.run import RunMeasurement, run_workload, gear_sweep, node_sweep
+from repro.core.metrics import (
+    slowdown_ratio,
+    relative_delay,
+    relative_energy,
+    energy_time_slope,
+)
+from repro.core.curves import CurvePoint, EnergyTimeCurve, CurveFamily
+from repro.core.cases import SpeedupCase, classify_pair, classify_family
+from repro.core.amdahl import AmdahlFit, fit_amdahl
+from repro.core.commclass import CommClassification, classify_communication
+from repro.core.calibration import GearCalibration, calibrate_gears, idle_power_by_gear
+from repro.core.predictor import PredictedPoint, NaivePredictor, RefinedPredictor
+from repro.core.model import EnergyTimeModel, ModelInputs
+from repro.core.validation import ValidationReport, validate_model
+from repro.core.advisor import Advisor, Recommendation
+from repro.core.search import Objective, SearchResult, search_gear_vector
+from repro.core.imbalance import ImbalanceReport, analyze_imbalance
+
+__all__ = [
+    "RunMeasurement",
+    "run_workload",
+    "gear_sweep",
+    "node_sweep",
+    "slowdown_ratio",
+    "relative_delay",
+    "relative_energy",
+    "energy_time_slope",
+    "CurvePoint",
+    "EnergyTimeCurve",
+    "CurveFamily",
+    "SpeedupCase",
+    "classify_pair",
+    "classify_family",
+    "AmdahlFit",
+    "fit_amdahl",
+    "CommClassification",
+    "classify_communication",
+    "GearCalibration",
+    "calibrate_gears",
+    "idle_power_by_gear",
+    "PredictedPoint",
+    "NaivePredictor",
+    "RefinedPredictor",
+    "EnergyTimeModel",
+    "ModelInputs",
+    "ValidationReport",
+    "validate_model",
+    "Advisor",
+    "Recommendation",
+    "Objective",
+    "SearchResult",
+    "search_gear_vector",
+    "ImbalanceReport",
+    "analyze_imbalance",
+]

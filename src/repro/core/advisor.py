@@ -1,0 +1,119 @@
+"""Configuration advice under energy/power/time constraints.
+
+The paper motivates power-scalable clusters with a future in which "a
+program running on a cluster may be allowed to generate only a limited
+amount of heat" — a horizontal line across the energy-time figure, under
+which the user picks the leftmost point.  :class:`Advisor` operationalises
+that: given a curve family (measured or model-predicted), recommend the
+(nodes, gear) configuration that optimises one objective subject to caps
+on the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.curves import CurveFamily, CurvePoint
+from repro.util.errors import ModelError
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended configuration.
+
+    Attributes:
+        nodes: node count to use.
+        gear: gear index for every node.
+        time: expected execution time, seconds.
+        energy: expected cluster energy, joules.
+        average_power: expected cluster average power, watts.
+    """
+
+    nodes: int
+    gear: int
+    time: float
+    energy: float
+
+    @property
+    def average_power(self) -> float:
+        """Cluster-average power of the recommended configuration."""
+        return self.energy / self.time if self.time > 0 else 0.0
+
+
+class Advisor:
+    """Chooses configurations from an energy-time curve family."""
+
+    def __init__(self, family: CurveFamily):
+        self.family = family
+
+    def _candidates(self) -> Iterable[tuple[int, CurvePoint]]:
+        for curve in self.family:
+            for point in curve:
+                yield curve.nodes, point
+
+    def fastest_under_energy_cap(self, max_energy: float) -> Recommendation:
+        """Leftmost point under the horizontal energy line (paper, case 1).
+
+        Raises:
+            ModelError: no configuration fits the cap.
+        """
+        feasible = [
+            (n, p) for n, p in self._candidates() if p.energy <= max_energy
+        ]
+        if not feasible:
+            raise ModelError(
+                f"no configuration of {self.family.workload} fits an energy "
+                f"cap of {max_energy:.0f} J"
+            )
+        nodes, point = min(feasible, key=lambda np: (np[1].time, np[1].energy))
+        return _as_recommendation(nodes, point)
+
+    def fastest_under_power_cap(self, max_watts: float) -> Recommendation:
+        """Leftmost point whose cluster average power fits the cap.
+
+        This is the paper's heat-dissipation scenario: racks limited by
+        sustained draw rather than total energy.
+        """
+        feasible = [
+            (n, p)
+            for n, p in self._candidates()
+            if p.time > 0 and p.energy / p.time <= max_watts
+        ]
+        if not feasible:
+            raise ModelError(
+                f"no configuration of {self.family.workload} fits a power "
+                f"cap of {max_watts:.0f} W"
+            )
+        nodes, point = min(feasible, key=lambda np: (np[1].time, np[1].energy))
+        return _as_recommendation(nodes, point)
+
+    def cheapest_under_deadline(self, max_time: float) -> Recommendation:
+        """Least-energy point finishing within the deadline.
+
+        Raises:
+            ModelError: no configuration meets the deadline.
+        """
+        feasible = [
+            (n, p) for n, p in self._candidates() if p.time <= max_time
+        ]
+        if not feasible:
+            raise ModelError(
+                f"no configuration of {self.family.workload} finishes in "
+                f"{max_time:.1f} s"
+            )
+        nodes, point = min(feasible, key=lambda np: (np[1].energy, np[1].time))
+        return _as_recommendation(nodes, point)
+
+    def pareto(self) -> list[Recommendation]:
+        """All non-dominated configurations across nodes and gears."""
+        return [
+            _as_recommendation(nodes, point)
+            for nodes, point in self.family.global_pareto()
+        ]
+
+
+def _as_recommendation(nodes: int, point: CurvePoint) -> Recommendation:
+    return Recommendation(
+        nodes=nodes, gear=point.gear, time=point.time, energy=point.energy
+    )

@@ -1,0 +1,97 @@
+"""Amdahl decomposition of computation time (model steps 2a and 3a).
+
+Given measured maximum computation times ``T^A(i)`` at several node
+counts, the paper estimates the parallel/serial split from::
+
+    T^A(i) = T^A(1) * (F_p / i + F_s),   F_p = 1 - F_s
+
+Each multi-node sample yields one ``F_s`` estimate (the paper's "family of
+F_p and F_s values"); extrapolation to larger clusters fits a linear
+regression through the family, exactly as the paper's step 3 describes.
+When the family is flat (the usual case for well-behaved codes) the
+regression degenerates gracefully to the mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.util.errors import ModelError
+from repro.util.fitting import fit_linear
+
+
+@dataclass(frozen=True)
+class AmdahlFit:
+    """Fitted Amdahl decomposition for one workload on one cluster.
+
+    Attributes:
+        t1: the single-node computation time T^A(1), seconds.
+        serial_family: per-sample (nodes, F_s) estimates.
+        fs_intercept / fs_slope: linear regression of F_s on node count,
+            used to extrapolate F_s to unmeasured sizes.
+    """
+
+    t1: float
+    serial_family: tuple[tuple[int, float], ...]
+    fs_intercept: float
+    fs_slope: float
+
+    @property
+    def fs_mean(self) -> float:
+        """Mean of the F_s family (the flat-family summary)."""
+        return sum(f for _, f in self.serial_family) / len(self.serial_family)
+
+    def fs_at(self, nodes: int) -> float:
+        """Extrapolated F_s at a node count, clamped into [0, 1)."""
+        value = self.fs_intercept + self.fs_slope * nodes
+        return min(max(value, 0.0), 0.999999)
+
+    def active_time(self, nodes: int) -> float:
+        """Predicted T^A(nodes) at the fastest gear."""
+        if nodes < 1:
+            raise ModelError(f"node count must be >= 1, got {nodes}")
+        fs = self.fs_at(nodes)
+        return self.t1 * ((1.0 - fs) / nodes + fs)
+
+
+def fit_amdahl(active_times: Mapping[int, float]) -> AmdahlFit:
+    """Fit the Amdahl decomposition from measured ``{nodes: T^A}``.
+
+    Requires the single-node time (key 1) and at least one multi-node
+    sample.
+
+    Raises:
+        ModelError: missing 1-node sample, fewer than one multi-node
+            sample, or a non-positive time.
+    """
+    if 1 not in active_times:
+        raise ModelError("fit_amdahl needs the 1-node active time (key 1)")
+    t1 = float(active_times[1])
+    if t1 <= 0:
+        raise ModelError(f"T^A(1) must be positive, got {t1}")
+
+    family: list[tuple[int, float]] = []
+    for nodes, ta in sorted(active_times.items()):
+        if nodes == 1:
+            continue
+        if ta <= 0:
+            raise ModelError(f"T^A({nodes}) must be positive, got {ta}")
+        # Solve T^A(i)/T^A(1) = (1-Fs)/i + Fs for Fs.
+        ratio = ta / t1
+        fs = (ratio - 1.0 / nodes) / (1.0 - 1.0 / nodes)
+        family.append((nodes, min(max(fs, 0.0), 1.0)))
+    if not family:
+        raise ModelError("fit_amdahl needs at least one multi-node sample")
+
+    if len(family) == 1:
+        intercept, slope = family[0][1], 0.0
+    else:
+        fit = fit_linear([n for n, _ in family], [f for _, f in family])
+        intercept, slope = fit.coefficients
+    return AmdahlFit(
+        t1=t1,
+        serial_family=tuple(family),
+        fs_intercept=intercept,
+        fs_slope=slope,
+    )

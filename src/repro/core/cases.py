@@ -1,0 +1,125 @@
+"""The paper's three-way classification of 2P-vs-P curve pairs (§3.2).
+
+Given the energy-time curves at P and 2P nodes (any pair of increasing
+node counts, in fact), exactly one of the paper's cases applies:
+
+1. **POOR** speedup — the larger configuration's curve lies above the
+   smaller one's: no gear at 2P gets under the P curve's fastest-gear
+   energy.  A horizontal energy-cap line intersects at most one curve.
+2. **PERFECT_SUPERLINEAR** — the 2P fastest-gear point is at-or-below the
+   P fastest-gear point in energy while being faster: more nodes win
+   outright even at full speed.
+3. **GOOD** — the interesting case: 2P at gear 1 is faster but costs more
+   energy, yet some *lower* gear at 2P both undercuts the P fastest-gear
+   energy and still finishes sooner.  One point dominates the other in
+   both axes, so there is no tradeoff between them.
+
+We add **SLOWDOWN** for pairs the paper explicitly sets aside ("we do not
+consider the case where the time on 2P nodes is larger than on P nodes").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.curves import CurvePoint, EnergyTimeCurve, CurveFamily
+from repro.util.errors import ModelError
+
+
+class SpeedupCase(enum.Enum):
+    """Which of the paper's Section 3.2 cases a curve pair falls into."""
+
+    POOR = "poor"
+    PERFECT_SUPERLINEAR = "perfect-or-superlinear"
+    GOOD = "good"
+    SLOWDOWN = "slowdown"
+
+
+@dataclass(frozen=True)
+class CaseAnalysis:
+    """Classification of one (P, 2P) curve pair with the evidence.
+
+    Attributes:
+        case: the paper's case.
+        small_nodes / large_nodes: the two configurations compared.
+        dominating_gear: for GOOD — the first gear on the larger curve
+            whose point dominates the smaller curve's fastest point.
+        speedup: gear-1 time ratio T(P)/T(2P).
+        energy_ratio: gear-1 energy ratio E(2P)/E(P).
+    """
+
+    case: SpeedupCase
+    small_nodes: int
+    large_nodes: int
+    dominating_gear: int | None
+    speedup: float
+    energy_ratio: float
+
+
+def classify_pair(
+    small: EnergyTimeCurve,
+    large: EnergyTimeCurve,
+    *,
+    energy_tolerance: float = 0.02,
+) -> CaseAnalysis:
+    """Classify a pair of curves per the paper's taxonomy.
+
+    Args:
+        small: curve at the smaller node count (the paper's P).
+        large: curve at the larger node count (the paper's 2P).
+        energy_tolerance: relative slack for calling the fastest-gear
+            energies "the same".  The paper's case-2 narrative for EP —
+            power doubles, time halves, "the total energy consumed is
+            the same" — describes equality up to measurement noise, so a
+            2P fastest point within this fraction of the P energy counts
+            as perfect speedup.
+
+    Raises:
+        ModelError: if the curves are not ordered by node count.
+    """
+    if large.nodes <= small.nodes:
+        raise ModelError(
+            f"need small.nodes < large.nodes, got {small.nodes} and {large.nodes}"
+        )
+    if energy_tolerance < 0:
+        raise ModelError(f"energy_tolerance must be >= 0, got {energy_tolerance}")
+    anchor = small.fastest
+    fast_large = large.fastest
+    speedup = anchor.time / fast_large.time
+    energy_ratio = fast_large.energy / anchor.energy
+
+    if fast_large.time >= anchor.time:
+        case = SpeedupCase.SLOWDOWN
+        dominating: int | None = None
+    elif fast_large.energy <= anchor.energy * (1.0 + energy_tolerance):
+        case = SpeedupCase.PERFECT_SUPERLINEAR
+        dominating = fast_large.gear
+    else:
+        dominating = _first_dominating_gear(large, anchor)
+        case = SpeedupCase.GOOD if dominating is not None else SpeedupCase.POOR
+
+    return CaseAnalysis(
+        case=case,
+        small_nodes=small.nodes,
+        large_nodes=large.nodes,
+        dominating_gear=dominating,
+        speedup=speedup,
+        energy_ratio=energy_ratio,
+    )
+
+
+def _first_dominating_gear(curve: EnergyTimeCurve, anchor: CurvePoint) -> int | None:
+    """First gear whose point dominates the anchor in both axes."""
+    for point in curve.points[1:]:  # gear 1 already known not to dominate
+        if point.dominates(anchor):
+            return point.gear
+    return None
+
+
+def classify_family(family: CurveFamily) -> list[CaseAnalysis]:
+    """Classify every adjacent node-count pair in a figure panel."""
+    return [
+        classify_pair(small, large)
+        for small, large in zip(family.curves, family.curves[1:])
+    ]

@@ -1,0 +1,125 @@
+"""Communication classification (model steps 2b and 3b).
+
+The paper sorts each code's communication into one of three scaling
+groups — logarithmic, linear, or quadratic in the node count — using
+(1) the behaviour of measured T^I, (2) dynamic MPI call counts plus
+source inspection, and (3) the literature.  It later finds LU is best
+modelled as *constant*.
+
+:func:`classify_communication` reproduces method (1): fit every shape
+family to the measured idle/communication times and keep the best.
+:func:`census_hint` reproduces method (2): look at how the per-rank
+top-level message count grows with node count.
+
+The paper's own labels are recorded in :data:`PAPER_CLASSES` (and the
+revised LU finding in :data:`PAPER_REVISED_CLASSES`) so the validation
+harness can check our fits against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.util.errors import ModelError
+from repro.util.fitting import FitResult, ShapeFamily, fit_shape
+
+#: The paper's step-2 classification of the NAS codes.
+PAPER_CLASSES: dict[str, ShapeFamily] = {
+    "BT": ShapeFamily.LOGARITHMIC,
+    "EP": ShapeFamily.LOGARITHMIC,
+    "MG": ShapeFamily.LOGARITHMIC,
+    "SP": ShapeFamily.LOGARITHMIC,
+    "CG": ShapeFamily.QUADRATIC,
+    "LU": ShapeFamily.LINEAR,
+}
+
+#: The paper's Section 4.1 validation note: LU's traces were ultimately
+#: best modelled as constant ("each node sends more messages, but the
+#: average message size decreases").
+PAPER_REVISED_CLASSES: dict[str, ShapeFamily] = {**PAPER_CLASSES, "LU": ShapeFamily.CONSTANT}
+
+
+@dataclass(frozen=True)
+class CommClassification:
+    """Outcome of classifying one workload's communication.
+
+    Attributes:
+        family: the winning shape family.
+        fit: the winning fit (coefficients + residual + predictor).
+        all_fits: every candidate family's fit, for inspection.
+    """
+
+    family: ShapeFamily
+    fit: FitResult
+    all_fits: tuple[FitResult, ...]
+
+    def idle_time(self, nodes: int) -> float:
+        """Predicted T^I at a node count (never negative)."""
+        return max(0.0, self.fit.predict(nodes))
+
+    def relative_residual(self) -> float:
+        """Winning RMSE normalised by the mean fitted magnitude."""
+        mean = sum(abs(c) for c in self.fit.coefficients) or 1.0
+        return self.fit.residual / mean
+
+
+def classify_communication(
+    idle_times: Mapping[int, float],
+    *,
+    families: Sequence[ShapeFamily] = tuple(ShapeFamily),
+    forced: ShapeFamily | None = None,
+) -> CommClassification:
+    """Fit shape families to measured ``{nodes: T^I}`` and pick the best.
+
+    Args:
+        idle_times: measured idle/communication time per node count;
+            needs at least three samples for the fit to discriminate.
+        families: candidate families (defaults to all four).
+        forced: skip selection and fit only this family (the paper's
+            "use the literature" override).
+
+    Raises:
+        ModelError: fewer than two samples, or an empty candidate list.
+    """
+    if len(idle_times) < 2:
+        raise ModelError(
+            f"classification needs >= 2 samples, got {len(idle_times)}"
+        )
+    ns = sorted(idle_times)
+    ys = [idle_times[n] for n in ns]
+    if forced is not None:
+        fit = fit_shape(ns, ys, forced)
+        return CommClassification(family=forced, fit=fit, all_fits=(fit,))
+    fits = [fit_shape(ns, ys, fam) for fam in families]
+    if not fits:
+        raise ModelError("no candidate families supplied")
+    best = min(fits, key=lambda f: f.residual)
+    assert best.family is not None
+    return CommClassification(family=best.family, fit=best, all_fits=tuple(fits))
+
+
+def census_hint(message_counts: Mapping[int, int]) -> ShapeFamily:
+    """Guess the scaling class from per-rank top-level message counts.
+
+    This is the paper's method (2): a code whose per-rank message count
+    is flat has constant/log communication; linear growth in per-rank
+    count (talking to every peer) signals quadratic total traffic.
+    """
+    if len(message_counts) < 2:
+        raise ModelError("census needs >= 2 node counts")
+    ns = sorted(message_counts)
+    counts = [message_counts[n] for n in ns]
+    first, last = counts[0], counts[-1]
+    n_growth = ns[-1] / ns[0]
+    if first <= 0:
+        return ShapeFamily.CONSTANT
+    growth = last / first
+    if growth >= 0.75 * n_growth:
+        # Per-rank count grows with the node count: all-pairs traffic.
+        return ShapeFamily.QUADRATIC
+    if growth >= 1.5:
+        return ShapeFamily.LINEAR
+    if growth > 1.05:
+        return ShapeFamily.LOGARITHMIC
+    return ShapeFamily.CONSTANT

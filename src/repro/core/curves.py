@@ -1,0 +1,179 @@
+"""Energy-time curves: the paper's figure primitive.
+
+A curve is one workload at one node count, with one point per gear,
+fastest first.  A family is the set of curves for several node counts —
+one figure panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.metrics import (
+    energy_time_slope,
+    relative_delay,
+    relative_energy,
+)
+from repro.util.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One gear's (time, energy) measurement."""
+
+    gear: int
+    time: float
+    energy: float
+
+    def dominates(self, other: "CurvePoint") -> bool:
+        """True if this point is no worse in both time and energy."""
+        return self.time <= other.time and self.energy <= other.energy
+
+
+@dataclass(frozen=True)
+class EnergyTimeCurve:
+    """One workload/node-count energy-time curve across gears."""
+
+    workload: str
+    nodes: int
+    points: tuple[CurvePoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ModelError("a curve needs at least one point")
+        gears = [p.gear for p in self.points]
+        if gears != sorted(gears) or len(set(gears)) != len(gears):
+            raise ModelError(f"curve points must be sorted by unique gear, got {gears}")
+
+    def __iter__(self) -> Iterator[CurvePoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def point(self, gear: int) -> CurvePoint:
+        """Look up the point for a gear."""
+        for p in self.points:
+            if p.gear == gear:
+                return p
+        raise ModelError(f"no point for gear {gear} on this curve")
+
+    @property
+    def fastest(self) -> CurvePoint:
+        """The gear-1 point (paper: always the leftmost)."""
+        return self.points[0]
+
+    @property
+    def min_energy_point(self) -> CurvePoint:
+        """The point consuming the least energy (first such gear on ties)."""
+        return min(self.points, key=lambda p: p.energy)
+
+    @property
+    def min_time_point(self) -> CurvePoint:
+        """The point with the least execution time."""
+        return min(self.points, key=lambda p: p.time)
+
+    def is_fastest_leftmost(self) -> bool:
+        """Check the paper's Section 3.1 observation on this curve."""
+        return self.min_time_point.gear == self.fastest.gear
+
+    def slope(self, gear_a: int, gear_b: int) -> float:
+        """Energy-time slope between two gears (Table 1's columns)."""
+        a, b = self.point(gear_a), self.point(gear_b)
+        return energy_time_slope(a.time, a.energy, b.time, b.energy)
+
+    def relative(self) -> list[tuple[int, float, float]]:
+        """Per gear: (gear, delay fraction, energy fraction) vs gear 1.
+
+        This is the paper's alternate axis annotation: (0.01, 0.90) means
+        1 % slower and 10 % less energy than the fastest gear.
+        """
+        ref = self.fastest
+        return [
+            (p.gear, relative_delay(p.time, ref.time), relative_energy(p.energy, ref.energy))
+            for p in self.points
+        ]
+
+    def pareto_frontier(self) -> list[CurvePoint]:
+        """Non-dominated points, in time order."""
+        ordered = sorted(self.points, key=lambda p: (p.time, p.energy))
+        frontier: list[CurvePoint] = []
+        best_energy = float("inf")
+        for p in ordered:
+            if p.energy < best_energy:
+                frontier.append(p)
+                best_energy = p.energy
+        return frontier
+
+    def best_under_energy_cap(self, max_energy: float) -> CurvePoint | None:
+        """Fastest point whose energy fits the cap (paper's horizontal line)."""
+        feasible = [p for p in self.points if p.energy <= max_energy]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.time)
+
+    def best_under_power_cap(self, max_watts: float) -> CurvePoint | None:
+        """Fastest point whose average power fits the cap."""
+        feasible = [p for p in self.points if p.time > 0 and p.energy / p.time <= max_watts]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: p.time)
+
+
+@dataclass(frozen=True)
+class CurveFamily:
+    """Curves of one workload across node counts (one figure panel)."""
+
+    workload: str
+    curves: tuple[EnergyTimeCurve, ...]
+
+    def __post_init__(self) -> None:
+        if not self.curves:
+            raise ModelError("a family needs at least one curve")
+        counts = [c.nodes for c in self.curves]
+        if counts != sorted(counts) or len(set(counts)) != len(counts):
+            raise ModelError(
+                f"family curves must have unique ascending node counts, got {counts}"
+            )
+
+    def __iter__(self) -> Iterator[EnergyTimeCurve]:
+        return iter(self.curves)
+
+    def __len__(self) -> int:
+        return len(self.curves)
+
+    @property
+    def node_counts(self) -> tuple[int, ...]:
+        """Node counts present, ascending."""
+        return tuple(c.nodes for c in self.curves)
+
+    def curve(self, nodes: int) -> EnergyTimeCurve:
+        """Look up the curve for one node count."""
+        for c in self.curves:
+            if c.nodes == nodes:
+                return c
+        raise ModelError(f"no curve for {nodes} nodes in this family")
+
+    def speedups(self, *, gear: int = 1) -> dict[int, float]:
+        """Speedup vs the smallest node count present, at one gear."""
+        base = self.curves[0].point(gear).time
+        return {c.nodes: base / c.point(gear).time * 1.0 for c in self.curves}
+
+    def global_pareto(self) -> list[tuple[int, CurvePoint]]:
+        """Non-dominated (nodes, point) pairs across the whole family.
+
+        These are the configurations a power-scalable cluster user would
+        actually choose from — the paper's "two dimensions to explore".
+        """
+        labelled = [
+            (c.nodes, p) for c in self.curves for p in c.points
+        ]
+        labelled.sort(key=lambda np: (np[1].time, np[1].energy))
+        frontier: list[tuple[int, CurvePoint]] = []
+        best_energy = float("inf")
+        for nodes, p in labelled:
+            if p.energy < best_energy:
+                frontier.append((nodes, p))
+                best_energy = p.energy
+        return frontier

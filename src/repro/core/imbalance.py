@@ -1,0 +1,118 @@
+"""Node-bottleneck analysis: per-rank slack and imbalance statistics.
+
+The paper's Section 5 defines the *node bottleneck*: "a node reaches a
+synchronization point later than the rest of the nodes ... early-arriving
+nodes can be scaled down with little or no performance degradation."
+This module quantifies that from a run's traces:
+
+- per-rank compute/slack decomposition;
+- the bottleneck rank (maximum compute time);
+- the imbalance ratio (max/mean compute — 1.0 is perfectly balanced);
+- the headroom estimate: how much energy per-rank downshifting could
+  save if every non-bottleneck rank ran just fast enough to arrive on
+  time (the offline bound the search and policy modules chase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import ClusterSpec
+from repro.mpi.world import WorldResult
+from repro.util.errors import ModelError
+
+
+@dataclass(frozen=True)
+class RankSlack:
+    """One rank's activity decomposition."""
+
+    rank: int
+    compute_time: float
+    slack_time: float
+
+    @property
+    def slack_fraction(self) -> float:
+        """Slack as a fraction of the run."""
+        total = self.compute_time + self.slack_time
+        return self.slack_time / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ImbalanceReport:
+    """Per-rank slack plus aggregate imbalance statistics.
+
+    Attributes:
+        ranks: per-rank decompositions, by rank.
+        bottleneck_rank: the rank with the most compute time.
+        imbalance_ratio: max compute over mean compute (>= 1).
+        elapsed: the run's wall time.
+    """
+
+    ranks: tuple[RankSlack, ...]
+    bottleneck_rank: int
+    imbalance_ratio: float
+    elapsed: float
+
+    @property
+    def mean_slack_fraction(self) -> float:
+        """Average slack fraction over all ranks."""
+        return sum(r.slack_fraction for r in self.ranks) / len(self.ranks)
+
+    def slack_of(self, rank: int) -> RankSlack:
+        """One rank's decomposition."""
+        for r in self.ranks:
+            if r.rank == rank:
+                return r
+        raise ModelError(f"rank {rank} not in report")
+
+    def scaling_headroom(self, cluster: ClusterSpec) -> dict[int, int]:
+        """Deepest gear each rank could run without extending the run.
+
+        A rank whose compute could stretch by its slack can shift to the
+        slowest gear whose cycle-time increase fits:
+        ``T_compute * (f1/fg - 1) <= slack`` (a conservative bound — it
+        ignores the stall share, which only makes real slowdowns
+        smaller).  The bottleneck rank always maps to gear 1.
+        """
+        table = cluster.gears
+        out: dict[int, int] = {}
+        for r in self.ranks:
+            best = 1
+            for gear in table:
+                if gear.index == 1:
+                    continue
+                stretch = r.compute_time * (table.frequency_ratio(1, gear.index) - 1.0)
+                if stretch <= r.slack_time + 1e-12:
+                    best = gear.index
+            out[r.rank] = best
+        return out
+
+
+def analyze_imbalance(result: WorldResult) -> ImbalanceReport:
+    """Build the imbalance report from one run's traces.
+
+    Raises:
+        ModelError: no compute happened anywhere (nothing to analyse).
+    """
+    ranks = []
+    computes = []
+    for rank_result in result.ranks:
+        compute = rank_result.trace.active_time
+        computes.append(compute)
+        ranks.append(
+            RankSlack(
+                rank=rank_result.rank,
+                compute_time=compute,
+                slack_time=max(0.0, result.end_time - compute),
+            )
+        )
+    mean_compute = sum(computes) / len(computes)
+    if mean_compute <= 0:
+        raise ModelError("no computation recorded; nothing to analyse")
+    bottleneck = max(ranks, key=lambda r: r.compute_time)
+    return ImbalanceReport(
+        ranks=tuple(ranks),
+        bottleneck_rank=bottleneck.rank,
+        imbalance_ratio=bottleneck.compute_time / mean_compute,
+        elapsed=result.end_time,
+    )

@@ -1,0 +1,75 @@
+"""Scalar metrics of the energy-time tradeoff (Section 3 / Table 1).
+
+All the "relative" metrics take the fastest gear as the reference, as the
+paper's alternate figure axes do.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ModelError
+
+
+def slowdown_ratio(time_slow: float, time_fast: float) -> float:
+    """Multiplicative slowdown ``T_g / T_1`` (>= 1 for a slower gear).
+
+    Note: the paper's Section 4 text *writes* ``S_g`` as the fractional
+    increase ``(T_g - T_1)/T_1`` but then *uses* it multiplicatively in
+    Equation (1) (``S_g * T^A``); the multiplicative form is the only one
+    consistent with the equations, so that is what we compute everywhere.
+    """
+    if time_fast <= 0:
+        raise ModelError(f"reference time must be positive, got {time_fast}")
+    return time_slow / time_fast
+
+
+def relative_delay(time_slow: float, time_fast: float) -> float:
+    """Fractional time increase vs the fastest gear (0.01 == 1 % slower)."""
+    return slowdown_ratio(time_slow, time_fast) - 1.0
+
+
+def relative_energy(energy_slow: float, energy_fast: float) -> float:
+    """Energy vs the fastest gear (0.9 == 10 % saving)."""
+    if energy_fast <= 0:
+        raise ModelError(f"reference energy must be positive, got {energy_fast}")
+    return energy_slow / energy_fast
+
+
+def energy_saving(energy_slow: float, energy_fast: float) -> float:
+    """Fractional energy saving vs the fastest gear (0.1 == 10 % saved)."""
+    return 1.0 - relative_energy(energy_slow, energy_fast)
+
+
+def energy_delay_product(energy: float, time: float, *, weight: int = 1) -> float:
+    """Energy-delay product ``E * T^weight`` — the fused figure of merit.
+
+    With ``weight=1`` this is the classic EDP; ``weight=2`` (ED²P)
+    weights performance more heavily, the usual choice for HPC where
+    the paper insists "performance is still the primary concern".
+    """
+    if energy < 0 or time < 0:
+        raise ModelError(f"energy and time must be non-negative, got {energy}, {time}")
+    if weight < 0:
+        raise ModelError(f"weight must be >= 0, got {weight}")
+    return energy * time**weight
+
+
+def energy_time_slope(
+    time_a: float, energy_a: float, time_b: float, energy_b: float
+) -> float:
+    """Slope of the energy-time curve between two gears (Table 1).
+
+    Computed as ``(E_b - E_a) / (T_b - T_a)`` with ``a`` the faster gear.
+    A large negative value is a near-vertical segment — big energy saving
+    per unit of delay; values near zero (or positive) mean the delay buys
+    little or costs energy.
+
+    Returns ``-inf`` for a pure-vertical segment (energy drops at equal
+    time) and ``nan`` when both deltas vanish.
+    """
+    dt = time_b - time_a
+    de = energy_b - energy_a
+    if dt == 0:
+        if de == 0:
+            return float("nan")
+        return float("-inf") if de < 0 else float("inf")
+    return de / dt

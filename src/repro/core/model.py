@@ -1,0 +1,194 @@
+"""The five-step prediction methodology, end to end (Section 4.1).
+
+:class:`EnergyTimeModel` packages the paper's pipeline:
+
+1. **Gather time traces** — run the workload at the fastest gear on every
+   valid node count of the power-scalable cluster (and optionally the
+   reference cluster), recording T^A(n), T^I(n), T^R(n) from the MPI
+   traces.
+2. **Model computation and communication** — fit the Amdahl split to the
+   T^A family; classify T^I's shape (or accept the paper's override).
+3. **Extrapolate** T^A(m) and T^I(m) to unmeasured node counts.
+4. **Calibrate gears** — single-node S_g and P_g per workload, I_g per
+   cluster.
+5. **Predict** T_g(m), E_g(m) with the naive or refined predictor, and
+   assemble predicted energy-time curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.amdahl import AmdahlFit, fit_amdahl
+from repro.core.calibration import GearCalibration, calibrate_gears
+from repro.core.commclass import CommClassification, classify_communication
+from repro.core.curves import CurvePoint, EnergyTimeCurve
+from repro.core.predictor import NaivePredictor, PredictedPoint, RefinedPredictor
+from repro.core.run import RunMeasurement, run_workload
+from repro.util.errors import ModelError
+from repro.util.fitting import ShapeFamily
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ModelInputs:
+    """Everything measured in steps 1 and 4, before any fitting.
+
+    Attributes:
+        workload: benchmark name.
+        measurements: fastest-gear runs keyed by node count.
+        calibration: single-node per-gear S_g/P_g/I_g.
+    """
+
+    workload: str
+    measurements: Mapping[int, RunMeasurement]
+    calibration: GearCalibration
+
+    @property
+    def active_times(self) -> dict[int, float]:
+        """T^A(n) per measured node count."""
+        return {n: m.active_time for n, m in sorted(self.measurements.items())}
+
+    @property
+    def idle_times(self) -> dict[int, float]:
+        """T^I(n) per measured node count."""
+        return {n: m.idle_time for n, m in sorted(self.measurements.items())}
+
+    @property
+    def reducible_times(self) -> dict[int, float]:
+        """T^R(n) per measured node count."""
+        return {n: m.reducible_time for n, m in sorted(self.measurements.items())}
+
+
+def gather_inputs(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    node_counts: Sequence[int],
+) -> ModelInputs:
+    """Steps 1 and 4: trace-gathering runs plus gear calibration."""
+    if 1 not in node_counts:
+        raise ModelError("the model needs the 1-node measurement")
+    measurements = {
+        n: run_workload(cluster, workload, nodes=n, gear=1) for n in node_counts
+    }
+    calibration = calibrate_gears(cluster, workload)
+    return ModelInputs(
+        workload=workload.name, measurements=measurements, calibration=calibration
+    )
+
+
+class EnergyTimeModel:
+    """Fitted model for one workload on one power-scalable cluster."""
+
+    def __init__(
+        self,
+        inputs: ModelInputs,
+        *,
+        comm_family: ShapeFamily | None = None,
+        refined: bool = True,
+    ):
+        """Fit steps 2 and 3 from gathered inputs.
+
+        Args:
+            inputs: measurements from :func:`gather_inputs`.
+            comm_family: force a communication shape (the paper's
+                source-inspection/literature override); default
+                auto-classifies by best fit.
+            refined: use the critical/reducible-work predictor; else the
+                naive Equations (1)-(2).
+        """
+        self.inputs = inputs
+        self.amdahl: AmdahlFit = fit_amdahl(inputs.active_times)
+        # Exclude the 1-node "idle time" (there is no communication on one
+        # node) so the communication fit sees only real multi-node data.
+        multi_idle = {n: t for n, t in inputs.idle_times.items() if n > 1}
+        if len(multi_idle) < 2:
+            raise ModelError("the model needs >= 2 multi-node measurements")
+        self.comm: CommClassification = classify_communication(
+            multi_idle, forced=comm_family
+        )
+        self.refined = refined
+        self._naive = NaivePredictor(inputs.calibration)
+        self._refined = RefinedPredictor(inputs.calibration)
+        # Reducible share of active time, taken from the largest measured
+        # configuration and assumed stable under extrapolation.
+        reducibles = inputs.reducible_times
+        largest = max(n for n in reducibles if n > 1)
+        ta = inputs.active_times[largest]
+        self.reducible_share = (reducibles[largest] / ta) if ta > 0 else 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def workload(self) -> str:
+        """Benchmark name this model was fitted for."""
+        return self.inputs.workload
+
+    @property
+    def measured_node_counts(self) -> tuple[int, ...]:
+        """Node counts with direct measurements."""
+        return tuple(sorted(self.inputs.measurements))
+
+    def active_time(self, nodes: int) -> float:
+        """T^A(nodes): measured when available, else the Amdahl fit."""
+        measurement = self.inputs.measurements.get(nodes)
+        if measurement is not None:
+            return measurement.active_time
+        return self.amdahl.active_time(nodes)
+
+    def idle_time(self, nodes: int) -> float:
+        """T^I(nodes): measured when available, else the shape fit."""
+        measurement = self.inputs.measurements.get(nodes)
+        if measurement is not None:
+            return measurement.idle_time
+        return self.comm.idle_time(nodes)
+
+    def reducible_time(self, nodes: int) -> float:
+        """T^R(nodes): measured when available, else share * T^A."""
+        measurement = self.inputs.measurements.get(nodes)
+        if measurement is not None:
+            return measurement.reducible_time
+        return self.reducible_share * self.active_time(nodes)
+
+    def predict(self, *, nodes: int, gear: int) -> PredictedPoint:
+        """Step 5: predicted time and cluster energy for one config."""
+        active = self.active_time(nodes)
+        idle = self.idle_time(nodes)
+        if self.refined:
+            reducible = min(self.reducible_time(nodes), active)
+            return self._refined.predict(
+                nodes=nodes,
+                gear=gear,
+                active_time=active,
+                idle_time=idle,
+                reducible_time=reducible,
+            )
+        return self._naive.predict(
+            nodes=nodes, gear=gear, active_time=active, idle_time=idle
+        )
+
+    def predict_curve(
+        self, *, nodes: int, gears: Sequence[int] | None = None
+    ) -> EnergyTimeCurve:
+        """Predicted energy-time curve at one node count."""
+        indices = (
+            list(gears)
+            if gears is not None
+            else list(self.inputs.calibration.gears)
+        )
+        points = []
+        for g in indices:
+            p = self.predict(nodes=nodes, gear=g)
+            points.append(CurvePoint(gear=g, time=p.time, energy=p.energy))
+        return EnergyTimeCurve(
+            workload=self.workload, nodes=nodes, points=tuple(points)
+        )
+
+    def predicted_speedup(self, nodes: int) -> float:
+        """Fastest-gear speedup vs one node, per the model."""
+        t1 = self.predict(nodes=1, gear=1).time
+        tm = self.predict(nodes=nodes, gear=1).time
+        return t1 / tm

@@ -1,0 +1,145 @@
+"""Time/energy prediction at arbitrary gears and node counts (step 5).
+
+Two predictors, both straight from the paper:
+
+**Naive** (Equations 1 and 2) — all computation is on the critical path::
+
+    T_g(m) = S_g * T^A(m) + T^I(m)
+    E_g(m) = m * (P_g * S_g * T^A(m) + I_g * T^I(m))
+
+(The paper writes per-node energy; the figures plot cumulative cluster
+energy, hence the factor ``m``.)
+
+**Refined** — computation splits into critical work ``T^C`` and
+*reducible* work ``T^R`` (compute between the last send and a blocking
+point).  Slowing reducible work merely eats slack until the inflection
+``T^I + T^R = S_g * T^R``; past it, time grows::
+
+    T_g = S_g * (T^C + T^R)                       if T^I + T^R <= S_g * T^R
+    T_g = S_g * T^C + T^R + T^I                   otherwise
+
+with energies charged at ``P_g`` for active-and-stretched time and ``I_g``
+for the remaining idle time.  The second branch simplifies from the
+paper's ``S_g(T^C + T^R) + T^I + T^R - S_g T^R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.calibration import GearCalibration
+from repro.util.errors import ModelError
+
+
+@dataclass(frozen=True)
+class PredictedPoint:
+    """One predicted (time, energy) configuration."""
+
+    nodes: int
+    gear: int
+    time: float
+    energy: float
+    active_time: float
+    idle_time: float
+
+
+def _check_components(active: float, idle: float) -> None:
+    if active < 0 or idle < 0:
+        raise ModelError(
+            f"time components must be non-negative, got T^A={active}, T^I={idle}"
+        )
+
+
+class NaivePredictor:
+    """Equations (1)-(2): every compute second is on the critical path."""
+
+    def __init__(self, calibration: GearCalibration):
+        calibration.check()
+        self.calibration = calibration
+
+    def predict(
+        self, *, nodes: int, gear: int, active_time: float, idle_time: float
+    ) -> PredictedPoint:
+        """Predict time and cluster energy for one configuration.
+
+        Args:
+            nodes: node count ``m``.
+            gear: gear index ``g``.
+            active_time: T^A(m) at the fastest gear.
+            idle_time: T^I(m) (gear-independent).
+        """
+        _check_components(active_time, idle_time)
+        cal = self.calibration
+        if gear not in cal.slowdown:
+            raise ModelError(f"gear {gear} not calibrated")
+        s = cal.slowdown[gear]
+        stretched = s * active_time
+        time = stretched + idle_time
+        per_node = cal.active_power[gear] * stretched + cal.idle_power[gear] * idle_time
+        return PredictedPoint(
+            nodes=nodes,
+            gear=gear,
+            time=time,
+            energy=nodes * per_node,
+            active_time=stretched,
+            idle_time=idle_time,
+        )
+
+
+class RefinedPredictor:
+    """The critical/reducible-work refinement with the slack inflection."""
+
+    def __init__(self, calibration: GearCalibration):
+        calibration.check()
+        self.calibration = calibration
+
+    def predict(
+        self,
+        *,
+        nodes: int,
+        gear: int,
+        active_time: float,
+        idle_time: float,
+        reducible_time: float,
+    ) -> PredictedPoint:
+        """Predict with T^A split into critical and reducible work.
+
+        Args:
+            active_time: T^A(m) = T^C + T^R at the fastest gear.
+            reducible_time: T^R(m); must not exceed T^A(m).
+            idle_time: T^I(m).
+        """
+        _check_components(active_time, idle_time)
+        if not 0.0 <= reducible_time <= active_time + 1e-12:
+            raise ModelError(
+                f"T^R={reducible_time} must lie within [0, T^A={active_time}]"
+            )
+        cal = self.calibration
+        if gear not in cal.slowdown:
+            raise ModelError(f"gear {gear} not calibrated")
+        s = cal.slowdown[gear]
+        critical = active_time - reducible_time
+        # All active work really runs S_g times longer at gear g; the
+        # question is only whether the reducible part's extension is
+        # absorbed by slack (idle time) or extends the run.
+        active_stretched = s * active_time
+        slack_consumed = idle_time + reducible_time <= s * reducible_time
+        if slack_consumed:
+            time = s * active_time
+            idle_remaining = 0.0
+        else:
+            time = s * critical + reducible_time + idle_time
+            idle_remaining = idle_time + reducible_time - s * reducible_time
+        per_node = (
+            cal.active_power[gear] * active_stretched
+            + cal.idle_power[gear] * idle_remaining
+        )
+        return PredictedPoint(
+            nodes=nodes,
+            gear=gear,
+            time=time,
+            energy=nodes * per_node,
+            active_time=active_stretched,
+            idle_time=idle_remaining,
+        )

@@ -1,0 +1,120 @@
+"""Run orchestration: workloads × clusters × gears × node counts.
+
+This is the equivalent of the paper's experimental harness: each
+:func:`run_workload` call is one "plug in the multimeters and run it"
+experiment; :func:`gear_sweep` produces one energy-time curve (one line in
+Figures 1-4); :func:`node_sweep` produces the family of curves in one
+panel of Figure 2/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.curves import CurvePoint, EnergyTimeCurve, CurveFamily
+from repro.mpi.world import World, WorldResult
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class RunMeasurement:
+    """One experiment's headline numbers plus the full result.
+
+    Attributes:
+        workload: benchmark name.
+        cluster: cluster name.
+        nodes: rank/node count.
+        gear: gear index used on every node.
+        time: execution time (wall clock), seconds.
+        energy: cumulative energy of all nodes, joules.
+        active_time: T^A — max per-rank computation time.
+        idle_time: T^I — execution time minus T^A.
+        reducible_time: T^R — conservative reducible work.
+        upm: whole-run micro-ops per L2 miss.
+        result: the underlying :class:`WorldResult`.
+    """
+
+    workload: str
+    cluster: str
+    nodes: int
+    gear: int
+    time: float
+    energy: float
+    active_time: float
+    idle_time: float
+    reducible_time: float
+    upm: float
+    result: WorldResult
+
+    @property
+    def average_power(self) -> float:
+        """Cluster-total average power over the run, watts."""
+        if self.time == 0:
+            return 0.0
+        return self.energy / self.time
+
+    def curve_point(self) -> CurvePoint:
+        """This measurement as an energy-time curve point."""
+        return CurvePoint(gear=self.gear, time=self.time, energy=self.energy)
+
+
+def run_workload(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    nodes: int,
+    gear: int = 1,
+) -> RunMeasurement:
+    """Execute one workload configuration and measure it."""
+    workload.validate_nodes(nodes)
+    cluster.validate_run(nodes, gear)
+    world = World(cluster, workload.program, nodes=nodes, gear=gear)
+    result = world.run()
+    return RunMeasurement(
+        workload=workload.name,
+        cluster=cluster.name,
+        nodes=nodes,
+        gear=gear,
+        time=result.elapsed,
+        energy=result.total_energy,
+        active_time=result.active_time,
+        idle_time=result.idle_time,
+        reducible_time=result.reducible_time(),
+        upm=result.upm,
+        result=result,
+    )
+
+
+def gear_sweep(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    nodes: int,
+    gears: Sequence[int] | None = None,
+) -> EnergyTimeCurve:
+    """Run a workload at every gear; returns one energy-time curve."""
+    gear_indices = list(gears) if gears is not None else list(cluster.gears.indices)
+    measurements = [
+        run_workload(cluster, workload, nodes=nodes, gear=g) for g in gear_indices
+    ]
+    return EnergyTimeCurve(
+        workload=workload.name,
+        nodes=nodes,
+        points=tuple(m.curve_point() for m in measurements),
+    )
+
+
+def node_sweep(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    node_counts: Sequence[int],
+    gears: Sequence[int] | None = None,
+) -> CurveFamily:
+    """Gear-sweep a workload at several node counts (one figure panel)."""
+    curves = [
+        gear_sweep(cluster, workload, nodes=n, gears=gears) for n in node_counts
+    ]
+    return CurveFamily(workload=workload.name, curves=tuple(curves))

@@ -1,0 +1,187 @@
+"""Per-rank gear-vector optimisation.
+
+The paper explores two dimensions — node count and a cluster-wide gear.
+Its Section 5 "node bottleneck" observation implies a third: *per-rank*
+gears, slowing only the ranks with slack.  :func:`search_gear_vector`
+performs that optimisation offline by greedy coordinate descent over
+simulated runs:
+
+1. start with every rank at gear 1;
+2. each round, rank candidates by their measured blocking slack and try
+   downshifting the slackest ranks by one gear;
+3. keep any move that improves the objective (energy, EDP, or ED²P)
+   without breaching the time budget; stop when no move helps.
+
+The search is a measurement client — it only uses time/energy/trace
+observables a real cluster would expose, so its results transfer to the
+online :mod:`repro.policy` runtime as an upper bound on what per-rank
+scaling can win.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.metrics import energy_delay_product
+from repro.mpi.world import World, WorldResult
+from repro.util.errors import ConfigurationError
+from repro.workloads.base import Workload
+
+
+class Objective(enum.Enum):
+    """What the search minimises."""
+
+    ENERGY = "energy"
+    EDP = "edp"
+    ED2P = "ed2p"
+
+    def score(self, time: float, energy: float) -> float:
+        """Evaluate the objective for one run."""
+        if self is Objective.ENERGY:
+            return energy
+        weight = 1 if self is Objective.EDP else 2
+        return energy_delay_product(energy, time, weight=weight)
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One accepted or rejected move."""
+
+    gears: tuple[int, ...]
+    time: float
+    energy: float
+    score: float
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a gear-vector search.
+
+    Attributes:
+        gears: the best per-rank gear vector found.
+        time / energy / score: its measured run.
+        baseline_time / baseline_energy: the all-gear-1 reference.
+        history: every evaluated move, in order.
+    """
+
+    gears: tuple[int, ...]
+    time: float
+    energy: float
+    score: float
+    baseline_time: float
+    baseline_energy: float
+    history: tuple[SearchStep, ...]
+
+    @property
+    def energy_saving(self) -> float:
+        """Fractional energy saved vs all-gear-1."""
+        return 1.0 - self.energy / self.baseline_energy
+
+    @property
+    def time_penalty(self) -> float:
+        """Fractional slowdown vs all-gear-1."""
+        return self.time / self.baseline_time - 1.0
+
+    @property
+    def evaluations(self) -> int:
+        """Simulated runs spent (baseline excluded)."""
+        return len(self.history)
+
+
+def _evaluate(
+    cluster: ClusterSpec, workload: Workload, nodes: int, gears: Sequence[int]
+) -> WorldResult:
+    world = World(cluster, workload.program, nodes=nodes, gear=list(gears))
+    return world.run()
+
+
+def _slack_order(result: WorldResult) -> list[int]:
+    """Ranks by decreasing blocking slack (idle fraction)."""
+    slacks = []
+    for rank_result in result.ranks:
+        active = rank_result.trace.active_time
+        slacks.append((result.end_time - active, rank_result.rank))
+    slacks.sort(reverse=True)
+    return [rank for _, rank in slacks]
+
+
+def search_gear_vector(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    nodes: int,
+    objective: Objective = Objective.EDP,
+    max_time_penalty: float = 0.05,
+    max_rounds: int = 12,
+    candidates_per_round: int = 3,
+) -> SearchResult:
+    """Greedy per-rank gear optimisation.
+
+    Args:
+        objective: quantity to minimise.
+        max_time_penalty: hard cap on slowdown vs the all-gear-1 run
+            (the paper's "performance is still the primary concern").
+        max_rounds: greedy rounds before giving up.
+        candidates_per_round: how many of the slackest ranks to try
+            downshifting each round.
+
+    Raises:
+        ConfigurationError: invalid budget/round parameters.
+    """
+    if max_time_penalty < 0:
+        raise ConfigurationError(
+            f"max_time_penalty must be >= 0, got {max_time_penalty}"
+        )
+    if max_rounds < 1 or candidates_per_round < 1:
+        raise ConfigurationError("rounds and candidates must be >= 1")
+    workload.validate_nodes(nodes)
+
+    baseline = _evaluate(cluster, workload, nodes, [1] * nodes)
+    time_budget = baseline.elapsed * (1.0 + max_time_penalty)
+    best_gears = [1] * nodes
+    best_result = baseline
+    best_score = objective.score(baseline.elapsed, baseline.total_energy)
+    max_gear = len(cluster.gears)
+    history: list[SearchStep] = []
+
+    for _ in range(max_rounds):
+        improved = False
+        for rank in _slack_order(best_result)[:candidates_per_round]:
+            if best_gears[rank] >= max_gear:
+                continue
+            trial_gears = list(best_gears)
+            trial_gears[rank] += 1
+            trial = _evaluate(cluster, workload, nodes, trial_gears)
+            score = objective.score(trial.elapsed, trial.total_energy)
+            accepted = trial.elapsed <= time_budget and score < best_score
+            history.append(
+                SearchStep(
+                    gears=tuple(trial_gears),
+                    time=trial.elapsed,
+                    energy=trial.total_energy,
+                    score=score,
+                    accepted=accepted,
+                )
+            )
+            if accepted:
+                best_gears = trial_gears
+                best_result = trial
+                best_score = score
+                improved = True
+                break  # re-rank slack before the next move
+        if not improved:
+            break
+
+    return SearchResult(
+        gears=tuple(best_gears),
+        time=best_result.elapsed,
+        energy=best_result.total_energy,
+        score=best_score,
+        baseline_time=baseline.elapsed,
+        baseline_energy=baseline.total_energy,
+        history=tuple(history),
+    )

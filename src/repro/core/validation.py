@@ -1,0 +1,162 @@
+"""Model validation (the paper's Section 4.1 "Validation" paragraph,
+plus a check the paper could not do).
+
+The paper validates its model two ways:
+
+- the fitted F_p/F_s agree between the power-scalable cluster and the
+  (non-power-scalable) reference cluster on overlapping node counts;
+- the chosen communication shape is identical on both clusters.
+
+Because our substrate is a simulator, we can additionally validate the
+*predictions themselves*: run the workload directly at the extrapolated
+node counts/gears and compare against the model — ground truth the paper
+had no access to beyond 9 power-scalable nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.amdahl import fit_amdahl
+from repro.core.commclass import classify_communication
+from repro.core.model import EnergyTimeModel
+from repro.core.run import run_workload
+from repro.util.errors import ModelError
+from repro.util.fitting import ShapeFamily
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class CrossClusterCheck:
+    """F_s and communication-shape agreement between two clusters."""
+
+    workload: str
+    fs_power_scalable: float
+    fs_reference: float
+    family_power_scalable: ShapeFamily
+    family_reference: ShapeFamily
+
+    @property
+    def fs_gap(self) -> float:
+        """Absolute difference of the mean F_s estimates."""
+        return abs(self.fs_power_scalable - self.fs_reference)
+
+    @property
+    def families_agree(self) -> bool:
+        """Whether the fitted communication shapes match."""
+        return self.family_power_scalable is self.family_reference
+
+
+@dataclass(frozen=True)
+class PointError:
+    """Model-vs-simulation error at one configuration."""
+
+    nodes: int
+    gear: int
+    predicted_time: float
+    simulated_time: float
+    predicted_energy: float
+    simulated_energy: float
+
+    @property
+    def time_error(self) -> float:
+        """Relative time error (positive = model overestimates)."""
+        return self.predicted_time / self.simulated_time - 1.0
+
+    @property
+    def energy_error(self) -> float:
+        """Relative energy error (positive = model overestimates)."""
+        return self.predicted_energy / self.simulated_energy - 1.0
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All validation evidence for one workload's model."""
+
+    workload: str
+    cross_cluster: CrossClusterCheck | None
+    point_errors: tuple[PointError, ...]
+
+    def max_abs_time_error(self) -> float:
+        """Worst relative time error across validated points."""
+        if not self.point_errors:
+            return 0.0
+        return max(abs(e.time_error) for e in self.point_errors)
+
+    def max_abs_energy_error(self) -> float:
+        """Worst relative energy error across validated points."""
+        if not self.point_errors:
+            return 0.0
+        return max(abs(e.energy_error) for e in self.point_errors)
+
+
+def cross_cluster_check(
+    workload: Workload,
+    power_scalable: ClusterSpec,
+    reference: ClusterSpec,
+    *,
+    node_counts: Sequence[int],
+) -> CrossClusterCheck:
+    """Reproduce the paper's two cross-cluster agreement checks."""
+    if len([n for n in node_counts if n > 1]) < 2:
+        raise ModelError("cross-cluster check needs >= 2 multi-node counts")
+    fs: dict[str, float] = {}
+    families: dict[str, ShapeFamily] = {}
+    for name, cluster in (("ps", power_scalable), ("ref", reference)):
+        actives: dict[int, float] = {}
+        idles: dict[int, float] = {}
+        for n in node_counts:
+            m = run_workload(cluster, workload, nodes=n, gear=1)
+            actives[n] = m.active_time
+            idles[n] = m.idle_time
+        fs[name] = fit_amdahl(actives).fs_mean
+        multi = {n: t for n, t in idles.items() if n > 1}
+        families[name] = classify_communication(multi).family
+    return CrossClusterCheck(
+        workload=workload.name,
+        fs_power_scalable=fs["ps"],
+        fs_reference=fs["ref"],
+        family_power_scalable=families["ps"],
+        family_reference=families["ref"],
+    )
+
+
+def validate_model(
+    model: EnergyTimeModel,
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    node_counts: Sequence[int],
+    gears: Sequence[int] | None = None,
+    cross_cluster: CrossClusterCheck | None = None,
+) -> ValidationReport:
+    """Compare model predictions against direct simulation.
+
+    Args:
+        node_counts: configurations to ground-truth (typically the
+            extrapolated 16/25/32).
+        gears: gear indices to validate at (default: all).
+    """
+    indices = list(gears) if gears is not None else list(cluster.gears.indices)
+    errors: list[PointError] = []
+    for n in node_counts:
+        for g in indices:
+            predicted = model.predict(nodes=n, gear=g)
+            simulated = run_workload(cluster, workload, nodes=n, gear=g)
+            errors.append(
+                PointError(
+                    nodes=n,
+                    gear=g,
+                    predicted_time=predicted.time,
+                    simulated_time=simulated.time,
+                    predicted_energy=predicted.energy,
+                    simulated_energy=simulated.energy,
+                )
+            )
+    return ValidationReport(
+        workload=workload.name,
+        cross_cluster=cross_cluster,
+        point_errors=tuple(errors),
+    )

@@ -1,0 +1,45 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes a function returning a structured result object with
+a ``render()`` method that prints the same rows/series the paper reports:
+
+=============  ======================================================
+module         paper artifact
+=============  ======================================================
+``figure1``    Fig. 1 — E vs T, six NAS codes, one node, six gears
+``table1``     Table 1 — UPM and energy-time slopes
+``figure2``    Fig. 2 — E vs T on 2/4/8 (BT, SP: 4/9) nodes + cases
+``figure3``    Fig. 3 — Jacobi on 2/4/6/8/10 nodes
+``figure4``    Fig. 4 — synthetic high-memory-pressure benchmark
+``figure5``    Fig. 5 — model-extrapolated curves to 16/25/32 nodes
+=============  ======================================================
+
+All experiments accept a ``scale`` parameter that shrinks every
+workload's iteration count and total work *proportionally*; the relative
+quantities the paper reports (delays, savings, speedups, slopes' signs
+and ordering, case classes) are scale-invariant, so tests run reduced
+scales while benchmarks run full scale.
+"""
+
+from repro.experiments.figure1 import Figure1Result, figure1
+from repro.experiments.table1 import Table1Result, Table1Row, table1
+from repro.experiments.figure2 import Figure2Result, figure2
+from repro.experiments.figure3 import Figure3Result, figure3
+from repro.experiments.figure4 import Figure4Result, figure4
+from repro.experiments.figure5 import Figure5Result, figure5
+
+__all__ = [
+    "Figure1Result",
+    "figure1",
+    "Table1Result",
+    "Table1Row",
+    "table1",
+    "Figure2Result",
+    "figure2",
+    "Figure3Result",
+    "figure3",
+    "Figure4Result",
+    "figure4",
+    "Figure5Result",
+    "figure5",
+]

@@ -1,0 +1,128 @@
+"""Disk-scaling experiment — the paper's future-work item #1.
+
+Sweeps CPU gear x disk spindle speed for the checkpointing stencil and
+reports the joint energy-time surface.  The question the paper poses
+("we will consider scaling down other components, such as the disk") has
+a quantitative answer here: for checkpoint-style I/O the disk idles most
+of the run, so DRPM-style spindle scaling saves its (substantial) idle
+power with a delay bounded by the checkpoint share of the runtime — an
+energy-time tradeoff knob *orthogonal* to the CPU gear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.disk import drpm_disk
+from repro.cluster.machines import athlon_cluster
+from repro.core.run import RunMeasurement, run_workload
+from repro.util.errors import ConfigurationError
+from repro.util.tables import TextTable
+from repro.workloads.checkpointed import CheckpointedStencil
+
+#: Node count for the sweep.
+NODES = 4
+
+
+@dataclass(frozen=True)
+class DiskSweepCell:
+    """One (regime, CPU gear, disk speed) configuration's measurement."""
+
+    regime: str
+    cpu_gear: int
+    disk_speed: int
+    time: float
+    energy: float
+
+
+#: The two I/O regimes: (label, checkpoint_every, checkpoint_bytes).
+REGIMES: tuple[tuple[str, int, int], ...] = (
+    ("light I/O", 20, 16_000_000),
+    ("heavy I/O", 5, 128_000_000),
+)
+
+
+@dataclass(frozen=True)
+class DiskScalingResult:
+    """Both regimes' sweeps."""
+
+    cells: tuple[DiskSweepCell, ...]
+
+    def cell(self, regime: str, cpu_gear: int, disk_speed: int) -> DiskSweepCell:
+        """Look up one configuration."""
+        for c in self.cells:
+            if (
+                c.regime == regime
+                and c.cpu_gear == cpu_gear
+                and c.disk_speed == disk_speed
+            ):
+                return c
+        raise KeyError((regime, cpu_gear, disk_speed))
+
+    def render(self) -> str:
+        """Both sweeps as one table, deltas vs each regime's base."""
+        table = TextTable(
+            ["regime", "CPU gear", "disk speed", "time (s)", "energy (J)",
+             "time vs base", "energy vs base"],
+            title="Disk + CPU scaling (paper future work: scale other components)",
+        )
+        for regime, _, _ in REGIMES:
+            base = self.cell(regime, 1, 1)
+            for c in self.cells:
+                if c.regime != regime:
+                    continue
+                table.add_row(
+                    [
+                        c.regime,
+                        c.cpu_gear,
+                        c.disk_speed,
+                        c.time,
+                        c.energy,
+                        f"{c.time / base.time - 1:+.1%}",
+                        f"{c.energy / base.energy - 1:+.1%}",
+                    ]
+                )
+        return table.render()
+
+
+def disk_scaling(
+    *,
+    scale: float = 1.0,
+    cluster: ClusterSpec | None = None,
+    cpu_gears: tuple[int, ...] = (1, 2),
+    disk_speeds: tuple[int, ...] = (1, 3, 5),
+) -> DiskScalingResult:
+    """Run the CPU-gear x disk-speed sweep in both I/O regimes.
+
+    Raises:
+        ConfigurationError: the cluster's nodes have no disk.
+    """
+    cluster = cluster or athlon_cluster(disk=drpm_disk())
+    if cluster.node.disk is None:
+        raise ConfigurationError(
+            "the disk-scaling experiment needs a disk-equipped cluster"
+        )
+    cells = []
+    for regime, every, volume in REGIMES:
+        for cpu_gear in cpu_gears:
+            for disk_speed in disk_speeds:
+                workload = CheckpointedStencil(
+                    scale,
+                    checkpoint_every=every,
+                    checkpoint_bytes=volume,
+                    disk_speed=disk_speed,
+                )
+                m: RunMeasurement = run_workload(
+                    cluster, workload, nodes=NODES, gear=cpu_gear
+                )
+                cells.append(
+                    DiskSweepCell(
+                        regime=regime,
+                        cpu_gear=cpu_gear,
+                        disk_speed=disk_speed,
+                        time=m.time,
+                        energy=m.energy,
+                    )
+                )
+    return DiskScalingResult(cells=tuple(cells))

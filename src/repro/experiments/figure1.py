@@ -1,0 +1,63 @@
+"""Figure 1 — energy vs time for six NAS codes on one node, all gears.
+
+The paper's observations this experiment regenerates:
+
+- the fastest gear is always the leftmost point;
+- CG saves ~9.5 % energy for <1 % delay at gear 2, and ~20 % for ~10 %
+  at gear 5 (the greatest relative saving in the suite);
+- EP's delay tracks the cycle-time increase with essentially no saving;
+- the slowdown of every code at every gear respects
+  ``1 <= T_g/T_1 <= f_1/f_g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.machines import athlon_cluster
+from repro.core.curves import EnergyTimeCurve
+from repro.core.run import gear_sweep
+from repro.experiments.report import render_curve
+from repro.workloads.nas import nas_suite
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Single-node gear-sweep curves, one per NAS code."""
+
+    curves: dict[str, EnergyTimeCurve]
+
+    def curve(self, workload: str) -> EnergyTimeCurve:
+        """Curve for one benchmark name."""
+        return self.curves[workload]
+
+    def render(self) -> str:
+        """All six panels as text tables."""
+        blocks = ["Figure 1: energy vs time, 1 node, gears 1-6"]
+        for name, curve in self.curves.items():
+            blocks.append(render_curve(curve, label=f"[{name}]"))
+        return "\n\n".join(blocks)
+
+    def render_plots(self) -> str:
+        """All six panels as ASCII scatter plots (the paper's layout)."""
+        from repro.viz.plot import plot_curve
+
+        return "\n\n".join(plot_curve(c) for c in self.curves.values())
+
+
+def figure1(
+    *, scale: float = 1.0, cluster: ClusterSpec | None = None
+) -> Figure1Result:
+    """Run the Figure 1 experiment.
+
+    Args:
+        scale: workload scale (1.0 = full size).
+        cluster: override the paper's Athlon cluster.
+    """
+    cluster = cluster or athlon_cluster()
+    curves = {
+        workload.name: gear_sweep(cluster, workload, nodes=1)
+        for workload in nas_suite(scale)
+    }
+    return Figure1Result(curves=curves)

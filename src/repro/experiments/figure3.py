@@ -1,0 +1,69 @@
+"""Figure 3 — Jacobi iteration on 2, 4, 6, 8 and 10 nodes.
+
+The hand-written Jacobi application runs on any node count (unlike the
+NAS codes) and achieves good speedups — 1.9, 3.6, 5.0, 6.4 and 7.7 —
+so *every* adjacent pair of its curves falls into case 3: e.g. gear 2 or
+3 on 6 nodes finishes faster and cheaper than gear 1 on 4 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.machines import athlon_cluster
+from repro.core.cases import CaseAnalysis, classify_family
+from repro.core.curves import CurveFamily
+from repro.core.run import node_sweep
+from repro.experiments.report import render_cases, render_family
+from repro.workloads.jacobi import Jacobi
+
+#: Node counts plotted by the paper.
+PAPER_NODE_COUNTS = (2, 4, 6, 8, 10)
+
+#: The paper's reported speedups at those counts.
+PAPER_SPEEDUPS = {2: 1.9, 4: 3.6, 6: 5.0, 8: 6.4, 10: 7.7}
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Jacobi curve family, speedups, and case analyses."""
+
+    family: CurveFamily
+    speedups: dict[int, float]
+    cases: list[CaseAnalysis]
+
+    def render(self) -> str:
+        """The panel plus the speedup and case tables."""
+        blocks = [
+            "Figure 3: Jacobi iteration on 2, 4, 6, 8, 10 nodes",
+            "speedups vs 1 node: "
+            + "  ".join(f"{n}: {s:.2f}" for n, s in sorted(self.speedups.items())),
+            render_family(self.family),
+            render_cases(self.cases, workload="Jacobi"),
+        ]
+        return "\n\n".join(blocks)
+
+    def render_plots(self) -> str:
+        """The Jacobi panel as a scatter plot."""
+        from repro.viz.plot import plot_family
+
+        return plot_family(self.family)
+
+
+def figure3(
+    *, scale: float = 1.0, cluster: ClusterSpec | None = None
+) -> Figure3Result:
+    """Run the Figure 3 experiment."""
+    cluster = cluster or athlon_cluster()
+    workload = Jacobi(scale)
+    # Measure node 1 too (the speedup reference), then plot 2..10.
+    full = node_sweep(cluster, workload, node_counts=(1, *PAPER_NODE_COUNTS))
+    speedups = {n: s for n, s in full.speedups().items() if n > 1}
+    family = CurveFamily(
+        workload=full.workload,
+        curves=tuple(c for c in full.curves if c.nodes > 1),
+    )
+    return Figure3Result(
+        family=family, speedups=speedups, cases=classify_family(family)
+    )

@@ -1,0 +1,180 @@
+"""Figure 5 — model-extrapolated energy-time curves up to 32 nodes.
+
+For each NAS code: direct measurements at every valid node count up to 9
+(the paper's real cluster), then the five-step model extrapolates the
+fastest-gear T^A/T^I to 16, 25 and 32 nodes and predicts every gear's
+time and energy (Section 4).  The paper's observations:
+
+- curves become more "vertical" as nodes are added — lower gears become
+  a better idea (SP's minimum-energy gear moves from 2 on four nodes to
+  4 on sixteen);
+- NAS speedups tail off around 25-32 nodes, so cluster energy starts to
+  climb dramatically;
+- CG's speedup drops below 1 at 32 nodes, so that curve is not plotted.
+
+BT and SP only yield two multi-node samples on the 9-node cluster —
+not enough to discriminate shape families — so, like the paper (which
+leaned on source inspection and the literature for them), the harness
+forces their published logarithmic class; every other code is
+auto-classified.
+
+Because our substrate is a simulator, the result can optionally carry
+direct simulations at the extrapolated sizes — ground truth the paper
+could not measure — for the model-error report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.machines import athlon_cluster
+from repro.core.commclass import PAPER_CLASSES
+from repro.core.curves import CurveFamily, EnergyTimeCurve
+from repro.core.model import EnergyTimeModel, gather_inputs
+from repro.core.run import gear_sweep
+from repro.experiments.report import render_curve
+from repro.util.fitting import ShapeFamily
+from repro.workloads.base import Workload
+from repro.workloads.nas import nas_suite
+
+#: Node counts measured directly (filtered per workload validity).
+MEASURED_COUNTS = (1, 2, 4, 8, 9)
+#: Node counts the model extrapolates to (filtered per validity).
+EXTRAPOLATED_COUNTS = (16, 25, 32)
+
+#: Codes whose shape is forced to the paper's class (too few samples).
+FORCED_CLASS_WORKLOADS = ("BT", "SP")
+
+
+@dataclass(frozen=True)
+class WorkloadFigure5:
+    """One code's panel: measured curves, predictions, model internals."""
+
+    workload: str
+    measured: CurveFamily
+    predicted: tuple[EnergyTimeCurve, ...]
+    model: EnergyTimeModel
+    simulated: tuple[EnergyTimeCurve, ...]
+
+    @property
+    def plotted_predictions(self) -> tuple[EnergyTimeCurve, ...]:
+        """Predicted curves excluding speedup < 1 (the paper drops CG@32)."""
+        reference = self.measured.curves[0].fastest.time
+        return tuple(
+            c for c in self.predicted if c.fastest.time < reference
+        )
+
+    def min_energy_gears(self) -> dict[int, int]:
+        """Minimum-energy gear per node count (measured + predicted)."""
+        out = {c.nodes: c.min_energy_point.gear for c in self.measured}
+        for c in self.predicted:
+            out[c.nodes] = c.min_energy_point.gear
+        return out
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """All six panels."""
+
+    panels: dict[str, WorkloadFigure5]
+
+    def panel(self, workload: str) -> WorkloadFigure5:
+        """One code's panel."""
+        return self.panels[workload]
+
+    def render(self) -> str:
+        """Measured and predicted curves per code, with model notes."""
+        blocks = ["Figure 5: simulated results up to 32 nodes"]
+        for name, panel in self.panels.items():
+            blocks.append(
+                f"[{name}] comm class: {panel.model.comm.family.value}; "
+                f"F_s ~ {panel.model.amdahl.fs_mean:.4f}; "
+                f"min-energy gear by nodes: {panel.min_energy_gears()}"
+            )
+            for curve in panel.measured:
+                blocks.append(render_curve(curve, label=f"{name} measured, {curve.nodes} nodes"))
+            dropped = set(panel.predicted) - set(panel.plotted_predictions)
+            for curve in panel.predicted:
+                tag = " (NOT PLOTTED: speedup < 1)" if curve in dropped else ""
+                blocks.append(
+                    render_curve(
+                        curve, label=f"{name} predicted, {curve.nodes} nodes{tag}"
+                    )
+                )
+        return "\n\n".join(blocks)
+
+    def render_plots(self) -> str:
+        """Each panel: measured + plotted-predicted curves together."""
+        from repro.core.curves import CurveFamily
+        from repro.viz.plot import plot_family
+
+        blocks = []
+        for name, panel in self.panels.items():
+            curves = tuple(panel.measured.curves) + panel.plotted_predictions
+            family = CurveFamily(
+                workload=name, curves=tuple(sorted(curves, key=lambda c: c.nodes))
+            )
+            blocks.append(
+                plot_family(family, title=f"{name}: measured <=9, predicted >=16")
+            )
+        return "\n\n".join(blocks)
+
+
+def _valid(workload: Workload, counts: tuple[int, ...], limit: int) -> list[int]:
+    allowed = set(workload.valid_node_counts(limit))
+    return [n for n in counts if n in allowed]
+
+
+def figure5(
+    *,
+    scale: float = 1.0,
+    cluster: ClusterSpec | None = None,
+    validate: bool = False,
+    refined: bool = True,
+) -> Figure5Result:
+    """Run the Figure 5 experiment.
+
+    Args:
+        scale: workload scale.
+        cluster: override the measurement cluster (must still allow 9
+            nodes; predictions target node counts beyond it).
+        validate: also *simulate* the extrapolated configurations and
+            attach the ground-truth curves (not available to the paper).
+        refined: use the refined critical/reducible-work predictor.
+    """
+    measure_cluster = cluster or athlon_cluster(10)
+    # Ground-truth runs need a larger (simulated) installation.
+    truth_cluster = athlon_cluster(max(EXTRAPOLATED_COUNTS))
+    panels: dict[str, WorkloadFigure5] = {}
+    for workload in nas_suite(scale):
+        measured_counts = _valid(workload, MEASURED_COUNTS, measure_cluster.max_nodes)
+        inputs = gather_inputs(measure_cluster, workload, node_counts=measured_counts)
+        forced: ShapeFamily | None = (
+            PAPER_CLASSES[workload.name]
+            if workload.name in FORCED_CLASS_WORKLOADS
+            else None
+        )
+        model = EnergyTimeModel(inputs, comm_family=forced, refined=refined)
+        measured = CurveFamily(
+            workload=workload.name,
+            curves=tuple(
+                gear_sweep(measure_cluster, workload, nodes=n)
+                for n in measured_counts
+            ),
+        )
+        targets = _valid(workload, EXTRAPOLATED_COUNTS, truth_cluster.max_nodes)
+        predicted = tuple(model.predict_curve(nodes=n) for n in targets)
+        simulated: tuple[EnergyTimeCurve, ...] = ()
+        if validate:
+            simulated = tuple(
+                gear_sweep(truth_cluster, workload, nodes=n) for n in targets
+            )
+        panels[workload.name] = WorkloadFigure5(
+            workload=workload.name,
+            measured=measured,
+            predicted=predicted,
+            model=model,
+            simulated=simulated,
+        )
+    return Figure5Result(panels=panels)

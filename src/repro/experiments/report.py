@@ -1,0 +1,53 @@
+"""Shared rendering helpers for experiment results."""
+
+from __future__ import annotations
+
+from repro.core.cases import CaseAnalysis
+from repro.core.curves import CurveFamily, EnergyTimeCurve
+from repro.util.tables import TextTable
+
+
+def render_curve(curve: EnergyTimeCurve, *, label: str | None = None) -> str:
+    """One curve as a gear-by-gear table with relative axes."""
+    table = TextTable(
+        ["gear", "time (s)", "energy (J)", "delay vs g1", "energy vs g1"],
+        title=label or f"{curve.workload} on {curve.nodes} node(s)",
+    )
+    for (point, (_, delay, energy_fraction)) in zip(curve.points, curve.relative()):
+        table.add_row(
+            [
+                point.gear,
+                point.time,
+                point.energy,
+                f"{delay:+.1%}",
+                f"{energy_fraction:.1%}",
+            ]
+        )
+    return table.render()
+
+
+def render_family(family: CurveFamily, *, title: str | None = None) -> str:
+    """A curve family as stacked per-node-count tables."""
+    blocks = [title] if title else []
+    for curve in family:
+        blocks.append(render_curve(curve))
+    return "\n\n".join(b for b in blocks if b)
+
+
+def render_cases(cases: list[CaseAnalysis], *, workload: str) -> str:
+    """Case classification of adjacent node-count transitions."""
+    table = TextTable(
+        ["transition", "case", "speedup", "E ratio", "dominating gear"],
+        title=f"{workload}: node-count transitions (paper Section 3.2 cases)",
+    )
+    for c in cases:
+        table.add_row(
+            [
+                f"{c.small_nodes}->{c.large_nodes}",
+                c.case.value,
+                c.speedup,
+                c.energy_ratio,
+                c.dominating_gear if c.dominating_gear is not None else "-",
+            ]
+        )
+    return table.render()

@@ -1,0 +1,78 @@
+"""Run every paper experiment and print its artifact.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything, full scale
+    python -m repro.experiments.runner --scale 0.3
+    python -m repro.experiments.runner --only figure1 table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
+
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "figure1": figure1,
+    "table1": table1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale (relative results are scale-invariant)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(EXPERIMENTS),
+        help="run only these experiments",
+    )
+    parser.add_argument(
+        "--plots",
+        action="store_true",
+        help="also render each figure as an ASCII scatter plot",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write each result as JSON into this directory",
+    )
+    args = parser.parse_args(argv)
+    names = args.only or list(EXPERIMENTS)
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        if args.plots and hasattr(result, "render_plots"):
+            print()
+            print(result.render_plots())
+        if args.output:
+            from pathlib import Path
+
+            from repro.reporting import write_result
+
+            destination = write_result(
+                result, Path(args.output) / f"{name}.json"
+            )
+            print(f"[written to {destination}]")
+        print(f"\n[{name} regenerated in {elapsed:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Table 1 — UPM as a predictor of the energy-time tradeoff.
+
+Per benchmark: UPM (micro-ops per L2 miss, measured by the hardware
+counters during the 1-node gear-1 run) and the energy-time slopes from
+gear 1 to 2 and gear 2 to 3.  The paper's finding: sorted by descending
+UPM, the slopes become monotonically more negative — memory pressure
+predicts the tradeoff — with one inversion (the paper flags MG; in both
+the paper's data and ours, LU's slope is steeper than its UPM rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.machines import athlon_cluster
+from repro.core.run import gear_sweep, run_workload
+from repro.util.tables import TextTable
+from repro.workloads.nas import nas_suite
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One benchmark's row."""
+
+    workload: str
+    upm: float
+    slope_1_2: float
+    slope_2_3: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """All rows, sorted by descending UPM as the paper prints them."""
+
+    rows: tuple[Table1Row, ...]
+
+    def row(self, workload: str) -> Table1Row:
+        """Row for one benchmark name."""
+        for r in self.rows:
+            if r.workload == workload:
+                return r
+        raise KeyError(workload)
+
+    def upm_order(self) -> list[str]:
+        """Benchmark names by descending UPM."""
+        return [r.workload for r in self.rows]
+
+    def render(self) -> str:
+        """The table, paper layout."""
+        table = TextTable(
+            ["", "UPM", "Slope 1->2", "Slope 2->3"],
+            title="Table 1: predicting the energy-time tradeoff",
+        )
+        for r in self.rows:
+            table.add_row([r.workload, r.upm, r.slope_1_2, r.slope_2_3])
+        return table.render()
+
+
+def table1(*, scale: float = 1.0, cluster: ClusterSpec | None = None) -> Table1Result:
+    """Run the Table 1 experiment (UPM + slopes on one node)."""
+    cluster = cluster or athlon_cluster()
+    rows = []
+    for workload in nas_suite(scale):
+        curve = gear_sweep(cluster, workload, nodes=1, gears=(1, 2, 3))
+        upm = run_workload(cluster, workload, nodes=1, gear=1).upm
+        rows.append(
+            Table1Row(
+                workload=workload.name,
+                upm=upm,
+                slope_1_2=curve.slope(1, 2),
+                slope_2_3=curve.slope(2, 3),
+            )
+        )
+    rows.sort(key=lambda r: r.upm, reverse=True)
+    return Table1Result(rows=tuple(rows))

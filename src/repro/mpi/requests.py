@@ -1,0 +1,181 @@
+"""The request vocabulary rank programs yield to the runtime.
+
+A rank program is a generator.  Each ``yield`` hands the runtime one of
+the request objects below; the runtime performs it, advances simulated
+time as needed, and resumes the generator with the request's result:
+
+============  =============================================  ==============
+request       effect                                         resume value
+============  =============================================  ==============
+Compute       run a compute block at the current gear        None
+Elapse        idle for a fixed duration                      None
+SetGear       shift the node's energy gear                   None
+Now           read the simulated clock                       float seconds
+Isend         post an eager asynchronous send                Handle
+Irecv         post a receive                                 Handle
+Wait          block until a handle completes                 recv payload
+TraceMark     bracket a logical (collective) operation       None
+============  =============================================  ==============
+
+Workload code normally goes through :class:`repro.mpi.comm.Comm` instead
+of yielding these directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.memory import ComputeBlock
+from repro.util.errors import ConfigurationError
+
+#: Wildcard receive source (matches any sender).
+ANY_SOURCE = -2
+#: Wildcard receive tag (matches any tag).
+ANY_TAG = -1
+
+_handle_ids = itertools.count()
+
+
+@dataclass
+class Handle:
+    """Completion handle for a non-blocking operation.
+
+    Attributes:
+        kind: ``'send'`` or ``'recv'``.
+        rank: owning rank.
+        peer: destination (send) or source (recv; may be ANY_SOURCE).
+        tag: message tag (recv may be ANY_TAG).
+        nbytes: message size; for receives filled in at match time.
+        post_time: when the operation was posted.
+        complete_at: simulated completion time, or None while unmatched.
+        payload: received payload once complete (recv only).
+    """
+
+    kind: str
+    rank: int
+    peer: int
+    tag: int
+    nbytes: int = 0
+    post_time: float = 0.0
+    complete_at: float | None = None
+    payload: Any = None
+    uid: int = field(default_factory=lambda: next(_handle_ids))
+    _waiter: Any = None  # RankProcess waiting on this handle, if any
+
+    @property
+    def complete(self) -> bool:
+        """True once a completion time has been assigned."""
+        return self.complete_at is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"done@{self.complete_at:.6f}" if self.complete else "pending"
+        return f"<{self.kind} handle #{self.uid} rank={self.rank} peer={self.peer} {state}>"
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Execute a compute block at the node's current gear."""
+
+    block: ComputeBlock
+
+
+@dataclass(frozen=True)
+class Elapse:
+    """Idle (at idle power) for a fixed duration — gear-independent work."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigurationError(f"Elapse needs seconds >= 0, got {self.seconds}")
+
+
+@dataclass(frozen=True)
+class SetGear:
+    """Shift this rank's node to another energy gear (instantaneous)."""
+
+    gear_index: int
+
+
+@dataclass(frozen=True)
+class Now:
+    """Read the simulated clock; resumes with the current time."""
+
+
+@dataclass(frozen=True)
+class DiskIO:
+    """One local disk burst (read or write — symmetric cost model).
+
+    Requires the node to have a disk configured; the CPU idles while
+    the transfer runs (blocking I/O, as the NAS BT-IO style checkpoints
+    behave).
+    """
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ConfigurationError(f"I/O size must be >= 0, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class SetDiskSpeed:
+    """Shift the node's disk to another spindle speed (DRPM-style).
+
+    Real multi-speed disks take a substantial fraction of a second to
+    settle; the transition time comes from the node's disk spec.
+    """
+
+    speed_index: int
+
+
+@dataclass(frozen=True)
+class Isend:
+    """Post an eager asynchronous send.
+
+    The paper assumes sends are asynchronous (footnote 4); the runtime
+    buffers eagerly, so the send handle completes after the sender-side
+    software overhead regardless of whether a receive is posted.
+    """
+
+    dest: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {self.nbytes}")
+        if self.tag < 0:
+            raise ConfigurationError(f"send tag must be >= 0, got {self.tag}")
+
+
+@dataclass(frozen=True)
+class Irecv:
+    """Post a receive for a matching message (wildcards allowed)."""
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Block until the handle completes; resumes with its payload."""
+
+    handle: Handle
+
+
+@dataclass(frozen=True)
+class TraceMark:
+    """Bracket a logical operation in the trace (zero simulated time).
+
+    ``phase`` is ``'begin'`` or ``'end'``; records emitted between the
+    brackets are marked nested so trace analysis sees one logical
+    collective instead of its constituent point-to-point messages.
+    """
+
+    op: str
+    phase: str
+    nbytes: int = 0

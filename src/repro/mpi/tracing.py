@@ -1,0 +1,174 @@
+"""MPI instrumentation traces.
+
+The paper's methodology (Section 4.1, step 1) intercepts all relevant MPI
+calls and logs enter/exit timestamps, from which active and idle times are
+recovered.  The runtime produces the same records natively:
+
+- every compute block, point-to-point operation, wait, and logical
+  collective becomes a :class:`TraceRecord`;
+- records emitted *inside* a collective are marked ``nested`` so
+  top-level analysis sees the collective as a single call, exactly as the
+  paper's interposition library would;
+- :class:`RankTrace` recovers the decompositions the model needs:
+  ``active_time`` (T^A), ``idle_time`` (T^I, which includes communication
+  time), and the conservative *reducible work* between the last send and
+  a blocking point (the refined model's T^R).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.util.errors import SimulationError
+
+#: Operation categories.
+CATEGORY_COMPUTE = "compute"
+CATEGORY_P2P = "p2p"
+CATEGORY_WAIT = "wait"
+CATEGORY_COLLECTIVE = "collective"
+CATEGORY_OTHER = "other"
+
+#: Ops that are *send events* for the reducible-work analysis.
+SEND_OPS = frozenset({"isend", "send"})
+#: Ops whose completion is a *blocking point* for the analysis.
+BLOCKING_OPS = frozenset(
+    {
+        "wait_recv",
+        "recv",
+        "barrier",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "gather",
+        "allgather",
+        "scatter",
+        "alltoall",
+        "sendrecv",
+        "waitall",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One intercepted call (or compute block) on one rank."""
+
+    rank: int
+    op: str
+    category: str
+    t_enter: float
+    t_exit: float
+    nbytes: int = 0
+    peer: int | None = None
+    nested: bool = False
+
+    def __post_init__(self) -> None:
+        if self.t_exit < self.t_enter:
+            raise SimulationError(
+                f"trace record exits before entering: {self.op} "
+                f"[{self.t_enter}, {self.t_exit}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds inside the call."""
+        return self.t_exit - self.t_enter
+
+
+@dataclass
+class RankTrace:
+    """All trace records of one rank, in time order."""
+
+    rank: int
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def add(self, record: TraceRecord) -> None:
+        """Append one record.
+
+        Records are emitted when their call *exits* (a collective's
+        bracket closes after its constituent messages), so monotonicity is
+        enforced on exit times.
+        """
+        if self.records and record.t_exit < self.records[-1].t_exit - 1e-12:
+            raise SimulationError(
+                f"rank {self.rank}: out-of-order trace record {record.op} exiting "
+                f"at {record.t_exit} after {self.records[-1].t_exit}"
+            )
+        self.records.append(record)
+
+    def top_level(self) -> Iterator[TraceRecord]:
+        """Records as the paper's interposition would see them (no nested)."""
+        return (r for r in self.records if not r.nested)
+
+    @property
+    def active_time(self) -> float:
+        """Total compute time (the paper's per-rank T^A contribution)."""
+        return sum(r.duration for r in self.records if r.category == CATEGORY_COMPUTE)
+
+    @property
+    def mpi_time(self) -> float:
+        """Total top-level time inside MPI calls (communication + blocking)."""
+        return sum(
+            r.duration
+            for r in self.top_level()
+            if r.category in (CATEGORY_P2P, CATEGORY_WAIT, CATEGORY_COLLECTIVE)
+        )
+
+    def idle_time(self, finish_time: float) -> float:
+        """T^I for this rank: everything that is not computation.
+
+        The paper folds communication time into idle time; given the run's
+        finish time this is simply ``finish - active``.
+        """
+        if finish_time < self.active_time - 1e-9:
+            raise SimulationError(
+                f"rank {self.rank}: finish time {finish_time} is less than "
+                f"active time {self.active_time}"
+            )
+        return max(0.0, finish_time - self.active_time)
+
+    def reducible_time(self) -> float:
+        """Conservative reducible work, per the paper's refined model.
+
+        The post-processing "determines the reducible work to be
+        computation between the *last send* and a blocking point" — work
+        there cannot delay any other node because nothing is sent after
+        it until the rank itself blocks.  We walk the top-level records,
+        accumulating compute that happens after the most recent send and
+        before the next blocking operation.
+        """
+        reducible = 0.0
+        pending = 0.0  # compute since the last send, candidate-reducible
+        seen_send = False
+        for record in self.top_level():
+            if record.op in SEND_OPS:
+                seen_send = True
+                pending = 0.0
+            elif record.category == CATEGORY_COMPUTE:
+                if seen_send:
+                    pending += record.duration
+            elif record.op in BLOCKING_OPS:
+                reducible += pending
+                pending = 0.0
+                seen_send = False
+        return reducible
+
+    def message_stats(self) -> tuple[int, int]:
+        """(message count, total bytes) of top-level sends on this rank."""
+        count = 0
+        total = 0
+        for record in self.top_level():
+            if record.op in SEND_OPS:
+                count += 1
+                total += record.nbytes
+        return count, total
+
+    def call_counts(self) -> dict[str, int]:
+        """Top-level call counts per op name (paper step 2's dynamic census)."""
+        out: dict[str, int] = {}
+        for record in self.top_level():
+            if record.category == CATEGORY_COMPUTE:
+                continue
+            out[record.op] = out.get(record.op, 0) + 1
+        return out

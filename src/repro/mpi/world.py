@@ -1,0 +1,554 @@
+"""The runtime that executes rank programs on a simulated cluster.
+
+:class:`World` couples three things:
+
+- a :class:`repro.sim.engine.Simulator` event loop,
+- one :class:`repro.sim.process.RankProcess` per MPI rank, each on its own
+  simulated node (the paper runs one rank per node),
+- per-rank accounting: a wall-outlet :class:`PowerMeter`, a hardware
+  :class:`CounterBank`, and an MPI :class:`RankTrace`.
+
+Execution semantics (matching the paper's platform assumptions):
+
+- compute blocks run at the node's current gear and draw active power;
+- all time a rank is *not* computing — posting sends, blocked in waits,
+  idling after finishing while other ranks still run — draws the node's
+  idle power at its gear (the paper: "the computational load during MPI
+  communication is quite low");
+- sends are eager/asynchronous (paper footnote 4): the sender is released
+  after the software overhead regardless of the receiver;
+- message wire time is gear-independent.
+
+Energy is accounted until the *last* rank finishes: nodes that finish
+early keep drawing idle power, exactly as the paper's wall-outlet meters
+would record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.counters import CounterBank
+from repro.cluster.node import NodeState
+from repro.cluster.power import PowerMeter
+from repro.mpi.comm import Comm
+from repro.mpi.requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    DiskIO,
+    Elapse,
+    Handle,
+    Irecv,
+    Isend,
+    Now,
+    SetDiskSpeed,
+    SetGear,
+    TraceMark,
+    Wait,
+)
+from repro.mpi.tracing import (
+    CATEGORY_COMPUTE,
+    CATEGORY_OTHER,
+    CATEGORY_P2P,
+    CATEGORY_WAIT,
+    CATEGORY_COLLECTIVE,
+    RankTrace,
+    TraceRecord,
+)
+from repro.sim.engine import Simulator
+from repro.sim.process import STOP, RankProcess
+from repro.util.errors import ConfigurationError, DeadlockError, SimulationError
+
+#: Type of the per-rank program factory: called with this rank's Comm.
+ProgramFactory = Callable[[Comm], Any]
+
+
+@dataclass
+class _Message:
+    """A message in flight (or buffered unexpected at the receiver)."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+    payload: Any
+    arrival: float
+    seq: int
+
+
+class _RankRuntime:
+    """Mutable bookkeeping for one rank."""
+
+    def __init__(self, rank: int, node: NodeState, process: RankProcess):
+        self.rank = rank
+        self.node = node
+        self.process = process
+        self.meter = PowerMeter()
+        self.counters = CounterBank()
+        self.trace = RankTrace(rank)
+        self.finish_time: float | None = None
+        # Start of a blocked span whose idle energy is recorded on resume.
+        self.pending_idle_from: float | None = None
+        # Deferred wait trace record: (op, t_enter, nbytes, peer).
+        self.pending_wait: tuple[str, float, int, int | None] | None = None
+        self.collective_stack: list[tuple[str, float, int]] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self.collective_stack)
+
+
+@dataclass
+class RankResult:
+    """Everything measured for one rank."""
+
+    rank: int
+    finish_time: float
+    meter: PowerMeter
+    counters: CounterBank
+    trace: RankTrace
+    return_value: Any
+    final_gear: int
+
+    @property
+    def energy(self) -> float:
+        """This node's total energy over the whole run, joules."""
+        return self.meter.energy()
+
+
+@dataclass
+class WorldResult:
+    """Outcome of one complete simulated run."""
+
+    cluster: ClusterSpec
+    nodes: int
+    end_time: float
+    ranks: list[RankResult]
+
+    @property
+    def total_energy(self) -> float:
+        """Cumulative energy of all nodes, joules (the paper's y-axis)."""
+        return sum(r.energy for r in self.ranks)
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock execution time, seconds (the paper's x-axis)."""
+        return self.end_time
+
+    @property
+    def active_time(self) -> float:
+        """T^A: the maximum per-rank computation time (paper step 1)."""
+        return max(r.trace.active_time for r in self.ranks)
+
+    @property
+    def idle_time(self) -> float:
+        """T^I: idle + communication time of the T^A-defining run.
+
+        Computed as ``end_time - T^A`` so that T^A + T^I is exactly the
+        execution time, as the model requires.
+        """
+        return max(0.0, self.end_time - self.active_time)
+
+    @property
+    def counters(self) -> CounterBank:
+        """All ranks' hardware counters summed."""
+        return CounterBank.total([r.counters for r in self.ranks])
+
+    @property
+    def upm(self) -> float:
+        """Whole-run micro-ops per L2 miss."""
+        return self.counters.upm
+
+    def reducible_time(self) -> float:
+        """T^R: maximum per-rank reducible work (refined-model input)."""
+        return max(r.trace.reducible_time() for r in self.ranks)
+
+    def return_values(self) -> list[Any]:
+        """Per-rank program return values, by rank."""
+        return [r.return_value for r in self.ranks]
+
+
+class World:
+    """Runs one program (one generator per rank) on a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        program: ProgramFactory,
+        *,
+        nodes: int,
+        gear: int | Sequence[int] = 1,
+        max_events: int | None = 50_000_000,
+    ):
+        if isinstance(gear, int):
+            gears = [gear] * nodes
+        else:
+            gears = list(gear)
+            if len(gears) != nodes:
+                raise ConfigurationError(
+                    f"{len(gears)} gears given for {nodes} nodes"
+                )
+        for g in gears:
+            cluster.validate_run(nodes, g)
+
+        self.cluster = cluster
+        self.nodes = nodes
+        self.engine = Simulator()
+        self.network = cluster.network_model()
+        self._max_events = max_events
+        self._msg_seq = 0
+        # Per-destination queues.
+        self._unexpected: list[list[_Message]] = [[] for _ in range(nodes)]
+        self._posted: list[list[Handle]] = [[] for _ in range(nodes)]
+        self._runtimes: list[_RankRuntime] = []
+        for rank in range(nodes):
+            comm = Comm(rank=rank, size=nodes)
+            node = NodeState(cluster.node, gears[rank])
+            gen = program(comm)
+            self._runtimes.append(_RankRuntime(rank, node, RankProcess(rank, gen)))
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def run(self) -> WorldResult:
+        """Execute all ranks to completion and return the measurements.
+
+        Raises:
+            DeadlockError: some rank never finished (all events drained
+                while a wait was still pending).
+        """
+        if self._started:
+            raise SimulationError("a World can only be run once")
+        self._started = True
+        for rt in self._runtimes:
+            self._advance(rt, None)
+        self.engine.run(max_events=self._max_events)
+
+        stuck = [rt for rt in self._runtimes if not rt.process.done]
+        if stuck:
+            detail = "; ".join(
+                f"rank {rt.rank} blocked on {rt.process.blocked_on or 'unknown'}"
+                for rt in stuck
+            )
+            raise DeadlockError(f"simulation deadlocked: {detail}")
+
+        end_time = max(rt.finish_time or 0.0 for rt in self._runtimes)
+        results = []
+        for rt in self._runtimes:
+            # Nodes that finished early idle (at their gear) until the
+            # last rank completes — the meter at the wall keeps running.
+            assert rt.finish_time is not None
+            if rt.finish_time < end_time:
+                rt.meter.record(rt.finish_time, end_time, rt.node.idle_power())
+            results.append(
+                RankResult(
+                    rank=rt.rank,
+                    finish_time=rt.finish_time,
+                    meter=rt.meter,
+                    counters=rt.counters,
+                    trace=rt.trace,
+                    return_value=rt.process.result,
+                    final_gear=rt.node.gear.index,
+                )
+            )
+        return WorldResult(
+            cluster=self.cluster, nodes=self.nodes, end_time=end_time, ranks=results
+        )
+
+    # ------------------------------------------------------------------
+    # Interpreter
+
+    def _advance(self, rt: _RankRuntime, value: Any) -> None:
+        """Resume a rank and dispatch its requests until it blocks/finishes."""
+        while True:
+            request = rt.process.resume(value)
+            if request is STOP:
+                rt.finish_time = self.engine.now
+                return
+            blocked, value = self._dispatch(rt, request)
+            if blocked:
+                return
+
+    def _resume_later(self, rt: _RankRuntime, at: float, value: Any = None) -> None:
+        """Schedule a resume, closing any pending idle span on arrival."""
+
+        def callback() -> None:
+            self._close_idle(rt)
+            self._flush_wait_trace(rt)
+            self._advance(rt, value)
+
+        self.engine.schedule(at, callback)
+
+    def _close_idle(self, rt: _RankRuntime) -> None:
+        if rt.pending_idle_from is not None:
+            rt.meter.record(
+                rt.pending_idle_from, self.engine.now, rt.node.idle_power()
+            )
+            rt.pending_idle_from = None
+
+    def _flush_wait_trace(self, rt: _RankRuntime) -> None:
+        if rt.pending_wait is not None:
+            op, t_enter, nbytes, peer = rt.pending_wait
+            rt.pending_wait = None
+            self._trace(rt, op, CATEGORY_WAIT, t_enter, self.engine.now, nbytes, peer)
+
+    def _trace(
+        self,
+        rt: _RankRuntime,
+        op: str,
+        category: str,
+        t_enter: float,
+        t_exit: float,
+        nbytes: int = 0,
+        peer: int | None = None,
+        *,
+        force_top_level: bool = False,
+    ) -> None:
+        rt.trace.add(
+            TraceRecord(
+                rank=rt.rank,
+                op=op,
+                category=category,
+                t_enter=t_enter,
+                t_exit=t_exit,
+                nbytes=nbytes,
+                peer=peer,
+                nested=(rt.depth > 0) and not force_top_level,
+            )
+        )
+
+    def _dispatch(self, rt: _RankRuntime, request: Any) -> tuple[bool, Any]:
+        """Perform one request; returns (blocked, resume_value)."""
+        now = self.engine.now
+        if isinstance(request, Compute):
+            return self._do_compute(rt, request)
+        if isinstance(request, Isend):
+            return self._do_isend(rt, request)
+        if isinstance(request, Irecv):
+            return False, self._do_irecv(rt, request)
+        if isinstance(request, Wait):
+            return self._do_wait(rt, request)
+        if isinstance(request, Now):
+            return False, now
+        if isinstance(request, SetGear):
+            self.cluster.validate_run(self.nodes, request.gear_index)
+            if request.gear_index == rt.node.gear.index:
+                return False, None
+            switch = self.cluster.node.cpu.gear_switch_latency
+            rt.node.set_gear(request.gear_index)
+            self._trace(rt, "set_gear", CATEGORY_OTHER, now, now + switch)
+            if switch == 0:
+                return False, None
+            # The core stalls through the PLL relock/voltage ramp,
+            # drawing idle power at the *new* operating point.
+            rt.meter.record(now, now + switch, rt.node.idle_power())
+            self._resume_later(rt, now + switch)
+            rt.process.block("gear switch")
+            return True, None
+        if isinstance(request, Elapse):
+            if request.seconds == 0:
+                return False, None
+            rt.meter.record(now, now + request.seconds, rt.node.idle_power())
+            self._trace(rt, "elapse", CATEGORY_OTHER, now, now + request.seconds)
+            self._resume_later(rt, now + request.seconds)
+            rt.process.block("elapse")
+            return True, None
+        if isinstance(request, DiskIO):
+            duration = rt.node.io_duration(request.nbytes)
+            rt.meter.record(now, now + duration, rt.node.io_power())
+            self._trace(
+                rt, "disk_io", CATEGORY_OTHER, now, now + duration, request.nbytes
+            )
+            if duration == 0:
+                return False, None
+            self._resume_later(rt, now + duration)
+            rt.process.block("disk I/O")
+            return True, None
+        if isinstance(request, SetDiskSpeed):
+            transition = rt.node.set_disk_speed(request.speed_index)
+            self._trace(
+                rt, "set_disk_speed", CATEGORY_OTHER, now, now + transition
+            )
+            if transition == 0:
+                return False, None
+            rt.meter.record(now, now + transition, rt.node.idle_power())
+            self._resume_later(rt, now + transition)
+            rt.process.block("disk speed transition")
+            return True, None
+        if isinstance(request, TraceMark):
+            self._do_trace_mark(rt, request)
+            return False, None
+        raise SimulationError(
+            f"rank {rt.rank} yielded an unknown request: {request!r}"
+        )
+
+    def _do_compute(self, rt: _RankRuntime, request: Compute) -> tuple[bool, Any]:
+        now = self.engine.now
+        block = request.block
+        duration = rt.node.compute_duration(block)
+        power = rt.node.compute_power(block)
+        rt.meter.record(now, now + duration, power)
+        cycles = duration * rt.node.gear.frequency_hz
+        rt.counters.charge(block.uops, block.l2_misses, cycles, duration)
+        self._trace(rt, "compute", CATEGORY_COMPUTE, now, now + duration)
+        if duration == 0:
+            return False, None
+        self._resume_later(rt, now + duration)
+        rt.process.block("compute")
+        return True, None
+
+    def _do_isend(self, rt: _RankRuntime, request: Isend) -> tuple[bool, Any]:
+        now = self.engine.now
+        if not 0 <= request.dest < self.nodes:
+            raise SimulationError(
+                f"rank {rt.rank} sends to invalid rank {request.dest}"
+            )
+        overhead = self.network.endpoint_overhead()
+        inject = now + overhead
+        arrival = self.network.schedule_transfer(
+            inject, request.nbytes, same_node=(request.dest == rt.rank)
+        )
+        self._msg_seq += 1
+        message = _Message(
+            source=rt.rank,
+            dest=request.dest,
+            tag=request.tag,
+            nbytes=request.nbytes,
+            payload=request.payload,
+            arrival=arrival,
+            seq=self._msg_seq,
+        )
+        self._route(message)
+        handle = Handle(
+            kind="send",
+            rank=rt.rank,
+            peer=request.dest,
+            tag=request.tag,
+            nbytes=request.nbytes,
+            post_time=now,
+            complete_at=inject,
+        )
+        self._trace(rt, "isend", CATEGORY_P2P, now, inject, request.nbytes, request.dest)
+        if overhead == 0:
+            return False, handle
+        rt.pending_idle_from = now
+        self._resume_later(rt, inject, handle)
+        rt.process.block("isend overhead")
+        return True, None
+
+    def _do_irecv(self, rt: _RankRuntime, request: Irecv) -> Handle:
+        now = self.engine.now
+        if request.source != ANY_SOURCE and not 0 <= request.source < self.nodes:
+            raise SimulationError(
+                f"rank {rt.rank} receives from invalid rank {request.source}"
+            )
+        handle = Handle(
+            kind="recv",
+            rank=rt.rank,
+            peer=request.source,
+            tag=request.tag,
+            post_time=now,
+        )
+        self._trace(rt, "irecv", CATEGORY_P2P, now, now, 0, request.source)
+        message = self._match_unexpected(rt.rank, handle)
+        if message is not None:
+            self._complete_recv(handle, message)
+        else:
+            self._posted[rt.rank].append(handle)
+        return handle
+
+    def _do_wait(self, rt: _RankRuntime, request: Wait) -> tuple[bool, Any]:
+        now = self.engine.now
+        handle = request.handle
+        if handle.rank != rt.rank:
+            raise SimulationError(
+                f"rank {rt.rank} waits on rank {handle.rank}'s handle"
+            )
+        op = "wait_recv" if handle.kind == "recv" else "wait_send"
+        if handle.complete_at is not None and handle.complete_at <= now:
+            self._trace(rt, op, CATEGORY_WAIT, now, now, handle.nbytes, handle.peer)
+            return False, handle.payload
+        rt.pending_idle_from = now
+        rt.pending_wait = (op, now, handle.nbytes, handle.peer)
+        if handle.complete_at is not None:
+            self._resume_later(rt, handle.complete_at, handle.payload)
+        else:
+            handle._waiter = rt
+        rt.process.block(
+            f"{op}(peer={handle.peer}, tag={handle.tag})"
+        )
+        return True, None
+
+    def _do_trace_mark(self, rt: _RankRuntime, request: TraceMark) -> None:
+        now = self.engine.now
+        if request.phase == "begin":
+            rt.collective_stack.append((request.op, now, request.nbytes))
+            return
+        if request.phase != "end":
+            raise SimulationError(f"bad TraceMark phase {request.phase!r}")
+        if not rt.collective_stack:
+            raise SimulationError(
+                f"rank {rt.rank}: TraceMark end '{request.op}' without begin"
+            )
+        op, t_begin, nbytes = rt.collective_stack.pop()
+        if op != request.op:
+            raise SimulationError(
+                f"rank {rt.rank}: TraceMark mismatch: begin '{op}', end '{request.op}'"
+            )
+        self._trace(
+            rt,
+            op,
+            CATEGORY_COLLECTIVE,
+            t_begin,
+            now,
+            nbytes or request.nbytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Message routing
+
+    def _route(self, message: _Message) -> None:
+        """Match a newly-sent message against posted receives, or buffer it."""
+        posted = self._posted[message.dest]
+        for i, handle in enumerate(posted):
+            if self._matches(handle, message):
+                del posted[i]
+                self._complete_recv(handle, message)
+                return
+        self._unexpected[message.dest].append(message)
+
+    def _match_unexpected(self, rank: int, handle: Handle) -> _Message | None:
+        queue = self._unexpected[rank]
+        for i, message in enumerate(queue):
+            if self._matches(handle, message):
+                del queue[i]
+                return message
+        return None
+
+    @staticmethod
+    def _matches(handle: Handle, message: _Message) -> bool:
+        if handle.peer != ANY_SOURCE and handle.peer != message.source:
+            return False
+        if handle.tag != ANY_TAG and handle.tag != message.tag:
+            return False
+        return True
+
+    def _complete_recv(self, handle: Handle, message: _Message) -> None:
+        overhead = self.network.endpoint_overhead()
+        ready = max(handle.post_time, message.arrival, self.engine.now)
+        handle.complete_at = ready + overhead
+        handle.nbytes = message.nbytes
+        handle.payload = message.payload
+        handle.peer = message.source
+        waiter = handle._waiter
+        if waiter is not None:
+            handle._waiter = None
+            # Update the deferred trace record with the real message size.
+            if waiter.pending_wait is not None:
+                op, t_enter, _, _ = waiter.pending_wait
+                waiter.pending_wait = (op, t_enter, message.nbytes, message.source)
+            self._resume_later(waiter, handle.complete_at, handle.payload)

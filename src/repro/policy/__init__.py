@@ -1,0 +1,38 @@
+"""Adaptive DVFS policies — the paper's future work, implemented.
+
+Section 5 of the paper sketches two follow-ons this package provides:
+
+- the *node bottleneck*: "early-arriving nodes can be scaled down with
+  little or no performance degradation" — :class:`SlackPolicy` watches
+  each rank's blocking time and shifts chronically-early ranks to lower
+  gears;
+- "a new MPI implementation that will automatically monitor executing
+  programs and automatically reduce the energy gear appropriately" —
+  :class:`PolicyComm` is that MPI layer: an application-transparent
+  communicator that consults a :class:`GearPolicy` around blocking
+  operations and shifts gears on the program's behalf.
+
+Policies:
+
+=================  =====================================================
+StaticPolicy       fixed gear (the baseline the paper measures)
+IdleLowPolicy      drop to a low gear while blocked in MPI, restore for
+                   compute (saves idle power during communication)
+SlackPolicy        IdleLowPolicy plus per-window monitoring of blocking
+                   slack: ranks with persistent slack run their *compute*
+                   at lower gears too (the node-bottleneck fix)
+=================  =====================================================
+"""
+
+from repro.policy.base import GearPolicy, StaticPolicy
+from repro.policy.adaptive import IdleLowPolicy, SlackPolicy
+from repro.policy.comm import PolicyComm, run_with_policy
+
+__all__ = [
+    "GearPolicy",
+    "StaticPolicy",
+    "IdleLowPolicy",
+    "SlackPolicy",
+    "PolicyComm",
+    "run_with_policy",
+]

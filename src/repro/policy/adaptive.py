@@ -1,0 +1,202 @@
+"""Adaptive gear policies: idle downshifting and slack tracking."""
+
+from __future__ import annotations
+
+from repro.policy.base import GearPolicy
+from repro.util.errors import ConfigurationError
+
+
+class IdleLowPolicy(GearPolicy):
+    """Drop to a low gear while blocked in MPI; compute at full speed.
+
+    Communication time is gear-independent (paper Section 4.1), so the
+    blocked gear only changes *idle power* — a free energy saving on
+    communication-heavy codes, bounded by the idle-power gap between the
+    gears.
+    """
+
+    def __init__(self, compute_gear: int = 1, idle_gear: int = 6):
+        if compute_gear < 1 or idle_gear < 1:
+            raise ConfigurationError("gears must be >= 1")
+        self._compute_gear = compute_gear
+        self._idle_gear = idle_gear
+
+    def compute_gear(self) -> int:
+        return self._compute_gear
+
+    def blocked_gear(self) -> int:
+        return self._idle_gear
+
+    def clone(self) -> "IdleLowPolicy":
+        return IdleLowPolicy(self._compute_gear, self._idle_gear)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IdleLowPolicy(compute={self._compute_gear}, idle={self._idle_gear})"
+        )
+
+
+class SlackPolicy(GearPolicy):
+    """The node-bottleneck fix: scale down chronically-early ranks.
+
+    Extends :class:`IdleLowPolicy` with per-window monitoring.  Every
+    ``window`` blocking observations the policy computes the rank's
+    *slack fraction* — blocked time over elapsed time.  A rank that
+    keeps arriving early (slack above ``high_water``) *trials* a shift
+    of its compute gear one step slower; a rank with almost no slack
+    (below ``low_water``) shifts back toward the fastest gear so it
+    never becomes the bottleneck itself.
+
+    The crucial subtlety — discovered immediately if you run the naive
+    version on MG or BT — is that **communication slack is not compute
+    slack**: when every rank blocks on wire transfers, no amount of
+    local downshifting shrinks the wait, and slowing compute just
+    stretches the run.  Slack-based confirmation is not enough either,
+    because a stretched window *dilutes* the slack fraction and
+    self-confirms.  So each downshift is a *trial* judged on the one
+    local quantity that cannot lie: the window's wall time.  If the
+    post-trial window takes more than ``(1 - confirm_fraction)`` of the
+    worst-case compute stretch longer than the pre-trial window, the
+    slack was false — revert and back off exponentially.  This
+    trial-and-revert structure follows the authors' later
+    adaptive-MPI-runtime work.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_gear: int = 6,
+        window: int = 8,
+        high_water: float = 0.15,
+        low_water: float = 0.03,
+        idle_gear: int = 6,
+        step_ratio: float = 1.12,
+        confirm_fraction: float = 0.4,
+        initial_backoff: int = 4,
+        max_failed_trials: int = 2,
+    ):
+        if not 0.0 <= low_water < high_water <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= low_water < high_water <= 1, got "
+                f"{low_water}/{high_water}"
+            )
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if max_gear < 1 or idle_gear < 1:
+            raise ConfigurationError("gears must be >= 1")
+        if step_ratio <= 1.0:
+            raise ConfigurationError(f"step_ratio must be > 1, got {step_ratio}")
+        if not 0.0 < confirm_fraction <= 1.0:
+            raise ConfigurationError(
+                f"confirm_fraction must be in (0, 1], got {confirm_fraction}"
+            )
+        if max_failed_trials < 1:
+            raise ConfigurationError(
+                f"max_failed_trials must be >= 1, got {max_failed_trials}"
+            )
+        self.max_gear = max_gear
+        self.window = window
+        self.high_water = high_water
+        self.low_water = low_water
+        self.step_ratio = step_ratio
+        self.confirm_fraction = confirm_fraction
+        self.initial_backoff = initial_backoff
+        self.max_failed_trials = max_failed_trials
+        self._idle_gear = idle_gear
+        self._gear = 1
+        self._waited = 0.0
+        self._elapsed = 0.0
+        self._observations = 0
+        self._confirming = False
+        self._trial_elapsed = 0.0
+        self._trial_slack = 0.0
+        self._hold = 0
+        self._backoff = initial_backoff
+        self._failed_trials = 0
+        self._locked = False
+        #: (observation index, new gear) shift log, for inspection.
+        self.shifts: list[tuple[int, int]] = []
+
+    def compute_gear(self) -> int:
+        return self._gear
+
+    def blocked_gear(self) -> int:
+        return self._idle_gear
+
+    def _shift(self, new_gear: int) -> None:
+        self._gear = new_gear
+        self.shifts.append((self._observations, new_gear))
+
+    def observe_wait(self, waited: float, elapsed: float) -> None:
+        self._waited += waited
+        self._elapsed += elapsed
+        self._observations += 1
+        if self._observations % self.window:
+            return
+        if self._elapsed <= 0:
+            return
+        slack = self._waited / self._elapsed
+        window_elapsed = self._elapsed
+        self._waited = 0.0
+        self._elapsed = 0.0
+
+        if self._confirming:
+            # Trial verdict: did the window's wall time stay put?  The
+            # worst-case stretch of this window is the compute share
+            # times the gear step's cycle-time increase; real slack
+            # absorbs it, false (wire-bound) slack shows up as wall time.
+            worst_stretch = (self.step_ratio - 1.0) * (1.0 - self._trial_slack)
+            allowed = self._trial_elapsed * (
+                1.0 + (1.0 - self.confirm_fraction) * worst_stretch
+            )
+            self._confirming = False
+            if window_elapsed > allowed:
+                self._shift(self._gear - 1)
+                self._failed_trials += 1
+                if self._failed_trials >= self.max_failed_trials:
+                    # Persistent false slack: stop probing.  On tightly-
+                    # coupled codes a rank forever re-trialing keeps one
+                    # straggler in the system at all times; locking ends
+                    # that.
+                    self._locked = True
+                self._hold = self._backoff
+                self._backoff *= 2
+            else:
+                self._failed_trials = 0
+                self._backoff = self.initial_backoff
+            return
+
+        if self._hold > 0:
+            self._hold -= 1
+            return
+
+        if self._locked:
+            return
+
+        if slack > self.high_water and self._gear < self.max_gear:
+            # Trial a downshift, remembering this window as the yardstick.
+            self._trial_elapsed = window_elapsed
+            self._trial_slack = slack
+            self._shift(self._gear + 1)
+            self._confirming = True
+        elif slack < self.low_water and self._gear > 1:
+            self._shift(self._gear - 1)
+
+    def clone(self) -> "SlackPolicy":
+        return SlackPolicy(
+            max_gear=self.max_gear,
+            window=self.window,
+            high_water=self.high_water,
+            low_water=self.low_water,
+            idle_gear=self._idle_gear,
+            step_ratio=self.step_ratio,
+            confirm_fraction=self.confirm_fraction,
+            initial_backoff=self.initial_backoff,
+            max_failed_trials=self.max_failed_trials,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SlackPolicy(gear={self._gear}, window={self.window}, "
+            f"water={self.low_water}/{self.high_water})"
+        )

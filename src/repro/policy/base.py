@@ -1,0 +1,62 @@
+"""Gear policy protocol and the static baseline."""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigurationError
+
+
+class GearPolicy:
+    """Decides which gear a rank should run, per phase.
+
+    The policy is consulted by :class:`repro.policy.comm.PolicyComm`:
+
+    - :meth:`compute_gear` — the gear for application compute;
+    - :meth:`blocked_gear` — the gear while blocked inside MPI;
+    - :meth:`observe_wait` — called after every blocking span with the
+      time spent blocked, so adaptive policies can learn.
+
+    Policies are per-rank objects: each rank gets its own instance via
+    :meth:`clone`.
+    """
+
+    def compute_gear(self) -> int:
+        """Gear for the next compute phase."""
+        raise NotImplementedError
+
+    def blocked_gear(self) -> int:
+        """Gear while blocked in MPI."""
+        raise NotImplementedError
+
+    def observe_wait(self, waited: float, elapsed: float) -> None:
+        """Feed back one blocking span.
+
+        Args:
+            waited: seconds spent blocked in this span.
+            elapsed: seconds since the previous observation (compute +
+                blocked), the denominator for slack fractions.
+        """
+
+    def clone(self) -> "GearPolicy":
+        """Fresh, independent instance for one rank."""
+        raise NotImplementedError
+
+
+class StaticPolicy(GearPolicy):
+    """Run everything at one fixed gear — the paper's measured baseline."""
+
+    def __init__(self, gear: int = 1):
+        if gear < 1:
+            raise ConfigurationError(f"gear must be >= 1, got {gear}")
+        self.gear = gear
+
+    def compute_gear(self) -> int:
+        return self.gear
+
+    def blocked_gear(self) -> int:
+        return self.gear
+
+    def clone(self) -> "StaticPolicy":
+        return StaticPolicy(self.gear)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticPolicy(gear={self.gear})"

@@ -1,0 +1,123 @@
+"""PolicyComm: the gear-managing MPI layer, and a run helper.
+
+:class:`PolicyComm` is a drop-in :class:`repro.mpi.comm.Comm` whose
+blocking operations consult a :class:`GearPolicy`:
+
+- before blocking (a wait, or any collective) the node shifts to the
+  policy's blocked gear;
+- on resumption it shifts to the policy's compute gear;
+- the measured blocking time is fed back via ``observe_wait`` so
+  adaptive policies can learn.
+
+The application program is unchanged — this is exactly the paper's
+"new MPI implementation that will automatically monitor executing
+programs and automatically reduce the energy gear appropriately".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.run import RunMeasurement
+from repro.mpi.comm import Comm, Op
+from repro.mpi.requests import Handle, Now, SetGear, Wait
+from repro.mpi.world import World
+from repro.policy.base import GearPolicy
+from repro.workloads.base import Workload
+
+
+class PolicyComm(Comm):
+    """A communicator that delegates gear control to a policy."""
+
+    def __init__(self, rank: int, size: int, policy: GearPolicy):
+        super().__init__(rank, size)
+        self.policy = policy
+        self._last_observation = 0.0
+
+    # ------------------------------------------------------------------
+    # Gear management around compute and blocking
+
+    def _sync_compute_gear(self) -> Op:
+        yield SetGear(self.policy.compute_gear())
+
+    def compute(self, uops, l2_misses=0.0, *, miss_latency=None) -> Op:
+        """Compute at the policy's current compute gear."""
+        yield from self._sync_compute_gear()
+        yield from super().compute(uops, l2_misses, miss_latency=miss_latency)
+
+    def compute_block(self, block) -> Op:
+        """Compute a pre-built block at the policy's compute gear."""
+        yield from self._sync_compute_gear()
+        yield from super().compute_block(block)
+
+    def _blocking(self, body: Op) -> Op:
+        """Run a blocking operation at the blocked gear and observe it."""
+        start = yield Now()
+        yield SetGear(self.policy.blocked_gear())
+        result = yield from body
+        yield SetGear(self.policy.compute_gear())
+        end = yield Now()
+        self.policy.observe_wait(end - start, end - self._last_observation)
+        self._last_observation = end
+        return result
+
+    def wait(self, handle: Handle) -> Op:
+        """Wait at the blocked gear; feeds the policy."""
+        return (yield from self._blocking(super().wait(handle)))
+
+    def waitall(self, handles: Sequence[Handle]) -> Op:
+        """Wait for all handles at the blocked gear (one observation)."""
+
+        def body() -> Op:
+            results = []
+            for handle in handles:
+                results.append((yield Wait(handle)))
+            return results
+
+        return (yield from self._blocking(body()))
+
+    def _bracketed(self, op: str, nbytes: int, body: Op) -> Op:
+        """Collectives run wholly at the blocked gear (no compute inside)."""
+
+        def managed() -> Op:
+            return (yield from super(PolicyComm, self)._bracketed(op, nbytes, body))
+
+        return (yield from self._blocking(managed()))
+
+
+def run_with_policy(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    nodes: int,
+    policy: GearPolicy,
+) -> RunMeasurement:
+    """Run a workload under a gear policy and measure it.
+
+    Each rank receives its own :meth:`GearPolicy.clone`, so per-rank
+    adaptive state (slack windows) stays independent — the policies run
+    exactly as a per-node runtime daemon would.
+    """
+    workload.validate_nodes(nodes)
+    policies = [policy.clone() for _ in range(nodes)]
+
+    def program(comm: Comm):
+        managed = PolicyComm(comm.rank, comm.size, policies[comm.rank])
+        return workload.program(managed)
+
+    world = World(cluster, program, nodes=nodes, gear=1)
+    result = world.run()
+    return RunMeasurement(
+        workload=workload.name,
+        cluster=cluster.name,
+        nodes=nodes,
+        gear=0,  # 0 marks "policy-managed" rather than a fixed gear
+        time=result.elapsed,
+        energy=result.total_energy,
+        active_time=result.active_time,
+        idle_time=result.idle_time,
+        reducible_time=result.reducible_time(),
+        upm=result.upm,
+        result=result,
+    )

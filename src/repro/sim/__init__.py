@@ -1,0 +1,11 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is MPI-agnostic: it provides a simulated clock, an event heap
+with FIFO tie-breaking, and generator-coroutine processes.  The MPI
+runtime in :mod:`repro.mpi` interprets the requests those processes yield.
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.process import RankProcess, ProcessState
+
+__all__ = ["Simulator", "Event", "RankProcess", "ProcessState"]

@@ -1,0 +1,100 @@
+"""The event loop: a simulated clock over a binary heap of callbacks.
+
+Determinism guarantees:
+
+- events at equal times fire in scheduling (FIFO) order, via a
+  monotonically increasing sequence number in the heap key;
+- the engine itself never consults wall-clock time or global randomness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled callback.
+
+    Ordering is by ``(time, seq)``; the callback is excluded from
+    comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """A discrete-event simulator with a float-seconds clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``at``.
+
+        Raises:
+            SimulationError: scheduling into the past.
+        """
+        if at < self._now:
+            raise SimulationError(
+                f"cannot schedule at {at}: clock is already at {self._now}"
+            )
+        event = Event(at, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after a non-negative delay."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
+
+    def run(self, *, max_events: int | None = None) -> None:
+        """Run until the event queue drains.
+
+        Args:
+            max_events: optional safety bound; exceeding it raises
+                :class:`SimulationError` (runaway-simulation guard).
+        """
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed > max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events without draining"
+                )

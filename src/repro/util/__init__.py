@@ -1,0 +1,56 @@
+"""Shared utilities: errors, unit conversions, curve fitting, ASCII tables.
+
+These helpers are substrate-neutral; nothing in :mod:`repro.util` knows
+about clusters, MPI, or the paper's model.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    SimulationError,
+    ModelError,
+)
+from repro.util.units import (
+    MHZ,
+    GHZ,
+    US,
+    MS,
+    KIB,
+    MIB,
+    mhz_to_hz,
+    hz_to_mhz,
+    joules,
+    watts,
+    seconds,
+)
+from repro.util.fitting import (
+    FitResult,
+    fit_linear,
+    fit_shape,
+    ShapeFamily,
+)
+from repro.util.tables import TextTable, format_series
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ModelError",
+    "MHZ",
+    "GHZ",
+    "US",
+    "MS",
+    "KIB",
+    "MIB",
+    "mhz_to_hz",
+    "hz_to_mhz",
+    "joules",
+    "watts",
+    "seconds",
+    "FitResult",
+    "fit_linear",
+    "fit_shape",
+    "ShapeFamily",
+    "TextTable",
+    "format_series",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A spec (gear table, node, cluster, workload) is invalid.
+
+    Raised eagerly at construction time so that misconfiguration surfaces
+    before a simulation starts, not as a mysterious mid-run failure.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state.
+
+    Examples: deadlock (all ranks blocked with no pending events), a
+    message delivered to a rank that never posted a receive before the
+    program ended, or a process yielding an unknown request type.
+    """
+
+
+class DeadlockError(SimulationError):
+    """All runnable processes are blocked and the event queue is empty."""
+
+
+class ModelError(ReproError):
+    """The analytic model was asked for something it cannot provide.
+
+    Examples: extrapolating before fitting, fitting with too few samples,
+    or an unknown communication shape family.
+    """

@@ -1,0 +1,183 @@
+"""Least-squares fitting helpers used by the analytic model.
+
+Two entry points:
+
+- :func:`fit_linear` — ordinary least squares on arbitrary design columns;
+  used by the Amdahl fit (regress ``T^A(i)`` on ``1/i``).
+- :func:`fit_shape` — fit one of the paper's communication *shape families*
+  (constant / logarithmic / linear / quadratic in the node count) to
+  measured idle/communication times, reporting residuals so the best
+  family can be selected (paper Section 4.1, step 2, "Classifying
+  communication").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ModelError
+
+
+class ShapeFamily(enum.Enum):
+    """The communication scaling families considered by the paper.
+
+    The paper classifies each NAS code's communication as logarithmic,
+    linear, or quadratic in the number of nodes, and later finds that LU is
+    best modelled as constant.  Each member carries the basis function used
+    for the node-count regressor.
+    """
+
+    CONSTANT = "constant"
+    LOGARITHMIC = "logarithmic"
+    LINEAR = "linear"
+    QUADRATIC = "quadratic"
+
+    def basis(self, n: float) -> float:
+        """Evaluate this family's basis function at node count ``n``."""
+        if self is ShapeFamily.CONSTANT:
+            return 0.0
+        if self is ShapeFamily.LOGARITHMIC:
+            return math.log2(n)
+        if self is ShapeFamily.LINEAR:
+            return float(n)
+        return float(n) * float(n)
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a least-squares fit.
+
+    Attributes:
+        coefficients: fitted parameters, intercept first.
+        residual: root-mean-square error of the fit on the inputs.
+        predict: callable evaluating the fitted curve at a new abscissa.
+        family: the shape family fitted, when :func:`fit_shape` produced
+            this result; ``None`` for a plain linear fit.
+    """
+
+    coefficients: tuple[float, ...]
+    residual: float
+    predict: Callable[[float], float]
+    family: ShapeFamily | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        coeffs = ", ".join(f"{c:.6g}" for c in self.coefficients)
+        fam = f", family={self.family.value}" if self.family else ""
+        return f"FitResult([{coeffs}], rmse={self.residual:.4g}{fam})"
+
+
+def fit_linear(
+    xs: Sequence[float], ys: Sequence[float], *, through_origin: bool = False
+) -> FitResult:
+    """Ordinary least squares of ``y`` on ``x`` (optionally no intercept).
+
+    Args:
+        xs: abscissae.
+        ys: ordinates; must match ``xs`` in length.
+        through_origin: fit ``y = b*x`` instead of ``y = a + b*x``.
+
+    Returns:
+        A :class:`FitResult` with coefficients ``(a, b)`` (or ``(0, b)``
+        when fitting through the origin).
+
+    Raises:
+        ModelError: fewer than two points, or fewer points than parameters.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ModelError(
+            f"fit_linear needs equal-length 1-D inputs, got {x.shape} and {y.shape}"
+        )
+    needed = 1 if through_origin else 2
+    if x.size < needed:
+        raise ModelError(f"fit_linear needs at least {needed} points, got {x.size}")
+    if through_origin:
+        design = x[:, np.newaxis]
+    else:
+        design = np.column_stack([np.ones_like(x), x])
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    if through_origin:
+        a, b = 0.0, float(coeffs[0])
+    else:
+        a, b = float(coeffs[0]), float(coeffs[1])
+    fitted = a + b * x
+    rmse = float(np.sqrt(np.mean((fitted - y) ** 2)))
+    return FitResult(
+        coefficients=(a, b),
+        residual=rmse,
+        predict=lambda nx, _a=a, _b=b: _a + _b * float(nx),
+    )
+
+
+def fit_shape(
+    ns: Sequence[float], ys: Sequence[float], family: ShapeFamily
+) -> FitResult:
+    """Fit one communication shape family to ``y`` measured at node counts ``ns``.
+
+    For :data:`ShapeFamily.CONSTANT` the fit is simply the mean.  All other
+    families fit ``y = a + b * basis(n)`` with ``b`` constrained to be
+    non-negative (communication cost never falls as nodes are added within
+    a family; a negative slope would extrapolate to nonsense).  When the
+    unconstrained slope is negative the fit falls back to the constant
+    model's coefficients while retaining the requested family tag.
+
+    Raises:
+        ModelError: if fewer than two samples are supplied, or a node count
+            is < 1 (``log2`` would be undefined or negative).
+    """
+    n = np.asarray(ns, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if n.shape != y.shape or n.ndim != 1 or n.size < 2:
+        raise ModelError(
+            f"fit_shape needs >= 2 equal-length samples, got {n.shape} and {y.shape}"
+        )
+    if np.any(n < 1):
+        raise ModelError(f"node counts must be >= 1, got {ns!r}")
+
+    if family is ShapeFamily.CONSTANT:
+        a = float(np.mean(y))
+        rmse = float(np.sqrt(np.mean((y - a) ** 2)))
+        return FitResult(
+            coefficients=(a, 0.0),
+            residual=rmse,
+            predict=lambda nx, _a=a: _a,
+            family=family,
+        )
+
+    basis = np.array([family.basis(v) for v in n])
+    design = np.column_stack([np.ones_like(basis), basis])
+    coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+    a, b = float(coeffs[0]), float(coeffs[1])
+    if b < 0:
+        a, b = float(np.mean(y)), 0.0
+    fitted = a + b * basis
+    rmse = float(np.sqrt(np.mean((fitted - y) ** 2)))
+
+    def predict(nx: float, _a: float = a, _b: float = b) -> float:
+        return _a + _b * family.basis(float(nx))
+
+    return FitResult(coefficients=(a, b), residual=rmse, predict=predict, family=family)
+
+
+def best_shape(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    families: Sequence[ShapeFamily] = tuple(ShapeFamily),
+) -> FitResult:
+    """Fit every candidate family and return the lowest-residual fit.
+
+    Ties are broken in favour of the *simpler* family (the order of
+    ``families``, which defaults to constant → logarithmic → linear →
+    quadratic), mirroring the paper's preference for the simplest curve
+    consistent with the trace.
+    """
+    if not families:
+        raise ModelError("best_shape needs at least one candidate family")
+    fits = [fit_shape(ns, ys, fam) for fam in families]
+    return min(fits, key=lambda f: f.residual)

@@ -1,0 +1,75 @@
+"""Plain-text rendering of tables and data series.
+
+The experiment harness regenerates each of the paper's tables and figures
+as text: tables as aligned columns, figures as per-series ``(time, energy)``
+rows.  Keeping the renderer here lets every experiment module print
+uniformly and lets tests assert on structured data instead of strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class TextTable:
+    """An aligned, plain-text table.
+
+    Example:
+        >>> t = TextTable(["name", "UPM"])
+        >>> t.add_row(["EP", 844.0])
+        >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str | None = None
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append one row; cells are formatted with :func:`format_cell`."""
+        row = [format_cell(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table with a header rule and aligned columns."""
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def format_cell(value: object) -> str:
+    """Format a table cell: floats get 4 significant digits, rest ``str``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.4g}"
+
+
+def format_series(
+    name: str, points: Sequence[tuple[float, float]], unit_x: str = "s", unit_y: str = "J"
+) -> str:
+    """Render one figure series as indented ``x  y`` rows.
+
+    Used for the energy-time curves: each paper figure becomes one series
+    per (workload, node count), listing gears from fastest to slowest.
+    """
+    lines = [f"{name}:"]
+    for x, y in points:
+        lines.append(f"  {x:12.4f} {unit_x}  {y:12.2f} {unit_y}")
+    return "\n".join(lines)

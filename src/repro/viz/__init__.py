@@ -1,0 +1,19 @@
+"""Terminal visualisation: ASCII scatter plots and timelines.
+
+The paper's artifacts are *plots* — energy (y) against time (x), one
+marker series per node count.  :mod:`repro.viz.plot` renders exactly
+that in plain text, so the experiment harness can show the figures, not
+just their tables, with no plotting dependency.  :mod:`repro.viz.timeline`
+draws per-rank Gantt strips from the simulation traces.
+"""
+
+from repro.viz.plot import AsciiPlot, plot_curve, plot_family
+from repro.viz.timeline import render_timeline, timeline_segments
+
+__all__ = [
+    "AsciiPlot",
+    "plot_curve",
+    "plot_family",
+    "render_timeline",
+    "timeline_segments",
+]

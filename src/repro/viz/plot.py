@@ -1,0 +1,149 @@
+"""ASCII scatter plots of energy-time curves.
+
+A minimal plotting engine: a character canvas with linear axis scaling,
+multi-series markers, connected points within a series, and a legend.
+Like the paper's figures, the origin is *not* (0, 0) — the window is
+fitted to the data so near-vertical energy drops stay visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.curves import CurveFamily, EnergyTimeCurve
+from repro.util.errors import ConfigurationError
+
+#: Marker characters assigned to series in order.
+MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class AsciiPlot:
+    """A character-canvas scatter plot.
+
+    Attributes:
+        width / height: canvas size in characters (plot area, excluding
+            axis labels).
+        title: optional heading.
+        x_label / y_label: axis captions.
+    """
+
+    width: int = 64
+    height: int = 20
+    title: str | None = None
+    x_label: str = "x"
+    y_label: str = "y"
+    _series: list[tuple[str, list[tuple[float, float]], str]] = field(
+        default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 4:
+            raise ConfigurationError(
+                f"canvas must be at least 8x4, got {self.width}x{self.height}"
+            )
+
+    def add_series(
+        self, name: str, points: Sequence[tuple[float, float]], marker: str | None = None
+    ) -> None:
+        """Add one named series of (x, y) points."""
+        if not points:
+            raise ConfigurationError(f"series {name!r} has no points")
+        if marker is None:
+            marker = MARKERS[len(self._series) % len(MARKERS)]
+        if len(marker) != 1:
+            raise ConfigurationError(f"marker must be one character, got {marker!r}")
+        self._series.append((name, [(float(x), float(y)) for x, y in points], marker))
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for _, pts, _ in self._series for x, _ in pts]
+        ys = [y for _, pts, _ in self._series for _, y in pts]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        # Pad degenerate ranges so scaling stays finite.
+        if x_hi == x_lo:
+            x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+        if y_hi == y_lo:
+            y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+        # 5 % margins, like the paper's fitted windows.
+        mx = 0.05 * (x_hi - x_lo)
+        my = 0.05 * (y_hi - y_lo)
+        return x_lo - mx, x_hi + mx, y_lo - my, y_hi + my
+
+    def render(self) -> str:
+        """Render the canvas with axes, ticks, and a legend."""
+        if not self._series:
+            raise ConfigurationError("nothing to plot: add a series first")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def to_cell(x: float, y: float) -> tuple[int, int]:
+            cx = int((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+            cy = int((y - y_lo) / (y_hi - y_lo) * (self.height - 1))
+            return min(max(cx, 0), self.width - 1), min(max(cy, 0), self.height - 1)
+
+        for _, points, marker in self._series:
+            ordered = sorted(points)
+            # Light connecting dots between consecutive points.
+            for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+                steps = max(
+                    abs(to_cell(x1, y1)[0] - to_cell(x0, y0)[0]),
+                    abs(to_cell(x1, y1)[1] - to_cell(x0, y0)[1]),
+                    1,
+                )
+                for step in range(1, steps):
+                    t = step / steps
+                    cx, cy = to_cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                    if grid[cy][cx] == " ":
+                        grid[cy][cx] = "."
+            for x, y in points:
+                cx, cy = to_cell(x, y)
+                grid[cy][cx] = marker
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(f"{self.y_label} (top {y_hi:.4g}, bottom {y_lo:.4g})")
+        for row in reversed(range(self.height)):
+            lines.append("|" + "".join(grid[row]))
+        lines.append("+" + "-" * self.width)
+        lines.append(
+            f" {self.x_label}: {x_lo:.4g} .. {x_hi:.4g}"
+        )
+        legend = "  ".join(f"{marker}={name}" for name, _, marker in self._series)
+        lines.append(f" legend: {legend}")
+        return "\n".join(lines)
+
+
+def plot_curve(curve: EnergyTimeCurve, **plot_kwargs) -> str:
+    """Render one energy-time curve, gear numbers as markers."""
+    plot = AsciiPlot(
+        title=plot_kwargs.pop("title", f"{curve.workload}, {curve.nodes} node(s)"),
+        x_label="time (s)",
+        y_label="energy (J)",
+        **plot_kwargs,
+    )
+    # One series per gear would be noise; plot the curve with its gears
+    # as individual single-point series so markers read as gear digits.
+    for point in curve.points:
+        plot.add_series(
+            f"gear {point.gear}", [(point.time, point.energy)], marker=str(point.gear)
+        )
+    return plot.render()
+
+
+def plot_family(family: CurveFamily, **plot_kwargs) -> str:
+    """Render a figure panel: one marker series per node count."""
+    plot = AsciiPlot(
+        title=plot_kwargs.pop("title", f"{family.workload}: energy vs time"),
+        x_label="time (s)",
+        y_label="energy (J)",
+        **plot_kwargs,
+    )
+    for curve in family:
+        plot.add_series(
+            f"{curve.nodes} nodes",
+            [(p.time, p.energy) for p in curve.points],
+        )
+    return plot.render()

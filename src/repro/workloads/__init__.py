@@ -1,0 +1,44 @@
+"""Workloads: the NAS-like benchmark suite, Jacobi, and the synthetic code.
+
+Each workload re-implements the message-passing structure of its NAS
+counterpart over the simulated MPI runtime, with kernel compute blocks
+whose micro-op counts and L2 miss behaviour are calibrated to the paper's
+measured UPM values (Table 1) and whose communication patterns reproduce
+the paper's scaling classification (Section 4.1, step 2).
+"""
+
+from repro.workloads.base import Workload, WorkloadSpec, CommScheme
+from repro.workloads.checkpointed import CheckpointedStencil
+from repro.workloads.jacobi import Jacobi
+from repro.workloads.synthetic import SyntheticMemoryPressure
+from repro.workloads.nas import (
+    BT,
+    CG,
+    EP,
+    FT,
+    IS,
+    LU,
+    MG,
+    SP,
+    NAS_PAPER_SUITE,
+    nas_suite,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadSpec",
+    "CommScheme",
+    "CheckpointedStencil",
+    "Jacobi",
+    "SyntheticMemoryPressure",
+    "BT",
+    "CG",
+    "EP",
+    "FT",
+    "IS",
+    "LU",
+    "MG",
+    "SP",
+    "NAS_PAPER_SUITE",
+    "nas_suite",
+]

@@ -1,0 +1,169 @@
+"""Workload abstraction.
+
+A workload is a factory for rank programs.  Its :class:`WorkloadSpec`
+carries the calibrated constants that give the workload its paper-matching
+fingerprint:
+
+- ``total_uops`` and ``upm`` size the computation and set the memory
+  pressure (Table 1's predictor);
+- ``miss_latency`` is the workload's *effective* visible DRAM latency —
+  the paper's measured energy-time slopes (Table 1) imply per-code
+  memory-level parallelism, which this parameter expresses;
+- ``serial_fraction`` is the Amdahl F_s of the computation;
+- ``iterations`` controls trace granularity (how many compute/comm
+  phases the run alternates through).
+
+Computation is split per iteration into a parallel share (divided across
+ranks) and a serial share executed by rank 0 only — which is what makes
+the fitted F_p/F_s of Section 4's model come out right.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.cluster.memory import ComputeBlock
+from repro.mpi.comm import Comm
+from repro.util.errors import ConfigurationError
+
+#: The generator type of one rank's program.
+Program = Generator[Any, Any, Any]
+
+
+class CommScheme(enum.Enum):
+    """The paper's communication scaling classes (step 2's labels)."""
+
+    NONE = "none"
+    LOGARITHMIC = "logarithmic"
+    LINEAR = "linear"
+    QUADRATIC = "quadratic"
+    CONSTANT = "constant"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Calibrated constants of one workload.
+
+    Attributes:
+        name: benchmark name (paper spelling, e.g. ``"CG"``).
+        iterations: outer phases the run alternates compute/comm through.
+        total_uops: micro-ops of the whole (1-node) computation.
+        upm: micro-ops per L2 miss (Table 1 fingerprint).
+        miss_latency: effective visible DRAM latency per miss, seconds.
+        serial_fraction: Amdahl F_s of the computation.
+        paper_comm_class: the communication class the paper assigns.
+        description: one-line summary of the computation modelled.
+    """
+
+    name: str
+    iterations: int
+    total_uops: float
+    upm: float
+    miss_latency: float
+    serial_fraction: float
+    paper_comm_class: CommScheme
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if self.total_uops <= 0 or self.upm <= 0:
+            raise ConfigurationError("total_uops and upm must be positive")
+        if self.miss_latency <= 0:
+            raise ConfigurationError("miss_latency must be positive")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ConfigurationError(
+                f"serial_fraction must be in [0, 1), got {self.serial_fraction}"
+            )
+
+    @property
+    def total_misses(self) -> float:
+        """Total L2 misses of the 1-node computation."""
+        return self.total_uops / self.upm
+
+
+class Workload(ABC):
+    """A runnable benchmark: program factory plus validity rules."""
+
+    #: Calibrated constants; subclasses assign in ``__init__``.
+    spec: WorkloadSpec
+
+    @property
+    def name(self) -> str:
+        """Benchmark name."""
+        return self.spec.name
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        """Node counts this workload can run on, up to ``max_nodes``.
+
+        Default: any count (Jacobi-style).  NAS codes override with their
+        power-of-two or perfect-square constraints.
+        """
+        return list(range(1, max_nodes + 1))
+
+    def validate_nodes(self, nodes: int) -> None:
+        """Raise if the workload cannot run on ``nodes`` ranks."""
+        if nodes < 1:
+            raise ConfigurationError(f"node count must be >= 1, got {nodes}")
+        if nodes not in self.valid_node_counts(nodes):
+            raise ConfigurationError(
+                f"{self.name} cannot run on {nodes} nodes; valid counts "
+                f"include {self.valid_node_counts(max(nodes, 36))}"
+            )
+
+    @abstractmethod
+    def program(self, comm: Comm) -> Program:
+        """Build this rank's program generator.
+
+        Called once per rank with that rank's communicator; the node
+        count is ``comm.size``.
+        """
+
+    # ------------------------------------------------------------------
+    # Kernel helpers shared by all subclasses
+
+    def parallel_block(self, nodes: int, *, share: float = 1.0) -> ComputeBlock:
+        """One iteration's parallel work for one rank.
+
+        Args:
+            nodes: rank count the computation is divided over.
+            share: fraction of the iteration's parallel work in this
+                block (for workloads that split an iteration into
+                multiple phases).
+        """
+        spec = self.spec
+        uops = (
+            spec.total_uops
+            * (1.0 - spec.serial_fraction)
+            * share
+            / (spec.iterations * nodes)
+        )
+        return ComputeBlock(uops, uops / spec.upm, spec.miss_latency)
+
+    def serial_block(self, *, share: float = 1.0) -> ComputeBlock | None:
+        """One iteration's serial (rank-0) work, or None if negligible."""
+        spec = self.spec
+        uops = spec.total_uops * spec.serial_fraction * share / spec.iterations
+        if uops <= 0.0:
+            return None
+        return ComputeBlock(uops, uops / spec.upm, spec.miss_latency)
+
+    def iteration_compute(self, comm: Comm, *, share: float = 1.0) -> Program:
+        """Yield one iteration's compute: parallel share + rank-0 serial."""
+        yield from comm.compute_block(self.parallel_block(comm.size, share=share))
+        if comm.rank == 0:
+            serial = self.serial_block(share=share)
+            if serial is not None:
+                yield from comm.compute_block(serial)
+
+    def single_node_duration_hint(self, issue_rate: float, frequency_hz: float) -> float:
+        """Analytic 1-node runtime at a frequency (sizing sanity checks)."""
+        core = self.spec.total_uops / (issue_rate * frequency_hz)
+        stall = self.spec.total_misses * self.spec.miss_latency
+        return core + stall
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

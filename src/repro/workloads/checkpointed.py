@@ -1,0 +1,83 @@
+"""A checkpointing stencil — the disk-scaling future work's workload.
+
+HPC codes touch the disk mostly through periodic checkpoints (the
+BT-IO pattern).  :class:`CheckpointedStencil` alternates stencil
+compute/halo iterations with a blocking local checkpoint write every
+``checkpoint_every`` iterations, which is exactly the I/O profile the
+paper's "scaling down other components, such as the disk" remark targets:
+long disk-idle stretches punctuated by bursts.
+
+Requires a cluster whose nodes carry a disk
+(``athlon_cluster(disk=drpm_disk())``).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import Comm
+from repro.util.errors import ConfigurationError
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+
+#: Halo row exchanged per iteration, bytes.
+HALO_BYTES = 38_400
+
+
+class CheckpointedStencil(Workload):
+    """Jacobi-like stencil with periodic checkpoint writes.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        checkpoint_every: iterations between checkpoints.
+        checkpoint_bytes: total checkpoint volume per node per event.
+        disk_speed: spindle speed the nodes select at start (1 fastest).
+    """
+
+    BASE_ITERATIONS = 60
+    BASE_UOPS = 6.6e10
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        *,
+        checkpoint_every: int = 10,
+        checkpoint_bytes: int = 64_000_000,
+        disk_speed: int = 1,
+    ):
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_bytes < 0:
+            raise ConfigurationError(
+                f"checkpoint_bytes must be >= 0, got {checkpoint_bytes}"
+            )
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_bytes = checkpoint_bytes
+        self.disk_speed = disk_speed
+        self.spec = WorkloadSpec(
+            name="CheckpointedStencil",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS * iterations / self.BASE_ITERATIONS,
+            upm=65.0,
+            miss_latency=25e-9,
+            serial_fraction=0.01,
+            paper_comm_class=CommScheme.CONSTANT,
+            description="stencil + periodic local checkpoint writes",
+        )
+
+    def program(self, comm: Comm) -> Program:
+        size, rank = comm.size, comm.rank
+        yield from comm.set_disk_speed(self.disk_speed)
+        per_node = max(1, self.checkpoint_bytes // max(size, 1))
+        for iteration in range(self.spec.iterations):
+            yield from self.iteration_compute(comm)
+            if size > 1:
+                right = (rank + 1) % size
+                left = (rank - 1) % size
+                yield from comm.sendrecv(
+                    right, left, send_bytes=HALO_BYTES, tag=7
+                )
+                yield from comm.allreduce(1.0, nbytes=8)
+            if (iteration + 1) % self.checkpoint_every == 0:
+                yield from comm.disk_write(per_node)
+        return None

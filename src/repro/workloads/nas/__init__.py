@@ -1,0 +1,49 @@
+"""The NAS-like parallel benchmark suite.
+
+Eight codes with the message-passing structure of their NAS counterparts,
+calibrated to the paper's measurements (Table 1 UPM values, Figure 1/2
+energy-time behaviour, Section 4.1 communication classes).
+
+The paper evaluates six of them; FT ("we cannot get it to work" — ours
+works, but it is excluded from the paper-figure harness for parity) and
+IS (class B too small / class C thrashes) are provided for completeness.
+"""
+
+from repro.workloads.nas.bt import BT
+from repro.workloads.nas.cg import CG
+from repro.workloads.nas.ep import EP
+from repro.workloads.nas.ft import FT
+from repro.workloads.nas.is_ import IS
+from repro.workloads.nas.lu import LU
+from repro.workloads.nas.mg import MG
+from repro.workloads.nas.sp import SP
+
+#: Names of the six codes in the paper's figures, in Table 1 order.
+NAS_PAPER_SUITE = ("EP", "BT", "LU", "MG", "SP", "CG")
+
+
+def nas_suite(scale: float = 1.0, *, include_excluded: bool = False):
+    """Instantiate the NAS codes the paper evaluates (Table 1 order).
+
+    Args:
+        scale: work/iteration scale passed to every workload.
+        include_excluded: also return FT and IS.
+    """
+    suite = [EP(scale), BT(scale), LU(scale), MG(scale), SP(scale), CG(scale)]
+    if include_excluded:
+        suite.extend([FT(scale), IS(scale)])
+    return suite
+
+
+__all__ = [
+    "BT",
+    "CG",
+    "EP",
+    "FT",
+    "IS",
+    "LU",
+    "MG",
+    "SP",
+    "NAS_PAPER_SUITE",
+    "nas_suite",
+]

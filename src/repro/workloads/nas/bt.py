@@ -1,0 +1,83 @@
+"""BT — Block-Tridiagonal ADI solver.
+
+Runs on perfect-square node counts (1, 4, 9, 16, 25): the solution grid
+maps onto a sqrt(n) x sqrt(n) process grid and each iteration performs
+three ADI sweep phases, each exchanging faces with the grid neighbours
+(face volume shrinks as 1/sqrt(n)), plus one residual allreduce.  The
+saturating face count and the tree allreduce give BT the paper's
+logarithmic communication class; its 4-to-9-node transition shows poor
+speedup on the 100 Mb/s fabric (case 1), matching Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mpi.comm import Comm
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+from repro.workloads.nas.classes import comm_factor, work_factor
+from repro.workloads.nas.common import perfect_squares, square_grid_schedule
+
+#: Face bytes per neighbour per sweep phase on one node row (scaled by
+#: 1/sqrt(n) at runtime), class B.
+FACE_BYTES_BASE = 650_000
+
+#: ADI sweep phases per iteration (x, y, z).
+PHASES = 3
+
+_TAG_FACE = 41
+
+
+class BT(Workload):
+    """Block-tridiagonal ADI kernel on a square process grid.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        problem_class: NAS class (S/W/A/B/C); the paper evaluates B.
+    """
+
+    BASE_ITERATIONS = 50
+    BASE_UOPS = 1.145e11
+
+    def __init__(self, scale: float = 1.0, *, problem_class: str = "B"):
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.problem_class = problem_class
+        self._comm_factor = comm_factor(problem_class)
+        self.spec = WorkloadSpec(
+            name="BT",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS
+            * work_factor(problem_class)
+            * iterations
+            / self.BASE_ITERATIONS,
+            upm=79.6,
+            miss_latency=25e-9,
+            serial_fraction=0.01,
+            paper_comm_class=CommScheme.LOGARITHMIC,
+            description="ADI sweeps on a square grid; face exchanges",
+        )
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        return perfect_squares(max_nodes)
+
+    def face_bytes(self, nodes: int) -> int:
+        """Per-neighbour face volume at a node count."""
+        return max(
+            1, int(FACE_BYTES_BASE * self._comm_factor / math.isqrt(nodes))
+        )
+
+    def program(self, comm: Comm) -> Program:
+        size, rank = comm.size, comm.rank
+        schedule = square_grid_schedule(rank, size)
+        face = self.face_bytes(size)
+        share = 1.0 / PHASES
+        for iteration in range(self.spec.iterations):
+            for phase in range(PHASES):
+                yield from self.iteration_compute(comm, share=share)
+                for dest, source in schedule:
+                    yield from comm.sendrecv(
+                        dest, source, send_bytes=face, tag=_TAG_FACE
+                    )
+            if size > 1:
+                yield from comm.allreduce(float(iteration), nbytes=40)
+        return None

@@ -1,0 +1,90 @@
+"""CG — Conjugate Gradient.
+
+Sparse matrix-vector products over a randomly structured matrix: the
+memory-pressure extreme of the suite (UPM 8.60, Table 1's lowest) and the
+paper's best energy-time tradeoff — ~9-10 % energy for ~1 % time at
+gear 2, ~20 % energy for ~10 % time at gear 5 on one node.
+
+Communication: every iteration each rank exchanges reduce segments with
+every peer (the row/column reductions of CG's 2-D decomposition), then
+allreduces rho and the residual norm.  The all-pairs pattern serializes
+on the era's blocking switch backplane, which is what makes measured
+communication time grow *quadratically* in the node count — the paper's
+classification for CG, and the reason its model finds CG slower on 32
+nodes than on one.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import Comm
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+from repro.workloads.nas.classes import comm_factor, work_factor
+from repro.workloads.nas.common import powers_of_two
+
+#: Reduce-segment exchanged with each peer, per iteration, bytes (class B).
+EXCHANGE_BYTES = 200_000
+
+_TAG_SEGMENT = 11
+
+
+class CG(Workload):
+    """Conjugate-gradient kernel with all-pairs reduce exchanges.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        problem_class: NAS class (S/W/A/B/C); the paper evaluates B.
+    """
+
+    BASE_ITERATIONS = 75
+    BASE_UOPS = 2.31e10
+
+    def __init__(self, scale: float = 1.0, *, problem_class: str = "B"):
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.problem_class = problem_class
+        self.exchange_bytes = max(1, int(EXCHANGE_BYTES * comm_factor(problem_class)))
+        self.spec = WorkloadSpec(
+            name="CG",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS
+            * work_factor(problem_class)
+            * iterations
+            / self.BASE_ITERATIONS,
+            upm=8.60,
+            miss_latency=19e-9,
+            serial_fraction=0.01,
+            paper_comm_class=CommScheme.QUADRATIC,
+            description="sparse mat-vec; all-pairs reduce segments",
+        )
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        return powers_of_two(max_nodes)
+
+    def program(self, comm: Comm) -> Program:
+        size, rank = comm.size, comm.rank
+        rho = 1.0 + rank
+        for iteration in range(self.spec.iterations):
+            yield from self.iteration_compute(comm)
+            if size > 1:
+                # Post all receives first, then send to every peer: the
+                # non-blocking exchange of CG's row/column reductions.
+                recvs = []
+                for peer in range(size):
+                    if peer != rank:
+                        recvs.append(
+                            (yield from comm.irecv(peer, tag=_TAG_SEGMENT))
+                        )
+                sends = []
+                for offset in range(1, size):
+                    peer = (rank + offset) % size
+                    sends.append(
+                        (
+                            yield from comm.isend(
+                                peer, nbytes=self.exchange_bytes, tag=_TAG_SEGMENT
+                            )
+                        )
+                    )
+                yield from comm.waitall(recvs)
+                yield from comm.waitall(sends)
+                rho = yield from comm.allreduce(rho, nbytes=8)
+                yield from comm.allreduce(rho * 0.5, nbytes=8)
+        return rho

@@ -1,0 +1,62 @@
+"""Shared structure for the NAS-like codes: node-count rules, grids."""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import ConfigurationError
+
+
+def powers_of_two(max_nodes: int) -> list[int]:
+    """1, 2, 4, 8, ... up to ``max_nodes`` (CG/MG/LU/FT/IS rule)."""
+    counts = []
+    n = 1
+    while n <= max_nodes:
+        counts.append(n)
+        n *= 2
+    return counts
+
+
+def perfect_squares(max_nodes: int) -> list[int]:
+    """1, 4, 9, 16, 25, ... up to ``max_nodes`` (BT/SP rule)."""
+    counts = []
+    k = 1
+    while k * k <= max_nodes:
+        counts.append(k * k)
+        k += 1
+    return counts
+
+
+def square_grid_neighbors(rank: int, nodes: int) -> list[int]:
+    """Distinct torus neighbours of ``rank`` on a sqrt(n) x sqrt(n) grid.
+
+    BT and SP decompose onto a square process grid; each rank exchanges
+    faces with its east/west and north/south neighbours (deduplicated for
+    tiny grids where wrap-around collapses them).
+    """
+    return [dest for dest, _ in square_grid_schedule(rank, nodes)]
+
+
+def square_grid_schedule(rank: int, nodes: int) -> list[tuple[int, int]]:
+    """Globally-consistent ``(dest, source)`` sendrecv pairs per phase.
+
+    Every rank performs the same number of exchange steps in the same
+    order; at step k, the rank this rank receives from is exactly the
+    rank that sends to it at step k, so pairwise sendrecv operations
+    match without deadlock.  On a side-2 torus the east/west (and
+    north/south) partners collapse to a single symmetric exchange.
+    """
+    side = math.isqrt(nodes)
+    if side * side != nodes:
+        raise ConfigurationError(f"{nodes} is not a perfect square")
+    if nodes == 1:
+        return []
+    row, col = divmod(rank, side)
+    east = row * side + (col + 1) % side
+    west = row * side + (col - 1) % side
+    south = ((row + 1) % side) * side + col
+    north = ((row - 1) % side) * side + col
+    if side == 2:
+        # Wrap-around collapses each dimension to one symmetric partner.
+        return [(east, east), (south, south)]
+    return [(east, west), (west, east), (south, north), (north, south)]

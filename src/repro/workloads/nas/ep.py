@@ -1,0 +1,61 @@
+"""EP — Embarrassingly Parallel.
+
+Gaussian-pair generation with essentially no communication: each rank
+computes its share of random pairs, then three small allreduces combine
+the sums and the annulus counts.  EP is the paper's CPU-bound extreme:
+UPM 844 (Table 1's highest), near-perfect speedup (the Section 3.2
+illustration of case 2), and a gear-2 slowdown that equals the cycle-time
+increase (~11 %) for ~no energy saving.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import Comm
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+from repro.workloads.nas.classes import work_factor
+from repro.workloads.nas.common import powers_of_two
+
+
+class EP(Workload):
+    """Embarrassingly parallel Gaussian-pair kernel.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        problem_class: NAS class (S/W/A/B/C); the paper evaluates B.
+    """
+
+    BASE_ITERATIONS = 16
+    BASE_UOPS = 1.81e11
+
+    def __init__(self, scale: float = 1.0, *, problem_class: str = "B"):
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.problem_class = problem_class
+        self.spec = WorkloadSpec(
+            name="EP",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS
+            * work_factor(problem_class)
+            * iterations
+            / self.BASE_ITERATIONS,
+            upm=844.0,
+            miss_latency=25e-9,
+            serial_fraction=0.001,
+            paper_comm_class=CommScheme.LOGARITHMIC,
+            description="Gaussian pairs; three terminal allreduces",
+        )
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        return powers_of_two(max_nodes)
+
+    def program(self, comm: Comm) -> Program:
+        partial_sx = 0.5 * (comm.rank + 1)
+        partial_sy = 0.25 * (comm.rank + 1)
+        counts = float(comm.rank)
+        for iteration in range(self.spec.iterations):
+            yield from self.iteration_compute(comm)
+        if comm.size > 1:
+            sx = yield from comm.allreduce(partial_sx, nbytes=8)
+            sy = yield from comm.allreduce(partial_sy, nbytes=8)
+            total_counts = yield from comm.allreduce(counts, nbytes=80)
+            return (sx, sy, total_counts)
+        return (partial_sx, partial_sy, counts)

@@ -1,0 +1,91 @@
+"""IS — Integer Sort (excluded from the paper's figures).
+
+The paper: "IS is not shown because (1) class B is too small to get any
+parallel speedup and (2) class C thrashes on 1 and 2 nodes, making
+comparative energy results meaningless."  We provide the class-B-like
+configuration: a short bucket sort whose per-iteration key exchange
+(all-to-all) plus bucket-count allreduce dwarfs its tiny computation —
+reproducing "too small for parallel speedup" — while remaining runnable.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.memory import ComputeBlock
+from repro.mpi.comm import Comm
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+from repro.workloads.nas.classes import (
+    THRASH_LATENCY_FACTOR,
+    comm_factor,
+    is_thrashing,
+    work_factor,
+)
+from repro.workloads.nas.common import powers_of_two
+
+#: Key bytes exchanged per rank per iteration (split across peers).
+#: Class B sorts 2^25 integers; nearly the whole key array crosses the
+#: wire each iteration, which on a 100 Mb/s fabric swamps the trivial
+#: bucket-count computation — the paper's "too small to get any parallel
+#: speedup".
+KEY_BYTES = 32_000_000
+
+#: Bucket-histogram allreduce size, bytes.
+HISTOGRAM_BYTES = 4096
+
+
+class IS(Workload):
+    """Integer bucket sort with heavyweight key exchange.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        problem_class: NAS class (S/W/A/B/C); the paper evaluates B.
+            Class C on one or two nodes exceeds the 1 GB node memory and
+            *thrashes* — the paper's second reason for excluding IS —
+            modelled as a paging blow-up of the effective miss latency.
+    """
+
+    BASE_ITERATIONS = 10
+    BASE_UOPS = 7.56e9
+
+    def __init__(self, scale: float = 1.0, *, problem_class: str = "B"):
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.problem_class = problem_class
+        self.key_bytes = max(1, int(KEY_BYTES * comm_factor(problem_class)))
+        self.spec = WorkloadSpec(
+            name="IS",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS
+            * work_factor(problem_class)
+            * iterations
+            / self.BASE_ITERATIONS,
+            upm=25.0,
+            miss_latency=40e-9,
+            serial_fraction=0.005,
+            paper_comm_class=CommScheme.QUADRATIC,
+            description="bucket sort; all-to-all key exchange",
+        )
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        return powers_of_two(max_nodes)
+
+    def parallel_block(self, nodes: int, *, share: float = 1.0) -> ComputeBlock:
+        """Per-rank work; pays paging latency when the class thrashes."""
+        block = super().parallel_block(nodes, share=share)
+        if is_thrashing(self.problem_class, nodes):
+            return ComputeBlock(
+                block.uops,
+                block.l2_misses,
+                self.spec.miss_latency * THRASH_LATENCY_FACTOR,
+            )
+        return block
+
+    def program(self, comm: Comm) -> Program:
+        size = comm.size
+        for iteration in range(self.spec.iterations):
+            yield from self.iteration_compute(comm)
+            if size > 1:
+                per_peer = max(1, self.key_bytes // size)
+                yield from comm.alltoall([None] * size, nbytes=per_peer)
+                yield from comm.allreduce(
+                    float(iteration), nbytes=HISTOGRAM_BYTES
+                )
+        return None

@@ -1,0 +1,87 @@
+"""LU — SSOR solver with pipelined wavefront sweeps.
+
+Each iteration's lower/upper sweeps pipeline across ranks: every rank
+computes a sub-block, forwards a boundary strip to its successor, and
+receives from its predecessor.  Adding nodes multiplies the *number* of
+messages per rank while shrinking each strip — the paper's Section 4.1
+observation ("each node sends more messages, but the average message size
+decreases"), which is why LU's communication was initially classified
+linear but best modelled as constant.
+
+LU's Figure 2 behaviour is the paper's showcase of case 3 (good speedup):
+on 8 nodes at gear 4 it matches the energy of 4 nodes at gear 1 while
+running ~50 % faster.  Its effective miss latency is higher than its UPM
+alone suggests (low memory-level parallelism in the triangular sweeps),
+reproducing Table 1's LU/MG slope inversion.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import Comm
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+from repro.workloads.nas.classes import comm_factor, work_factor
+from repro.workloads.nas.common import powers_of_two
+
+#: Total boundary bytes forwarded per rank per iteration (split into
+#: one strip per pipeline stage), class B.
+BOUNDARY_BYTES = 40_000
+
+_TAG_SWEEP = 21
+
+
+class LU(Workload):
+    """SSOR wavefront kernel.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        problem_class: NAS class (S/W/A/B/C); the paper evaluates B.
+    """
+
+    BASE_ITERATIONS = 60
+    BASE_UOPS = 5.165e10
+
+    def __init__(self, scale: float = 1.0, *, problem_class: str = "B"):
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.problem_class = problem_class
+        self.boundary_bytes = max(
+            1, int(BOUNDARY_BYTES * comm_factor(problem_class))
+        )
+        self.spec = WorkloadSpec(
+            name="LU",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS
+            * work_factor(problem_class)
+            * iterations
+            / self.BASE_ITERATIONS,
+            upm=73.5,
+            miss_latency=50e-9,
+            serial_fraction=0.03,
+            paper_comm_class=CommScheme.LINEAR,
+            description="SSOR pipelined wavefront; per-stage boundary strips",
+        )
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        return powers_of_two(max_nodes)
+
+    def program(self, comm: Comm) -> Program:
+        size, rank = comm.size, comm.rank
+        succ = (rank + 1) % size
+        pred = (rank - 1) % size
+        for iteration in range(self.spec.iterations):
+            if size == 1:
+                yield from self.iteration_compute(comm)
+            else:
+                # One pipeline stage per rank: n sub-blocks, each followed
+                # by a boundary strip of boundary_bytes / n.
+                strip = max(1, self.boundary_bytes // size)
+                share = 1.0 / size
+                for stage in range(size):
+                    yield from self.iteration_compute(comm, share=share)
+                    handle = yield from comm.isend(
+                        succ, nbytes=strip, tag=_TAG_SWEEP
+                    )
+                    yield from comm.recv(pred, tag=_TAG_SWEEP)
+                    yield from comm.wait(handle)
+            if size > 1 and iteration % 5 == 4:
+                yield from comm.allreduce(float(iteration), nbytes=40)
+        return None

@@ -1,0 +1,94 @@
+"""MG — Multigrid V-cycles.
+
+Each iteration runs one V-cycle: smoothing sweeps with *plane-sized* halo
+exchanges (the 1-D/2-D decomposition keeps face volume nearly constant as
+nodes are added, but the number of exchange partners grows as the
+decomposition splits more dimensions), plus per-level residual
+allreduces.  The partner growth saturates — logarithmic communication,
+the paper's class for MG — and the 2-to-4-node decomposition switch is
+expensive enough that MG lands in case 1 (poor speedup) on that
+transition, as Figure 2 reports.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.comm import Comm
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+from repro.workloads.nas.classes import comm_factor, work_factor
+from repro.workloads.nas.common import powers_of_two
+
+#: Face volume per neighbour per V-cycle, all grid levels combined
+#: (finest plane plus the geometrically shrinking coarser levels), class B.
+FACE_BYTES = 525_000
+
+#: Grid levels that perform a residual allreduce each V-cycle.
+LEVELS = 4
+
+_TAG_FACE = 31
+
+
+def exchange_partners(rank: int, nodes: int) -> list[int]:
+    """Distinct halo partners of ``rank`` for an ``nodes``-way V-cycle.
+
+    The count grows with the decomposition's dimensionality: 1 partner on
+    2 nodes (1-D), 3 on 4 (2-D with corner coupling), then saturating
+    logarithmically (4 on 8, 5 on 16, 6 on 32) — giving MG its
+    logarithmic T^I shape, with the expensive 1-D-to-2-D switch at 4
+    nodes that makes the 2-to-4 transition case 1 (poor).
+    """
+    if nodes == 1:
+        return []
+    count = {2: 1, 4: 3}.get(nodes)
+    if count is None:
+        # log2-saturating growth beyond the decomposition switch.
+        count = 1 + nodes.bit_length() - 1
+    count = min(count, nodes - 1)
+    return [(rank + offset) % nodes for offset in range(1, count + 1)]
+
+
+class MG(Workload):
+    """Multigrid V-cycle kernel.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        problem_class: NAS class (S/W/A/B/C); the paper evaluates B.
+    """
+
+    BASE_ITERATIONS = 20
+    BASE_UOPS = 6.09e10
+
+    def __init__(self, scale: float = 1.0, *, problem_class: str = "B"):
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.problem_class = problem_class
+        self.face_bytes = max(1, int(FACE_BYTES * comm_factor(problem_class)))
+        self.spec = WorkloadSpec(
+            name="MG",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS
+            * work_factor(problem_class)
+            * iterations
+            / self.BASE_ITERATIONS,
+            upm=70.6,
+            miss_latency=25e-9,
+            serial_fraction=0.02,
+            paper_comm_class=CommScheme.LOGARITHMIC,
+            description="V-cycles; plane halos + per-level allreduce",
+        )
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        return powers_of_two(max_nodes)
+
+    def program(self, comm: Comm) -> Program:
+        size, rank = comm.size, comm.rank
+        partners = exchange_partners(rank, size)
+        for iteration in range(self.spec.iterations):
+            yield from self.iteration_compute(comm)
+            if size > 1:
+                for peer in partners:
+                    source = (rank - (peer - rank)) % size
+                    yield from comm.sendrecv(
+                        peer, source, send_bytes=self.face_bytes, tag=_TAG_FACE
+                    )
+                for level in range(LEVELS):
+                    yield from comm.allreduce(float(level), nbytes=8)
+        return None

@@ -1,0 +1,82 @@
+"""SP — Scalar-Pentadiagonal ADI solver.
+
+Structurally BT's sibling (square process grid, three sweep phases with
+face exchanges, residual allreduce) but more memory-bound: UPM 49.5 and a
+lower memory-level parallelism in its scalar recurrences, giving the
+second-steepest energy-time slope in Table 1.  Its larger faces make the
+4-to-9-node transition poor (case 1), as the paper reports, and in the
+Figure 5 extrapolation its minimum-energy gear moves from gear 2 on four
+nodes to gear ~4 on sixteen.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mpi.comm import Comm
+from repro.workloads.base import CommScheme, Program, Workload, WorkloadSpec
+from repro.workloads.nas.classes import comm_factor, work_factor
+from repro.workloads.nas.common import perfect_squares, square_grid_schedule
+
+#: Face bytes per neighbour per sweep phase (scaled by 1/sqrt(n)), class B.
+FACE_BYTES_BASE = 800_000
+
+#: ADI sweep phases per iteration.
+PHASES = 3
+
+_TAG_FACE = 51
+
+
+class SP(Workload):
+    """Scalar-pentadiagonal ADI kernel on a square process grid.
+
+    Args:
+        scale: proportionally scales iterations and total work.
+        problem_class: NAS class (S/W/A/B/C); the paper evaluates B.
+    """
+
+    BASE_ITERATIONS = 50
+    BASE_UOPS = 5.02e10
+
+    def __init__(self, scale: float = 1.0, *, problem_class: str = "B"):
+        iterations = max(3, round(self.BASE_ITERATIONS * scale))
+        self.problem_class = problem_class
+        self._comm_factor = comm_factor(problem_class)
+        self.spec = WorkloadSpec(
+            name="SP",
+            iterations=iterations,
+            total_uops=self.BASE_UOPS
+            * work_factor(problem_class)
+            * iterations
+            / self.BASE_ITERATIONS,
+            upm=49.5,
+            miss_latency=45e-9,
+            serial_fraction=0.02,
+            paper_comm_class=CommScheme.LOGARITHMIC,
+            description="scalar ADI sweeps on a square grid; face exchanges",
+        )
+
+    def valid_node_counts(self, max_nodes: int) -> list[int]:
+        return perfect_squares(max_nodes)
+
+    def face_bytes(self, nodes: int) -> int:
+        """Per-neighbour face volume at a node count."""
+        return max(
+            1, int(FACE_BYTES_BASE * self._comm_factor / math.isqrt(nodes))
+        )
+
+    def program(self, comm: Comm) -> Program:
+        size = comm.size
+        schedule = square_grid_schedule(comm.rank, size)
+        face = self.face_bytes(size)
+        share = 1.0 / PHASES
+        for iteration in range(self.spec.iterations):
+            for phase in range(PHASES):
+                yield from self.iteration_compute(comm, share=share)
+                for dest, source in schedule:
+                    yield from comm.sendrecv(
+                        dest, source, send_bytes=face, tag=_TAG_FACE
+                    )
+            if size > 1:
+                yield from comm.allreduce(float(iteration), nbytes=40)
+        return None

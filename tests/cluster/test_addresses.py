@@ -1,0 +1,67 @@
+"""Synthetic address-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.addresses import (
+    blocked_reuse,
+    random_in_working_set,
+    sequential_stream,
+    strided_stream,
+)
+from repro.util.errors import ConfigurationError
+
+
+class TestSequential:
+    def test_unit_stride(self):
+        trace = sequential_stream(4, element_bytes=8)
+        assert trace.tolist() == [0, 8, 16, 24]
+
+    def test_base_offset(self):
+        assert sequential_stream(2, base=100).tolist() == [100, 108]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            sequential_stream(0)
+
+
+class TestStrided:
+    def test_stride(self):
+        assert strided_stream(3, 512).tolist() == [0, 512, 1024]
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ConfigurationError):
+            strided_stream(3, 0)
+
+
+class TestRandomInWorkingSet:
+    def test_bounded_by_working_set(self):
+        trace = random_in_working_set(10_000, working_set_bytes=4096, seed=0)
+        assert trace.min() >= 0
+        assert trace.max() < 4096
+
+    def test_deterministic_per_seed(self):
+        a = random_in_working_set(100, 4096, seed=5)
+        b = random_in_working_set(100, 4096, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = random_in_working_set(100, 1 << 20, seed=1)
+        b = random_in_working_set(100, 1 << 20, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_alignment(self):
+        trace = random_in_working_set(1000, 8192, element_bytes=8, seed=0)
+        assert (trace % 8 == 0).all()
+
+
+class TestBlockedReuse:
+    def test_tiles_repeat(self):
+        trace = blocked_reuse(32, sweeps=3, element_bytes=8)
+        one = trace[:4]
+        assert np.array_equal(trace[4:8], one)
+        assert len(trace) == 12
+
+    def test_rejects_zero_sweeps(self):
+        with pytest.raises(ConfigurationError):
+            blocked_reuse(32, sweeps=0)

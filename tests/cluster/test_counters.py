@@ -1,0 +1,57 @@
+"""Hardware counter bank."""
+
+import math
+
+import pytest
+
+from repro.cluster.counters import CounterBank
+
+
+class TestCharge:
+    def test_accumulates(self):
+        bank = CounterBank()
+        bank.charge(100.0, 10.0, 200.0, 1e-7)
+        bank.charge(50.0, 5.0, 100.0, 5e-8)
+        assert bank.uops == 150.0
+        assert bank.l2_misses == 15.0
+        assert bank.cycles == 300.0
+        assert bank.compute_seconds == pytest.approx(1.5e-7)
+
+
+class TestDerivedMetrics:
+    def test_upm(self):
+        bank = CounterBank(uops=860.0, l2_misses=100.0)
+        assert bank.upm == pytest.approx(8.6)
+
+    def test_upm_infinite_without_misses(self):
+        assert CounterBank(uops=10.0).upm == float("inf")
+
+    def test_upm_nan_when_empty(self):
+        assert math.isnan(CounterBank().upm)
+
+    def test_upc(self):
+        bank = CounterBank(uops=130.0, cycles=100.0)
+        assert bank.upc == pytest.approx(1.3)
+
+    def test_upc_nan_without_cycles(self):
+        assert math.isnan(CounterBank(uops=10.0).upc)
+
+
+class TestMerge:
+    def test_merged_is_sum(self):
+        a = CounterBank(uops=1.0, l2_misses=2.0, cycles=3.0, compute_seconds=4.0)
+        b = CounterBank(uops=10.0, l2_misses=20.0, cycles=30.0, compute_seconds=40.0)
+        m = a.merged(b)
+        assert (m.uops, m.l2_misses, m.cycles, m.compute_seconds) == (11.0, 22.0, 33.0, 44.0)
+
+    def test_merged_does_not_mutate(self):
+        a = CounterBank(uops=1.0)
+        a.merged(CounterBank(uops=5.0))
+        assert a.uops == 1.0
+
+    def test_total(self):
+        banks = [CounterBank(uops=float(i)) for i in range(4)]
+        assert CounterBank.total(banks).uops == 6.0
+
+    def test_total_empty(self):
+        assert CounterBank.total([]).uops == 0.0

@@ -1,0 +1,106 @@
+"""CPU spec and CMOS power model."""
+
+import pytest
+
+from repro.cluster.cpu import ATHLON64_CPU, CPUPowerModel, CPUSpec
+from repro.cluster.gears import ATHLON64_GEARS
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return CPUPowerModel(ATHLON64_CPU)
+
+
+class TestDynamicScale:
+    def test_fastest_gear_scale_is_one(self, model):
+        assert model.dynamic_scale(ATHLON64_GEARS[1]) == pytest.approx(1.0)
+
+    def test_scale_decreases_with_gear(self, model):
+        scales = [model.dynamic_scale(g) for g in ATHLON64_GEARS]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_fv2_formula(self, model):
+        g = ATHLON64_GEARS[6]
+        expected = (800 / 2000) * (1.0 / 1.5) ** 2
+        assert model.dynamic_scale(g) == pytest.approx(expected)
+
+
+class TestActivePower:
+    def test_peak_power_in_paper_window(self, model):
+        # Paper footnote 2: peak CPU power for applications is 70-80 W.
+        p = model.active_power(ATHLON64_GEARS[1], stall_fraction=0.0)
+        assert 70.0 <= p <= 80.0
+
+    def test_stalls_reduce_power(self, model):
+        g = ATHLON64_GEARS[1]
+        busy = model.active_power(g, stall_fraction=0.0)
+        stalled = model.active_power(g, stall_fraction=0.9)
+        assert stalled < busy
+
+    def test_stalled_cycles_still_burn_power(self, model):
+        # A fully-stalled pipeline draws more than the idle loop.
+        g = ATHLON64_GEARS[1]
+        assert model.active_power(g, stall_fraction=1.0) > model.idle_power(g)
+
+    def test_power_monotone_in_gear(self, model):
+        powers = [model.active_power(g, 0.3) for g in ATHLON64_GEARS]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_rejects_bad_stall_fraction(self, model):
+        with pytest.raises(ConfigurationError):
+            model.active_power(ATHLON64_GEARS[1], stall_fraction=1.5)
+
+
+class TestIdlePower:
+    def test_idle_below_active_at_every_gear(self, model):
+        for g in ATHLON64_GEARS:
+            assert model.idle_power(g) < model.active_power(g, 0.0)
+
+    def test_idle_decreases_with_gear(self, model):
+        powers = [model.idle_power(g) for g in ATHLON64_GEARS]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_leakage_scales_with_voltage(self, model):
+        leak_fast = model.leakage_power(ATHLON64_GEARS[1])
+        leak_slow = model.leakage_power(ATHLON64_GEARS[6])
+        assert leak_slow == pytest.approx(leak_fast * (1.0 / 1.5))
+
+
+class TestCPUSpecValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="x",
+            gears=ATHLON64_GEARS,
+            issue_rate=1.3,
+            dynamic_power_full=75.0,
+            leakage_power_max=8.0,
+            active_activity=0.9,
+            idle_activity=0.15,
+            stall_activity_fraction=0.7,
+        )
+
+    def test_valid_spec_builds(self):
+        CPUSpec(**self._base_kwargs())
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("issue_rate", 0.0),
+            ("dynamic_power_full", -1.0),
+            ("active_activity", 1.5),
+            ("idle_activity", -0.1),
+            ("stall_activity_fraction", 2.0),
+        ],
+    )
+    def test_rejects_bad_fields(self, field, value):
+        kwargs = self._base_kwargs()
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            CPUSpec(**kwargs)
+
+    def test_rejects_idle_above_active(self):
+        kwargs = self._base_kwargs()
+        kwargs["idle_activity"] = 0.95
+        with pytest.raises(ConfigurationError):
+            CPUSpec(**kwargs)

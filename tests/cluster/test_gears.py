@@ -1,0 +1,86 @@
+"""Gear and gear-table validation."""
+
+import pytest
+
+from repro.cluster.gears import ATHLON64_GEARS, Gear, GearTable
+from repro.util.errors import ConfigurationError
+
+
+class TestGear:
+    def test_frequency_conversion(self):
+        g = Gear(1, 2000.0, 1.5)
+        assert g.frequency_hz == pytest.approx(2.0e9)
+        assert g.cycle_time == pytest.approx(0.5e-9)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(index=0, frequency_mhz=2000.0, voltage=1.5),
+            dict(index=1, frequency_mhz=0.0, voltage=1.5),
+            dict(index=1, frequency_mhz=2000.0, voltage=0.0),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Gear(**kwargs)
+
+
+class TestGearTable:
+    def test_paper_table_shape(self):
+        assert len(ATHLON64_GEARS) == 6
+        assert ATHLON64_GEARS.fastest.frequency_mhz == 2000.0
+        assert ATHLON64_GEARS.slowest.frequency_mhz == 800.0
+        assert ATHLON64_GEARS.fastest.voltage == pytest.approx(1.5)
+        assert ATHLON64_GEARS.slowest.voltage == pytest.approx(1.0)
+
+    def test_paper_frequencies(self):
+        mhz = [g.frequency_mhz for g in ATHLON64_GEARS]
+        assert mhz == [2000.0, 1800.0, 1600.0, 1400.0, 1200.0, 800.0]
+
+    def test_one_based_lookup(self):
+        assert ATHLON64_GEARS[1].index == 1
+        assert ATHLON64_GEARS[6].index == 6
+
+    def test_lookup_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ATHLON64_GEARS[0]
+        with pytest.raises(ConfigurationError):
+            ATHLON64_GEARS[7]
+
+    def test_frequency_ratio_is_slowdown_upper_bound(self):
+        # Shifting 1 -> 6 can slow a program by at most 2000/800 = 2.5x.
+        assert ATHLON64_GEARS.frequency_ratio(1, 6) == pytest.approx(2.5)
+
+    def test_voltage_monotone_non_increasing(self):
+        volts = [g.voltage for g in ATHLON64_GEARS]
+        assert volts == sorted(volts, reverse=True)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            GearTable([])
+
+    def test_rejects_non_contiguous_indices(self):
+        with pytest.raises(ConfigurationError):
+            GearTable([Gear(1, 2000, 1.5), Gear(3, 1800, 1.4)])
+
+    def test_rejects_non_decreasing_frequency(self):
+        with pytest.raises(ConfigurationError):
+            GearTable([Gear(1, 1800, 1.5), Gear(2, 2000, 1.4)])
+
+    def test_rejects_increasing_voltage(self):
+        with pytest.raises(ConfigurationError):
+            GearTable([Gear(1, 2000, 1.4), Gear(2, 1800, 1.5)])
+
+    def test_single_gear_table_allowed(self):
+        # The non-power-scalable reference cluster has exactly one gear.
+        table = GearTable([Gear(1, 1200, 1.45)])
+        assert table.fastest is table.slowest
+
+    def test_equality_and_hash(self):
+        a = GearTable([Gear(1, 2000, 1.5), Gear(2, 1800, 1.4)])
+        b = GearTable([Gear(1, 2000, 1.5), Gear(2, 1800, 1.4)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_indices(self):
+        assert ATHLON64_GEARS.indices == (1, 2, 3, 4, 5, 6)

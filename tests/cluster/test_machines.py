@@ -1,0 +1,84 @@
+"""Stock machines and cluster/node specs."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.machines import athlon_cluster, athlon_node, reference_cluster
+from repro.cluster.node import NodeState
+from repro.util.errors import ConfigurationError
+
+
+class TestAthlonCluster:
+    def test_paper_shape(self):
+        c = athlon_cluster()
+        assert c.max_nodes == 10
+        assert c.power_scalable
+        assert len(c.gears) == 6
+
+    def test_validate_run_accepts_valid(self):
+        athlon_cluster().validate_run(8, 5)
+
+    def test_validate_run_rejects_too_many_nodes(self):
+        with pytest.raises(ConfigurationError):
+            athlon_cluster().validate_run(11, 1)
+
+    def test_validate_run_rejects_unknown_gear(self):
+        with pytest.raises(ConfigurationError):
+            athlon_cluster().validate_run(2, 7)
+
+
+class TestReferenceCluster:
+    def test_not_power_scalable(self):
+        c = reference_cluster()
+        assert not c.power_scalable
+        assert c.max_nodes == 32
+        assert len(c.gears) == 1
+
+    def test_rejects_lower_gears(self):
+        with pytest.raises(ConfigurationError):
+            reference_cluster().validate_run(4, 2)
+
+    def test_differs_from_athlon(self):
+        # Cross-cluster validation is only meaningful if the machines
+        # genuinely differ.
+        ref, ath = reference_cluster(), athlon_cluster()
+        assert ref.node.cpu.issue_rate != ath.node.cpu.issue_rate
+        assert ref.link.bandwidth != ath.link.bandwidth
+
+
+class TestNodeState:
+    def test_gear_shifting(self):
+        state = NodeState(athlon_node(), gear_index=1)
+        assert state.gear.index == 1
+        state.set_gear(5)
+        assert state.gear.frequency_mhz == 1200.0
+
+    def test_rejects_unknown_gear(self):
+        state = NodeState(athlon_node())
+        with pytest.raises(ConfigurationError):
+            state.set_gear(9)
+
+    def test_compute_duration_uses_current_gear(self):
+        from repro.cluster.memory import ComputeBlock
+
+        state = NodeState(athlon_node(), gear_index=1)
+        block = ComputeBlock(2.6e9, 0.0)
+        fast = state.compute_duration(block)
+        state.set_gear(6)
+        assert state.compute_duration(block) == pytest.approx(fast * 2.5)
+
+    def test_idle_power_positive(self):
+        state = NodeState(athlon_node())
+        assert state.idle_power() > 0
+
+
+class TestClusterSpecValidation:
+    def test_rejects_zero_nodes(self):
+        base = athlon_cluster()
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(
+                name="bad",
+                node=base.node,
+                link=base.link,
+                max_nodes=0,
+            )

@@ -1,0 +1,122 @@
+"""Memory timing model: compute-block durations, UPC, stall accounting."""
+
+import pytest
+
+from repro.cluster.cpu import ATHLON64_CPU
+from repro.cluster.gears import ATHLON64_GEARS
+from repro.cluster.memory import (
+    ATHLON64_MEMORY,
+    ComputeBlock,
+    MemoryModel,
+    MemorySpec,
+)
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return MemoryModel(ATHLON64_CPU, ATHLON64_MEMORY)
+
+
+G1 = ATHLON64_GEARS[1]
+G6 = ATHLON64_GEARS[6]
+
+
+class TestComputeBlock:
+    def test_upm(self):
+        assert ComputeBlock(860.0, 100.0).upm == pytest.approx(8.6)
+
+    def test_upm_infinite_without_misses(self):
+        assert ComputeBlock(100.0, 0.0).upm == float("inf")
+
+    def test_scaled(self):
+        b = ComputeBlock(100.0, 10.0, 25e-9).scaled(2.0)
+        assert b.uops == 200.0 and b.l2_misses == 20.0
+        assert b.miss_latency == 25e-9
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ConfigurationError):
+            ComputeBlock(0.0, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ComputeBlock(-1.0, 0.0)
+
+    def test_rejects_bad_latency_override(self):
+        with pytest.raises(ConfigurationError):
+            ComputeBlock(1.0, 1.0, 0.0)
+
+
+class TestDuration:
+    def test_cpu_bound_scales_with_frequency(self, model):
+        block = ComputeBlock(2.6e9, 0.0)
+        t1 = model.duration(block, G1)
+        t6 = model.duration(block, G6)
+        assert t1 == pytest.approx(1.0)  # 2.6e9 uops / (1.3 * 2 GHz)
+        assert t6 / t1 == pytest.approx(2000 / 800)
+
+    def test_stall_time_gear_independent(self, model):
+        block = ComputeBlock(1e6, 1e6, 55e-9)
+        assert model.stall_time(block) == pytest.approx(1e6 * 55e-9)
+        # Same at every gear by construction.
+        assert model.duration(block, G1) - model.core_time(block, G1) == (
+            pytest.approx(model.duration(block, G6) - model.core_time(block, G6))
+        )
+
+    def test_slowdown_within_paper_bounds(self, model):
+        # 1 <= T_slow/T_fast <= f_fast/f_slow for any block.
+        block = ComputeBlock(1e9, 1e7)
+        for ga, gb in zip(ATHLON64_GEARS, list(ATHLON64_GEARS)[1:]):
+            ratio = model.duration(block, gb) / model.duration(block, ga)
+            assert 1.0 <= ratio <= ga.frequency_mhz / gb.frequency_mhz + 1e-12
+
+    def test_block_latency_override_wins(self, model):
+        fast = ComputeBlock(1e6, 1e6, 10e-9)
+        slow = ComputeBlock(1e6, 1e6, 100e-9)
+        assert model.stall_time(slow) > model.stall_time(fast)
+
+
+class TestUPC:
+    def test_upc_rises_at_lower_gear_for_memory_bound(self, model):
+        # The paper: "In memory-bound applications, the UPC increases as
+        # frequency decreases."
+        block = ComputeBlock(8.6e6, 1e6)
+        assert model.upc(block, G6) > model.upc(block, G1)
+
+    def test_upc_constant_for_cpu_bound(self, model):
+        block = ComputeBlock(1e9, 0.0)
+        assert model.upc(block, G1) == pytest.approx(model.upc(block, G6))
+        assert model.upc(block, G1) == pytest.approx(ATHLON64_CPU.issue_rate)
+
+    def test_stall_fraction_bounds(self, model):
+        block = ComputeBlock(1e6, 1e5)
+        for g in ATHLON64_GEARS:
+            assert 0.0 < model.stall_fraction(block, g) < 1.0
+
+
+class TestMemoryIntensity:
+    def test_zero_for_cpu_bound(self, model):
+        assert model.memory_intensity(ComputeBlock(1e9, 0.0), G1) == 0.0
+
+    def test_clamped_at_one(self, model):
+        block = ComputeBlock(1e6, 1e9, 1e-9)
+        assert model.memory_intensity(block, G1) == 1.0
+
+    def test_decreases_at_lower_gear(self, model):
+        # Slower gear stretches the block, so misses/second drops.
+        block = ComputeBlock(1e9, 1e6)
+        assert model.memory_intensity(block, G6) < model.memory_intensity(block, G1)
+
+
+class TestMemorySpecValidation:
+    def test_paper_geometry(self):
+        assert ATHLON64_MEMORY.l1_data_bytes + ATHLON64_MEMORY.l1_inst_bytes == 128 * 1024
+        assert ATHLON64_MEMORY.l2_bytes == 512 * 1024
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(0, 1, 1, 1, 1e-9, 1e7)
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigurationError):
+            MemorySpec(1024, 1024, 2048, 64, 0.0, 1e7)

@@ -1,0 +1,133 @@
+"""Node power synthesis and the wall-outlet power meter."""
+
+import pytest
+
+from repro.cluster.cpu import ATHLON64_CPU
+from repro.cluster.gears import ATHLON64_GEARS
+from repro.cluster.machines import athlon_node
+from repro.cluster.power import NodePowerModel, PowerMeter
+from repro.util.errors import ConfigurationError, SimulationError
+
+G1 = ATHLON64_GEARS[1]
+G6 = ATHLON64_GEARS[6]
+
+
+@pytest.fixture
+def node_power():
+    spec = athlon_node()
+    return spec.power_model()
+
+
+class TestNodePowerModel:
+    def test_paper_system_power_window(self, node_power):
+        # Section 3: "the system power at the fastest energy gear is
+        # 140-150 W" for running applications.
+        p = node_power.active_power(G1, stall_fraction=0.0)
+        assert 140.0 <= p <= 150.0
+
+    def test_paper_cpu_share_window(self, node_power):
+        # Footnote 2: the CPU is 45-55 % of system power.
+        system = node_power.active_power(G1, 0.0)
+        cpu = system - node_power.base_power
+        assert 0.45 <= cpu / system <= 0.55
+
+    def test_memory_power_adds(self, node_power):
+        lo = node_power.active_power(G1, 0.5, memory_intensity=0.0)
+        hi = node_power.active_power(G1, 0.5, memory_intensity=1.0)
+        assert hi - lo == pytest.approx(node_power.memory_power_max)
+
+    def test_idle_power_below_active(self, node_power):
+        for g in ATHLON64_GEARS:
+            assert node_power.idle_power(g) < node_power.active_power(g, 0.0)
+
+    def test_idle_power_decreases_with_gear(self, node_power):
+        assert node_power.idle_power(G6) < node_power.idle_power(G1)
+
+    def test_rejects_bad_memory_intensity(self, node_power):
+        with pytest.raises(ConfigurationError):
+            node_power.active_power(G1, 0.0, memory_intensity=1.2)
+
+    def test_rejects_negative_constants(self):
+        with pytest.raises(ConfigurationError):
+            NodePowerModel(ATHLON64_CPU, base_power=-1.0, memory_power_max=0.0)
+
+
+class TestPowerMeter:
+    def test_exact_integral(self):
+        m = PowerMeter()
+        m.record(0.0, 2.0, 100.0)
+        m.record(2.0, 3.0, 50.0)
+        assert m.energy() == pytest.approx(250.0)
+        assert m.duration == pytest.approx(3.0)
+        assert m.average_power() == pytest.approx(250.0 / 3.0)
+
+    def test_gaps_excluded_from_average(self):
+        m = PowerMeter()
+        m.record(0.0, 1.0, 100.0)
+        m.record(2.0, 3.0, 100.0)
+        assert m.average_power() == pytest.approx(100.0)
+        assert m.duration == pytest.approx(3.0)
+
+    def test_zero_length_interval_ignored(self):
+        m = PowerMeter()
+        m.record(1.0, 1.0, 100.0)
+        assert m.energy() == 0.0
+        assert m.intervals == []
+
+    def test_rejects_overlap(self):
+        m = PowerMeter()
+        m.record(0.0, 2.0, 100.0)
+        with pytest.raises(SimulationError):
+            m.record(1.0, 3.0, 100.0)
+
+    def test_rejects_negative_power(self):
+        m = PowerMeter()
+        with pytest.raises(SimulationError):
+            m.record(0.0, 1.0, -5.0)
+
+    def test_rejects_reversed_interval(self):
+        m = PowerMeter()
+        with pytest.raises(SimulationError):
+            m.record(2.0, 1.0, 5.0)
+
+    def test_power_at(self):
+        m = PowerMeter()
+        m.record(0.0, 1.0, 100.0)
+        m.record(1.0, 2.0, 50.0)
+        assert m.power_at(0.5) == 100.0
+        assert m.power_at(1.5) == 50.0
+        assert m.power_at(5.0) == 0.0
+        assert m.power_at(-1.0) == 0.0
+
+
+class TestSampledEnergy:
+    def test_constant_power_sampled_exactly(self):
+        m = PowerMeter()
+        m.record(0.0, 10.0, 120.0)
+        assert m.sampled_energy(rate_hz=50.0) == pytest.approx(m.energy())
+
+    def test_sampling_error_shrinks_with_rate(self):
+        # A profile alternating power levels; the paper samples "several
+        # tens of times a second".
+        m = PowerMeter()
+        t = 0.0
+        for i in range(100):
+            watts = 140.0 if i % 2 == 0 else 85.0
+            m.record(t, t + 0.013, watts)
+            t += 0.013
+        exact = m.energy()
+        coarse = abs(m.sampled_energy(5.0) - exact) / exact
+        fine = abs(m.sampled_energy(500.0) - exact) / exact
+        assert fine <= coarse
+        assert fine < 0.03
+
+    def test_empty_meter_samples_empty(self):
+        m = PowerMeter()
+        assert m.samples(10.0) == []
+        assert m.sampled_energy(10.0) == 0.0
+
+    def test_rejects_bad_rate(self):
+        m = PowerMeter()
+        m.record(0.0, 1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            m.samples(0.0)

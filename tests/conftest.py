@@ -1,0 +1,82 @@
+"""Shared fixtures.
+
+Expensive experiment results are session-scoped and computed once at a
+reduced workload scale; every relative quantity the assertions check
+(delays, savings, slopes' signs/order, speedups, case classes) is
+scale-invariant by construction of the workloads' ``scale`` parameter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster, reference_cluster
+
+#: Workload scale used by the test suite (full scale = 1.0).
+TEST_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def cluster():
+    """The paper's ten-node power-scalable cluster."""
+    return athlon_cluster()
+
+
+@pytest.fixture(scope="session")
+def big_cluster():
+    """A 32-node power-scalable cluster (for extrapolation ground truth)."""
+    return athlon_cluster(32)
+
+
+@pytest.fixture(scope="session")
+def sun_cluster():
+    """The 32-node non-power-scalable reference cluster."""
+    return reference_cluster()
+
+
+@pytest.fixture(scope="session")
+def figure1_result():
+    """Figure 1 computed once per session at the test scale."""
+    from repro.experiments import figure1
+
+    return figure1(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def table1_result():
+    """Table 1 computed once per session at the test scale."""
+    from repro.experiments import table1
+
+    return table1(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def figure2_result():
+    """Figure 2 computed once per session at the test scale."""
+    from repro.experiments import figure2
+
+    return figure2(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def figure3_result():
+    """Figure 3 computed once per session at the test scale."""
+    from repro.experiments import figure3
+
+    return figure3(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def figure4_result():
+    """Figure 4 computed once per session at the test scale."""
+    from repro.experiments import figure4
+
+    return figure4(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def figure5_result():
+    """Figure 5 computed once per session at the test scale."""
+    from repro.experiments import figure5
+
+    return figure5(scale=TEST_SCALE)

@@ -1,0 +1,74 @@
+"""Configuration advice under energy/power/time constraints."""
+
+import pytest
+
+from repro.core.advisor import Advisor
+from repro.core.curves import CurveFamily, CurvePoint, EnergyTimeCurve
+from repro.util.errors import ModelError
+
+
+def curve(points, nodes):
+    return EnergyTimeCurve(
+        workload="X",
+        nodes=nodes,
+        points=tuple(CurvePoint(g, t, e) for g, t, e in points),
+    )
+
+
+@pytest.fixture
+def advisor():
+    family = CurveFamily(
+        workload="X",
+        curves=(
+            curve([(1, 10.0, 1000.0), (5, 11.0, 800.0)], nodes=4),
+            curve([(1, 6.0, 1150.0), (5, 6.6, 920.0)], nodes=8),
+        ),
+    )
+    return Advisor(family)
+
+
+class TestEnergyCap:
+    def test_picks_fastest_under_cap(self, advisor):
+        rec = advisor.fastest_under_energy_cap(950.0)
+        assert (rec.nodes, rec.gear) == (8, 5)
+
+    def test_tight_cap_forces_fewer_nodes(self, advisor):
+        rec = advisor.fastest_under_energy_cap(850.0)
+        assert (rec.nodes, rec.gear) == (4, 5)
+
+    def test_infeasible_cap_raises(self, advisor):
+        with pytest.raises(ModelError):
+            advisor.fastest_under_energy_cap(100.0)
+
+
+class TestPowerCap:
+    def test_power_cap_respected(self, advisor):
+        rec = advisor.fastest_under_power_cap(140.0)
+        assert rec.average_power <= 140.0
+
+    def test_infeasible_power_cap(self, advisor):
+        with pytest.raises(ModelError):
+            advisor.fastest_under_power_cap(1.0)
+
+
+class TestDeadline:
+    def test_cheapest_meeting_deadline(self, advisor):
+        rec = advisor.cheapest_under_deadline(12.0)
+        assert (rec.nodes, rec.gear) == (4, 5)  # cheapest overall fits
+
+    def test_tight_deadline_needs_more_nodes(self, advisor):
+        rec = advisor.cheapest_under_deadline(7.0)
+        assert rec.nodes == 8
+        assert rec.gear == 5  # cheapest of the 8-node options that fit
+
+    def test_impossible_deadline(self, advisor):
+        with pytest.raises(ModelError):
+            advisor.cheapest_under_deadline(1.0)
+
+
+class TestPareto:
+    def test_pareto_configurations(self, advisor):
+        recs = advisor.pareto()
+        assert [(r.nodes, r.gear) for r in recs][0] == (8, 1)
+        energies = [r.energy for r in recs]
+        assert energies == sorted(energies, reverse=True)

@@ -1,0 +1,74 @@
+"""Amdahl decomposition fitting and extrapolation."""
+
+import pytest
+
+from repro.core.amdahl import fit_amdahl
+from repro.util.errors import ModelError
+
+
+def amdahl_times(t1, fs, counts):
+    return {n: t1 * ((1 - fs) / n + fs) for n in counts}
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("fs", [0.0, 0.01, 0.05, 0.3])
+    def test_recovers_constant_fs(self, fs):
+        times = amdahl_times(100.0, fs, [1, 2, 4, 8])
+        fit = fit_amdahl(times)
+        assert fit.fs_mean == pytest.approx(fs, abs=1e-9)
+        assert fit.fs_at(16) == pytest.approx(fs, abs=1e-9)
+
+    def test_predicts_active_time(self):
+        times = amdahl_times(100.0, 0.02, [1, 2, 4, 8])
+        fit = fit_amdahl(times)
+        assert fit.active_time(32) == pytest.approx(100.0 * (0.98 / 32 + 0.02))
+
+    def test_one_node_prediction_is_t1(self):
+        fit = fit_amdahl(amdahl_times(50.0, 0.1, [1, 4, 8]))
+        assert fit.active_time(1) == pytest.approx(50.0)
+
+
+class TestFamilyRegression:
+    def test_trending_fs_extrapolated_linearly(self):
+        # F_s creeping up with node count (e.g. growing imbalance).
+        times = {1: 100.0}
+        for n, fs in [(2, 0.01), (4, 0.02), (8, 0.04)]:
+            times[n] = 100.0 * ((1 - fs) / n + fs)
+        fit = fit_amdahl(times)
+        assert fit.fs_slope > 0
+        assert fit.fs_at(16) > fit.fs_at(8)
+
+    def test_family_recorded(self):
+        fit = fit_amdahl(amdahl_times(10.0, 0.05, [1, 2, 8]))
+        assert [n for n, _ in fit.serial_family] == [2, 8]
+
+    def test_fs_clamped_to_valid_range(self):
+        # Superlinear sample would give negative F_s; clamp at 0.
+        times = {1: 100.0, 2: 45.0}
+        fit = fit_amdahl(times)
+        assert fit.fs_at(4) >= 0.0
+
+    def test_single_multinode_sample_is_flat(self):
+        fit = fit_amdahl({1: 100.0, 4: 30.0})
+        assert fit.fs_slope == 0.0
+
+
+class TestValidation:
+    def test_requires_one_node_sample(self):
+        with pytest.raises(ModelError):
+            fit_amdahl({2: 50.0, 4: 30.0})
+
+    def test_requires_multinode_sample(self):
+        with pytest.raises(ModelError):
+            fit_amdahl({1: 100.0})
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ModelError):
+            fit_amdahl({1: 0.0, 2: 50.0})
+        with pytest.raises(ModelError):
+            fit_amdahl({1: 100.0, 2: -1.0})
+
+    def test_rejects_bad_prediction_count(self):
+        fit = fit_amdahl({1: 100.0, 2: 55.0})
+        with pytest.raises(ModelError):
+            fit.active_time(0)

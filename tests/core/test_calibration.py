@@ -1,0 +1,101 @@
+"""Single-node gear calibration (S_g, P_g, I_g)."""
+
+import pytest
+
+from repro.core.calibration import GearCalibration, calibrate_gears, idle_power_by_gear
+from repro.util.errors import ModelError
+from repro.workloads.nas import CG, EP
+
+
+@pytest.fixture(scope="module")
+def cg_calibration():
+    from repro.cluster.machines import athlon_cluster
+
+    return calibrate_gears(athlon_cluster(), CG(scale=0.1))
+
+
+class TestCalibrateGears:
+    def test_slowdown_reference_is_one(self, cg_calibration):
+        assert cg_calibration.slowdown[1] == pytest.approx(1.0)
+
+    def test_slowdown_monotone(self, cg_calibration):
+        s = [cg_calibration.slowdown[g] for g in cg_calibration.gears]
+        assert s == sorted(s)
+
+    def test_slowdown_bounded_by_frequency_ratio(self, cg_calibration, cluster):
+        for g in cg_calibration.gears:
+            assert cg_calibration.slowdown[g] <= cluster.gears.frequency_ratio(1, g) + 1e-9
+
+    def test_power_monotone_decreasing(self, cg_calibration):
+        p = [cg_calibration.active_power[g] for g in cg_calibration.gears]
+        assert p == sorted(p, reverse=True)
+
+    def test_idle_below_active(self, cg_calibration):
+        for g in cg_calibration.gears:
+            assert cg_calibration.idle_power[g] < cg_calibration.active_power[g]
+
+    def test_memory_bound_slowdown_small(self, cg_calibration):
+        # CG at gear 5 slows ~10 %, far below the 2000/1200 cycle ratio.
+        assert cg_calibration.slowdown[5] < 1.2
+
+    def test_cpu_bound_slowdown_tracks_frequency(self, cluster):
+        cal = calibrate_gears(cluster, EP(scale=0.1))
+        assert cal.slowdown[6] == pytest.approx(2.5, rel=0.05)
+
+    def test_requires_fastest_gear(self, cluster):
+        with pytest.raises(ModelError):
+            calibrate_gears(cluster, CG(scale=0.1), gears=(2, 3))
+
+    def test_gear_subset(self, cluster):
+        cal = calibrate_gears(cluster, CG(scale=0.1), gears=(1, 5))
+        assert cal.gears == (1, 5)
+
+
+class TestIdlePower:
+    def test_per_gear_idle(self, cluster):
+        idle = idle_power_by_gear(cluster)
+        assert set(idle) == {1, 2, 3, 4, 5, 6}
+        values = [idle[g] for g in sorted(idle)]
+        assert values == sorted(values, reverse=True)
+
+    def test_idle_well_below_full_system(self, cluster):
+        idle = idle_power_by_gear(cluster)
+        assert idle[1] < 110.0  # far under the 140-150 W active window
+
+
+class TestCheck:
+    def base(self):
+        return dict(
+            workload="X",
+            slowdown={1: 1.0, 2: 1.1},
+            active_power={1: 140.0, 2: 125.0},
+            idle_power={1: 90.0, 2: 80.0},
+            single_node_time={1: 10.0, 2: 11.0},
+        )
+
+    def test_valid_passes(self):
+        GearCalibration(**self.base()).check()
+
+    def test_rejects_bad_reference_slowdown(self):
+        bad = self.base()
+        bad["slowdown"] = {1: 1.05, 2: 1.1}
+        with pytest.raises(ModelError):
+            GearCalibration(**bad).check()
+
+    def test_rejects_decreasing_slowdown(self):
+        bad = self.base()
+        bad["slowdown"] = {1: 1.0, 2: 0.9}
+        with pytest.raises(ModelError):
+            GearCalibration(**bad).check()
+
+    def test_rejects_increasing_power(self):
+        bad = self.base()
+        bad["active_power"] = {1: 120.0, 2: 130.0}
+        with pytest.raises(ModelError):
+            GearCalibration(**bad).check()
+
+    def test_rejects_idle_above_active(self):
+        bad = self.base()
+        bad["idle_power"] = {1: 150.0, 2: 80.0}
+        with pytest.raises(ModelError):
+            GearCalibration(**bad).check()

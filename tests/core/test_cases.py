@@ -1,0 +1,108 @@
+"""The paper's Section 3.2 case taxonomy on synthetic curves."""
+
+import pytest
+
+from repro.core.cases import SpeedupCase, classify_family, classify_pair
+from repro.core.curves import CurveFamily, CurvePoint, EnergyTimeCurve
+from repro.util.errors import ModelError
+
+
+def curve(points, nodes):
+    return EnergyTimeCurve(
+        workload="X",
+        nodes=nodes,
+        points=tuple(CurvePoint(g, t, e) for g, t, e in points),
+    )
+
+
+SMALL = curve([(1, 10.0, 1000.0), (2, 10.3, 930.0), (3, 10.8, 900.0)], nodes=4)
+
+
+class TestPoorSpeedup:
+    def test_every_large_point_above(self):
+        large = curve(
+            [(1, 8.5, 1800.0), (2, 8.8, 1700.0), (3, 9.2, 1650.0)], nodes=8
+        )
+        analysis = classify_pair(SMALL, large)
+        assert analysis.case is SpeedupCase.POOR
+        assert analysis.dominating_gear is None
+        assert analysis.speedup == pytest.approx(10.0 / 8.5)
+
+
+class TestPerfectSpeedup:
+    def test_fastest_point_dominates(self):
+        large = curve([(1, 5.0, 1000.0), (2, 5.2, 940.0)], nodes=8)
+        analysis = classify_pair(SMALL, large)
+        assert analysis.case is SpeedupCase.PERFECT_SUPERLINEAR
+        assert analysis.dominating_gear == 1
+
+    def test_superlinear(self):
+        large = curve([(1, 4.0, 900.0)], nodes=8)
+        assert classify_pair(SMALL, large).case is SpeedupCase.PERFECT_SUPERLINEAR
+
+    def test_energy_tolerance_window(self):
+        # 1.5 % more energy at gear 1: "the same" within tolerance.
+        large = curve([(1, 5.0, 1015.0)], nodes=8)
+        assert classify_pair(SMALL, large).case is SpeedupCase.PERFECT_SUPERLINEAR
+        assert (
+            classify_pair(SMALL, large, energy_tolerance=0.0).case
+            is not SpeedupCase.PERFECT_SUPERLINEAR
+        )
+
+
+class TestGoodSpeedup:
+    def test_lower_gear_dominates_anchor(self):
+        # Gear 1 on 8 nodes: faster but pricier; gear 3 undercuts the
+        # 4-node fastest point in both axes -> the paper's case 3.
+        large = curve(
+            [(1, 6.0, 1150.0), (2, 6.3, 1060.0), (3, 6.8, 980.0)], nodes=8
+        )
+        analysis = classify_pair(SMALL, large)
+        assert analysis.case is SpeedupCase.GOOD
+        assert analysis.dominating_gear == 3
+
+    def test_first_dominating_gear_reported(self):
+        large = curve(
+            [(1, 6.0, 1150.0), (2, 6.3, 990.0), (3, 6.8, 940.0)], nodes=8
+        )
+        assert classify_pair(SMALL, large).dominating_gear == 2
+
+    def test_dominating_point_must_beat_time_too(self):
+        # Lower gear undercuts energy but arrives after the anchor: poor.
+        large = curve([(1, 9.0, 1300.0), (2, 11.0, 990.0)], nodes=8)
+        assert classify_pair(SMALL, large).case is SpeedupCase.POOR
+
+
+class TestSlowdown:
+    def test_larger_config_slower_is_set_aside(self):
+        large = curve([(1, 12.0, 1500.0)], nodes=8)
+        assert classify_pair(SMALL, large).case is SpeedupCase.SLOWDOWN
+
+
+class TestValidation:
+    def test_rejects_unordered_pair(self):
+        with pytest.raises(ModelError):
+            classify_pair(curve([(1, 1.0, 1.0)], nodes=8), SMALL)
+
+    def test_rejects_negative_tolerance(self):
+        large = curve([(1, 5.0, 900.0)], nodes=8)
+        with pytest.raises(ModelError):
+            classify_pair(SMALL, large, energy_tolerance=-0.1)
+
+
+class TestFamilyClassification:
+    def test_adjacent_pairs(self):
+        family = CurveFamily(
+            workload="X",
+            curves=(
+                SMALL,
+                curve([(1, 6.0, 1150.0), (3, 6.8, 980.0)], nodes=8),
+                curve([(1, 5.5, 2300.0), (3, 5.9, 2200.0)], nodes=16),
+            ),
+        )
+        analyses = classify_family(family)
+        assert [a.case for a in analyses] == [SpeedupCase.GOOD, SpeedupCase.POOR]
+        assert [(a.small_nodes, a.large_nodes) for a in analyses] == [
+            (4, 8),
+            (8, 16),
+        ]

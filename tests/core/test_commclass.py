@@ -1,0 +1,84 @@
+"""Communication-shape classification."""
+
+import math
+
+import pytest
+
+from repro.core.commclass import (
+    PAPER_CLASSES,
+    PAPER_REVISED_CLASSES,
+    census_hint,
+    classify_communication,
+)
+from repro.util.errors import ModelError
+from repro.util.fitting import ShapeFamily
+
+
+class TestClassification:
+    def test_quadratic_data(self):
+        idle = {n: 0.1 + 0.02 * n * n for n in (2, 4, 8, 16)}
+        result = classify_communication(idle)
+        assert result.family is ShapeFamily.QUADRATIC
+        assert result.idle_time(32) == pytest.approx(0.1 + 0.02 * 1024, rel=0.01)
+
+    def test_logarithmic_data(self):
+        idle = {n: 0.5 + 0.3 * math.log2(n) for n in (2, 4, 8, 16)}
+        assert classify_communication(idle).family is ShapeFamily.LOGARITHMIC
+
+    def test_constant_data(self):
+        idle = {2: 1.0, 4: 1.0, 8: 1.0}
+        assert classify_communication(idle).family is ShapeFamily.CONSTANT
+
+    def test_forced_family_skips_selection(self):
+        idle = {n: 0.02 * n * n for n in (2, 4, 8)}
+        result = classify_communication(idle, forced=ShapeFamily.LOGARITHMIC)
+        assert result.family is ShapeFamily.LOGARITHMIC
+        assert len(result.all_fits) == 1
+
+    def test_idle_time_never_negative(self):
+        idle = {2: 1.0, 4: 0.5, 8: 0.1}  # decreasing data
+        result = classify_communication(idle)
+        assert result.idle_time(64) >= 0.0
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ModelError):
+            classify_communication({4: 1.0})
+
+    def test_relative_residual_small_for_clean_data(self):
+        idle = {n: 2.0 + 0.5 * n for n in (2, 4, 8, 16)}
+        assert classify_communication(idle).relative_residual() < 0.01
+
+
+class TestPaperTables:
+    def test_paper_classes_cover_the_suite(self):
+        assert set(PAPER_CLASSES) == {"BT", "CG", "EP", "LU", "MG", "SP"}
+
+    def test_cg_quadratic_lu_linear(self):
+        assert PAPER_CLASSES["CG"] is ShapeFamily.QUADRATIC
+        assert PAPER_CLASSES["LU"] is ShapeFamily.LINEAR
+
+    def test_revision_only_changes_lu(self):
+        diff = {
+            k for k in PAPER_CLASSES if PAPER_CLASSES[k] != PAPER_REVISED_CLASSES[k]
+        }
+        assert diff == {"LU"}
+        assert PAPER_REVISED_CLASSES["LU"] is ShapeFamily.CONSTANT
+
+
+class TestCensusHint:
+    def test_all_pairs_growth_is_quadratic(self):
+        # Per-rank message count ~ n-1: every rank talks to every peer.
+        assert census_hint({2: 75, 4: 225, 8: 525}) is ShapeFamily.QUADRATIC
+
+    def test_flat_count_is_constant(self):
+        assert census_hint({2: 120, 4: 120, 8: 121}) is ShapeFamily.CONSTANT
+
+    def test_linear_growth(self):
+        assert census_hint({2: 10, 4: 16, 8: 22}) is ShapeFamily.LINEAR
+
+    def test_log_growth(self):
+        assert census_hint({2: 10, 4: 11, 8: 12}) is ShapeFamily.LOGARITHMIC
+
+    def test_needs_two_counts(self):
+        with pytest.raises(ModelError):
+            census_hint({4: 100})

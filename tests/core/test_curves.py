@@ -1,0 +1,129 @@
+"""Energy-time curve and family containers."""
+
+import pytest
+
+from repro.core.curves import CurveFamily, CurvePoint, EnergyTimeCurve
+from repro.util.errors import ModelError
+
+
+def curve(points, workload="X", nodes=1):
+    return EnergyTimeCurve(
+        workload=workload,
+        nodes=nodes,
+        points=tuple(CurvePoint(g, t, e) for g, t, e in points),
+    )
+
+
+#: A CG-like curve: small delays, big early savings, slight tail rise.
+CG_LIKE = [(1, 10.0, 1000.0), (2, 10.2, 910.0), (3, 10.5, 860.0),
+           (4, 10.8, 820.0), (5, 11.0, 800.0), (6, 12.2, 810.0)]
+
+
+class TestCurvePoint:
+    def test_domination(self):
+        a = CurvePoint(2, 1.0, 100.0)
+        b = CurvePoint(1, 1.5, 120.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_dominate_each_other(self):
+        a = CurvePoint(1, 1.0, 100.0)
+        b = CurvePoint(2, 1.0, 100.0)
+        assert a.dominates(b) and b.dominates(a)
+
+
+class TestEnergyTimeCurve:
+    def test_lookup_and_fastest(self):
+        c = curve(CG_LIKE)
+        assert c.fastest.gear == 1
+        assert c.point(5).energy == 800.0
+        with pytest.raises(ModelError):
+            c.point(9)
+
+    def test_min_energy_point(self):
+        assert curve(CG_LIKE).min_energy_point.gear == 5
+
+    def test_fastest_leftmost(self):
+        assert curve(CG_LIKE).is_fastest_leftmost()
+
+    def test_relative_axes(self):
+        rel = curve(CG_LIKE).relative()
+        g, delay, energy = rel[1]
+        assert g == 2
+        assert delay == pytest.approx(0.02)
+        assert energy == pytest.approx(0.91)
+
+    def test_slope(self):
+        c = curve(CG_LIKE)
+        assert c.slope(1, 2) == pytest.approx((910 - 1000) / 0.2)
+
+    def test_pareto_frontier_excludes_dominated_tail(self):
+        frontier = curve(CG_LIKE).pareto_frontier()
+        gears = [p.gear for p in frontier]
+        assert 6 not in gears  # gear 6 costs more energy AND time than 5
+        assert gears[0] == 1
+
+    def test_best_under_energy_cap(self):
+        c = curve(CG_LIKE)
+        pick = c.best_under_energy_cap(850.0)
+        assert pick is not None and pick.gear == 4  # fastest under the line
+        assert c.best_under_energy_cap(10.0) is None
+
+    def test_best_under_power_cap(self):
+        c = curve(CG_LIKE)
+        pick = c.best_under_power_cap(80.0)
+        assert pick is not None
+        assert pick.energy / pick.time <= 80.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            curve([])
+
+    def test_rejects_duplicate_gears(self):
+        with pytest.raises(ModelError):
+            curve([(1, 1.0, 1.0), (1, 2.0, 2.0)])
+
+    def test_rejects_unsorted_gears(self):
+        with pytest.raises(ModelError):
+            curve([(2, 1.0, 1.0), (1, 2.0, 2.0)])
+
+
+class TestCurveFamily:
+    def make_family(self):
+        return CurveFamily(
+            workload="X",
+            curves=(
+                curve([(1, 10.0, 1000.0), (2, 10.5, 950.0)], nodes=2),
+                curve([(1, 6.0, 1150.0), (2, 6.3, 1020.0)], nodes=4),
+            ),
+        )
+
+    def test_speedups(self):
+        family = self.make_family()
+        assert family.speedups() == {2: 1.0, 4: pytest.approx(10.0 / 6.0)}
+
+    def test_curve_lookup(self):
+        family = self.make_family()
+        assert family.curve(4).nodes == 4
+        with pytest.raises(ModelError):
+            family.curve(8)
+
+    def test_global_pareto_spans_node_counts(self):
+        family = self.make_family()
+        frontier = family.global_pareto()
+        # 4-node gear 2 (6.3 s, 1020 J) beats 4-node gear 1 on energy;
+        # 2-node points win on energy at larger times.
+        assert (4, family.curve(4).point(1)) == frontier[0]
+        labels = [(n, p.gear) for n, p in frontier]
+        assert (2, 2) in labels
+
+    def test_rejects_duplicate_counts(self):
+        c = curve([(1, 1.0, 1.0)], nodes=2)
+        with pytest.raises(ModelError):
+            CurveFamily(workload="X", curves=(c, c))
+
+    def test_rejects_unsorted_counts(self):
+        a = curve([(1, 1.0, 1.0)], nodes=4)
+        b = curve([(1, 1.0, 1.0)], nodes=2)
+        with pytest.raises(ModelError):
+            CurveFamily(workload="X", curves=(a, b))

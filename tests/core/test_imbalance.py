@@ -1,0 +1,86 @@
+"""Node-bottleneck / imbalance analysis."""
+
+import pytest
+
+from repro.core.imbalance import analyze_imbalance
+from repro.mpi.world import World
+from repro.util.errors import ModelError
+
+
+def imbalanced_run(cluster, weights):
+    def program(comm):
+        yield from comm.compute(uops=weights[comm.rank] * 2.6e9)
+        yield from comm.barrier()
+
+    return World(cluster, program, nodes=len(weights), gear=1).run()
+
+
+class TestReport:
+    def test_bottleneck_identified(self, cluster):
+        report = analyze_imbalance(imbalanced_run(cluster, [1.0, 3.0, 1.0]))
+        assert report.bottleneck_rank == 1
+
+    def test_imbalance_ratio(self, cluster):
+        report = analyze_imbalance(imbalanced_run(cluster, [1.0, 3.0, 2.0]))
+        assert report.imbalance_ratio == pytest.approx(3.0 / 2.0, rel=0.02)
+
+    def test_balanced_run_ratio_one(self, cluster):
+        report = analyze_imbalance(imbalanced_run(cluster, [2.0, 2.0]))
+        assert report.imbalance_ratio == pytest.approx(1.0, rel=0.01)
+        assert report.mean_slack_fraction < 0.02
+
+    def test_slack_covers_run(self, cluster):
+        report = analyze_imbalance(imbalanced_run(cluster, [1.0, 4.0]))
+        for r in report.ranks:
+            assert r.compute_time + r.slack_time == pytest.approx(report.elapsed)
+
+    def test_slack_of_lookup(self, cluster):
+        report = analyze_imbalance(imbalanced_run(cluster, [1.0, 2.0]))
+        assert report.slack_of(0).slack_fraction > report.slack_of(1).slack_fraction
+        with pytest.raises(ModelError):
+            report.slack_of(9)
+
+    def test_rejects_computeless_run(self, cluster):
+        def program(comm):
+            yield from comm.barrier()
+
+        result = World(cluster, program, nodes=2, gear=1).run()
+        with pytest.raises(ModelError):
+            analyze_imbalance(result)
+
+
+class TestScalingHeadroom:
+    def test_bottleneck_stays_at_gear1(self, cluster):
+        report = analyze_imbalance(imbalanced_run(cluster, [1.0, 3.0, 1.0]))
+        headroom = report.scaling_headroom(cluster)
+        assert headroom[1] == 1
+
+    def test_idle_ranks_get_deep_gears(self, cluster):
+        # Ranks with 3x slack can absorb even the 2.5x gear-6 stretch.
+        report = analyze_imbalance(imbalanced_run(cluster, [1.0, 4.0, 1.0]))
+        headroom = report.scaling_headroom(cluster)
+        assert headroom[0] == 6
+        assert headroom[2] == 6
+
+    def test_moderate_slack_moderate_gear(self, cluster):
+        # 25 % slack fits gear 2 (+11 %) and gear 3 (+25 %), not gear 4.
+        report = analyze_imbalance(imbalanced_run(cluster, [1.0, 1.25]))
+        headroom = report.scaling_headroom(cluster)
+        assert headroom[0] == 3
+
+    def test_headroom_consistent_with_actual_runs(self, cluster):
+        # Running the headroom vector must not extend the run materially.
+        weights = [1.0, 3.0, 1.5, 2.0]
+        baseline = imbalanced_run(cluster, weights)
+        report = analyze_imbalance(baseline)
+        gears = report.scaling_headroom(cluster)
+
+        def program(comm):
+            yield from comm.compute(uops=weights[comm.rank] * 2.6e9)
+            yield from comm.barrier()
+
+        tuned = World(
+            cluster, program, nodes=4, gear=[gears[r] for r in range(4)]
+        ).run()
+        assert tuned.end_time <= baseline.end_time * 1.02
+        assert tuned.total_energy < baseline.total_energy

@@ -1,0 +1,76 @@
+"""Scalar energy-time metrics."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    energy_delay_product,
+    energy_saving,
+    energy_time_slope,
+    relative_delay,
+    relative_energy,
+    slowdown_ratio,
+)
+from repro.util.errors import ModelError
+
+
+class TestSlowdown:
+    def test_multiplicative(self):
+        assert slowdown_ratio(1.1, 1.0) == pytest.approx(1.1)
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ModelError):
+            slowdown_ratio(1.0, 0.0)
+
+
+class TestRelative:
+    def test_delay(self):
+        assert relative_delay(1.01, 1.0) == pytest.approx(0.01)
+
+    def test_energy_fraction(self):
+        assert relative_energy(90.0, 100.0) == pytest.approx(0.9)
+
+    def test_saving(self):
+        assert energy_saving(80.0, 100.0) == pytest.approx(0.2)
+
+    def test_rejects_zero_energy_reference(self):
+        with pytest.raises(ModelError):
+            relative_energy(1.0, 0.0)
+
+
+class TestEnergyDelayProduct:
+    def test_edp(self):
+        assert energy_delay_product(100.0, 2.0) == 200.0
+
+    def test_ed2p_weights_performance(self):
+        assert energy_delay_product(100.0, 2.0, weight=2) == 400.0
+
+    def test_weight_zero_is_energy(self):
+        assert energy_delay_product(100.0, 2.0, weight=0) == 100.0
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ModelError):
+            energy_delay_product(-1.0, 2.0)
+        with pytest.raises(ModelError):
+            energy_delay_product(1.0, 2.0, weight=-1)
+
+
+class TestSlope:
+    def test_near_vertical_is_large_negative(self):
+        # 10 J saved in 0.01 s of delay.
+        assert energy_time_slope(1.0, 100.0, 1.01, 90.0) == pytest.approx(-1000.0)
+
+    def test_horizontal_is_near_zero(self):
+        slope = energy_time_slope(1.0, 100.0, 1.5, 99.0)
+        assert -3.0 < slope < 0.0
+
+    def test_positive_slope_for_energy_increase(self):
+        assert energy_time_slope(1.0, 100.0, 1.1, 110.0) > 0
+
+    def test_vertical_segment_signed_infinite(self):
+        assert energy_time_slope(1.0, 100.0, 1.0, 90.0) == float("-inf")
+        assert energy_time_slope(1.0, 100.0, 1.0, 110.0) == float("inf")
+
+    def test_degenerate_is_nan(self):
+        assert math.isnan(energy_time_slope(1.0, 100.0, 1.0, 100.0))

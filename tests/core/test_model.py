@@ -1,0 +1,109 @@
+"""The five-step model end to end."""
+
+import pytest
+
+from repro.core.model import EnergyTimeModel, gather_inputs
+from repro.core.run import run_workload
+from repro.util.errors import ModelError
+from repro.util.fitting import ShapeFamily
+from repro.workloads.nas import CG, EP, LU
+
+
+@pytest.fixture(scope="module")
+def ep_model(cluster):
+    inputs = gather_inputs(cluster, EP(scale=0.15), node_counts=(1, 2, 4, 8))
+    return EnergyTimeModel(inputs)
+
+
+@pytest.fixture(scope="module")
+def cg_model(cluster):
+    inputs = gather_inputs(cluster, CG(scale=0.15), node_counts=(1, 2, 4, 8))
+    return EnergyTimeModel(inputs)
+
+
+class TestGatherInputs:
+    def test_requires_one_node(self, cluster):
+        with pytest.raises(ModelError):
+            gather_inputs(cluster, EP(scale=0.1), node_counts=(2, 4))
+
+    def test_components_sum_to_elapsed(self, cluster):
+        inputs = gather_inputs(cluster, LU(scale=0.1), node_counts=(1, 2, 4))
+        for n, m in inputs.measurements.items():
+            assert m.active_time + m.idle_time == pytest.approx(m.time)
+
+
+class TestFittedComponents:
+    def test_ep_classified_logarithmic(self, ep_model):
+        assert ep_model.comm.family is ShapeFamily.LOGARITHMIC
+
+    def test_cg_classified_quadratic(self, cg_model):
+        assert cg_model.comm.family is ShapeFamily.QUADRATIC
+
+    def test_fs_near_configured_value(self, ep_model):
+        assert ep_model.amdahl.fs_mean == pytest.approx(
+            EP(scale=0.15).spec.serial_fraction, abs=0.01
+        )
+
+    def test_measured_counts_exposed(self, ep_model):
+        assert ep_model.measured_node_counts == (1, 2, 4, 8)
+
+    def test_measured_values_passthrough(self, ep_model):
+        m = ep_model.inputs.measurements[4]
+        assert ep_model.active_time(4) == m.active_time
+        assert ep_model.idle_time(4) == m.idle_time
+
+    def test_extrapolated_values_from_fits(self, ep_model):
+        assert ep_model.active_time(16) < ep_model.active_time(8)
+        assert ep_model.idle_time(16) >= ep_model.idle_time(8)
+
+
+class TestPrediction:
+    def test_predicts_measured_point_accurately(self, cluster, ep_model):
+        # On a measured configuration, the model should land close to the
+        # simulation it was fitted on.
+        simulated = run_workload(cluster, EP(scale=0.15), nodes=8, gear=1)
+        predicted = ep_model.predict(nodes=8, gear=1)
+        assert predicted.time == pytest.approx(simulated.time, rel=0.05)
+        assert predicted.energy == pytest.approx(simulated.energy, rel=0.10)
+
+    def test_slower_gear_prediction_for_cpu_bound(self, ep_model):
+        fast = ep_model.predict(nodes=8, gear=1)
+        slow = ep_model.predict(nodes=8, gear=6)
+        assert slow.time / fast.time == pytest.approx(2.5, rel=0.05)
+
+    def test_memory_bound_energy_drops_at_gear5(self, cg_model):
+        fast = cg_model.predict(nodes=1, gear=1)
+        slow = cg_model.predict(nodes=1, gear=5)
+        assert slow.energy < fast.energy
+
+    def test_predict_curve_shape(self, cg_model):
+        curve = cg_model.predict_curve(nodes=16)
+        assert curve.nodes == 16
+        assert [p.gear for p in curve.points] == [1, 2, 3, 4, 5, 6]
+        assert curve.is_fastest_leftmost()
+
+    def test_predicted_speedup_declines_for_cg(self, cg_model):
+        # CG's quadratic communication makes big clusters counter-
+        # productive — the paper's 32-node speedup is below one.
+        assert cg_model.predicted_speedup(32) < 1.0
+        assert cg_model.predicted_speedup(8) > 1.0
+
+
+class TestModelOptions:
+    def test_forced_family_respected(self, cluster):
+        inputs = gather_inputs(cluster, EP(scale=0.1), node_counts=(1, 2, 4))
+        model = EnergyTimeModel(inputs, comm_family=ShapeFamily.LINEAR)
+        assert model.comm.family is ShapeFamily.LINEAR
+
+    def test_naive_vs_refined_predictors(self, cluster):
+        inputs = gather_inputs(cluster, LU(scale=0.1), node_counts=(1, 2, 4, 8))
+        refined = EnergyTimeModel(inputs, refined=True)
+        naive = EnergyTimeModel(inputs, refined=False)
+        r = refined.predict(nodes=8, gear=5)
+        n = naive.predict(nodes=8, gear=5)
+        assert r.time <= n.time + 1e-9
+
+    def test_needs_two_multinode_measurements(self, cluster):
+        inputs = gather_inputs(cluster, EP(scale=0.1), node_counts=(1, 2))
+        with pytest.raises(ModelError):
+            EnergyTimeModel(inputs)

@@ -1,0 +1,118 @@
+"""Naive and refined predictors (Equations 1-2 and the refinement)."""
+
+import pytest
+
+from repro.core.calibration import GearCalibration
+from repro.core.predictor import NaivePredictor, RefinedPredictor
+from repro.util.errors import ModelError
+
+
+@pytest.fixture
+def calibration():
+    return GearCalibration(
+        workload="X",
+        slowdown={1: 1.0, 2: 1.1, 5: 1.5},
+        active_power={1: 140.0, 2: 125.0, 5: 100.0},
+        idle_power={1: 90.0, 2: 85.0, 5: 75.0},
+        single_node_time={1: 10.0, 2: 11.0, 5: 15.0},
+    )
+
+
+class TestNaive:
+    def test_equation_one_and_two(self, calibration):
+        p = NaivePredictor(calibration).predict(
+            nodes=4, gear=2, active_time=10.0, idle_time=2.0
+        )
+        assert p.time == pytest.approx(1.1 * 10.0 + 2.0)
+        assert p.energy == pytest.approx(4 * (125.0 * 11.0 + 85.0 * 2.0))
+
+    def test_fastest_gear_identity(self, calibration):
+        p = NaivePredictor(calibration).predict(
+            nodes=2, gear=1, active_time=5.0, idle_time=1.0
+        )
+        assert p.time == pytest.approx(6.0)
+
+    def test_unknown_gear_rejected(self, calibration):
+        with pytest.raises(ModelError):
+            NaivePredictor(calibration).predict(
+                nodes=1, gear=4, active_time=1.0, idle_time=0.0
+            )
+
+    def test_negative_components_rejected(self, calibration):
+        with pytest.raises(ModelError):
+            NaivePredictor(calibration).predict(
+                nodes=1, gear=1, active_time=-1.0, idle_time=0.0
+            )
+
+
+class TestRefined:
+    def test_reduces_to_naive_without_reducible_work(self, calibration):
+        naive = NaivePredictor(calibration).predict(
+            nodes=2, gear=5, active_time=8.0, idle_time=3.0
+        )
+        refined = RefinedPredictor(calibration).predict(
+            nodes=2, gear=5, active_time=8.0, idle_time=3.0, reducible_time=0.0
+        )
+        assert refined.time == pytest.approx(naive.time)
+        assert refined.energy == pytest.approx(naive.energy)
+
+    def test_slack_absorbs_reducible_slowdown(self, calibration):
+        # T^R = 4, S_5 = 1.5: extension = 2 <= T^I = 3 -> time only grows
+        # by the critical part's slowdown.
+        p = RefinedPredictor(calibration).predict(
+            nodes=1, gear=5, active_time=10.0, idle_time=3.0, reducible_time=4.0
+        )
+        assert p.time == pytest.approx(1.5 * 6.0 + 4.0 + 3.0)
+
+    def test_inflection_point_continuity(self, calibration):
+        # At T^I + T^R == S_g * T^R both branches agree.
+        predictor = RefinedPredictor(calibration)
+        reducible = 6.0
+        idle = (1.5 - 1.0) * reducible  # exactly the inflection
+        at = predictor.predict(
+            nodes=1, gear=5, active_time=10.0, idle_time=idle, reducible_time=reducible
+        )
+        above = predictor.predict(
+            nodes=1,
+            gear=5,
+            active_time=10.0,
+            idle_time=idle + 1e-9,
+            reducible_time=reducible,
+        )
+        assert at.time == pytest.approx(above.time, abs=1e-6)
+        assert at.energy == pytest.approx(above.energy, rel=1e-6)
+
+    def test_slack_consumed_branch(self, calibration):
+        # Tiny idle: everything behaves as critical.
+        p = RefinedPredictor(calibration).predict(
+            nodes=1, gear=5, active_time=10.0, idle_time=0.1, reducible_time=8.0
+        )
+        assert p.time == pytest.approx(1.5 * 10.0)
+        assert p.idle_time == 0.0
+
+    def test_refined_never_slower_than_naive(self, calibration):
+        naive = NaivePredictor(calibration)
+        refined = RefinedPredictor(calibration)
+        for reducible in (0.0, 2.0, 5.0, 10.0):
+            n = naive.predict(nodes=1, gear=5, active_time=10.0, idle_time=4.0)
+            r = refined.predict(
+                nodes=1,
+                gear=5,
+                active_time=10.0,
+                idle_time=4.0,
+                reducible_time=reducible,
+            )
+            assert r.time <= n.time + 1e-12
+
+    def test_rejects_reducible_beyond_active(self, calibration):
+        with pytest.raises(ModelError):
+            RefinedPredictor(calibration).predict(
+                nodes=1, gear=5, active_time=5.0, idle_time=1.0, reducible_time=6.0
+            )
+
+    def test_energy_conserves_time_split(self, calibration):
+        # active_stretched + idle_remaining == time in both branches.
+        p = RefinedPredictor(calibration).predict(
+            nodes=1, gear=5, active_time=10.0, idle_time=3.0, reducible_time=4.0
+        )
+        assert p.active_time + p.idle_time == pytest.approx(p.time)

@@ -1,0 +1,54 @@
+"""Run orchestration: measurements, gear sweeps, node sweeps."""
+
+import pytest
+
+from repro.core.run import gear_sweep, node_sweep, run_workload
+from repro.util.errors import ConfigurationError
+from repro.workloads.nas import BT, EP
+
+
+class TestRunWorkload:
+    def test_measurement_fields(self, cluster):
+        m = run_workload(cluster, EP(scale=0.1), nodes=2, gear=3)
+        assert m.workload == "EP"
+        assert m.nodes == 2 and m.gear == 3
+        assert m.time > 0 and m.energy > 0
+        assert m.active_time + m.idle_time == pytest.approx(m.time)
+        assert m.average_power == pytest.approx(m.energy / m.time)
+
+    def test_upm_matches_spec(self, cluster):
+        m = run_workload(cluster, EP(scale=0.1), nodes=1, gear=1)
+        assert m.upm == pytest.approx(844.0, rel=1e-6)
+
+    def test_invalid_node_count_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            run_workload(cluster, BT(scale=0.1), nodes=3, gear=1)
+
+    def test_invalid_gear_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            run_workload(cluster, EP(scale=0.1), nodes=1, gear=0)
+
+    def test_curve_point_conversion(self, cluster):
+        m = run_workload(cluster, EP(scale=0.1), nodes=1, gear=2)
+        p = m.curve_point()
+        assert (p.gear, p.time, p.energy) == (2, m.time, m.energy)
+
+
+class TestGearSweep:
+    def test_full_sweep(self, cluster):
+        curve = gear_sweep(cluster, EP(scale=0.1), nodes=1)
+        assert [p.gear for p in curve.points] == [1, 2, 3, 4, 5, 6]
+        assert curve.is_fastest_leftmost()
+
+    def test_gear_subset(self, cluster):
+        curve = gear_sweep(cluster, EP(scale=0.1), nodes=1, gears=(1, 3, 6))
+        assert [p.gear for p in curve.points] == [1, 3, 6]
+
+
+class TestNodeSweep:
+    def test_family_structure(self, cluster):
+        family = node_sweep(
+            cluster, EP(scale=0.1), node_counts=(1, 2, 4), gears=(1, 6)
+        )
+        assert family.node_counts == (1, 2, 4)
+        assert len(family.curve(2)) == 2

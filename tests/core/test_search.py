@@ -1,0 +1,104 @@
+"""Per-rank gear-vector search."""
+
+import pytest
+
+from repro.core.search import Objective, search_gear_vector
+from repro.util.errors import ConfigurationError
+from repro.workloads.base import CommScheme, Workload, WorkloadSpec
+from repro.workloads.nas import CG, EP
+
+
+class ImbalancedStencil(Workload):
+    """Rank 0 computes 3x the others' work; everyone barriers."""
+
+    def __init__(self):
+        self.spec = WorkloadSpec(
+            name="Imbalanced",
+            iterations=12,
+            total_uops=2e10,
+            upm=70.0,
+            miss_latency=25e-9,
+            serial_fraction=0.0,
+            paper_comm_class=CommScheme.LOGARITHMIC,
+        )
+
+    def program(self, comm):
+        heavy = 3.0 if comm.rank == 0 else 1.0
+        per_iter = self.spec.total_uops / self.spec.iterations / comm.size
+        for _ in range(self.spec.iterations):
+            yield from comm.compute(
+                uops=heavy * per_iter, l2_misses=heavy * per_iter / self.spec.upm
+            )
+            if comm.size > 1:
+                yield from comm.barrier()
+
+
+class TestObjective:
+    def test_energy(self):
+        assert Objective.ENERGY.score(2.0, 100.0) == 100.0
+
+    def test_edp(self):
+        assert Objective.EDP.score(2.0, 100.0) == 200.0
+
+    def test_ed2p(self):
+        assert Objective.ED2P.score(2.0, 100.0) == 400.0
+
+
+class TestSearch:
+    def test_downshifts_slack_ranks_not_the_bottleneck(self, cluster):
+        result = search_gear_vector(
+            cluster,
+            ImbalancedStencil(),
+            nodes=4,
+            objective=Objective.ENERGY,
+            max_time_penalty=0.02,
+        )
+        # Rank 0 is the bottleneck: it must stay at gear 1; the idle
+        # ranks should end up slower than it.
+        assert result.gears[0] == 1
+        assert all(g > 1 for g in result.gears[1:])
+        assert result.energy_saving > 0.05
+        assert result.time_penalty <= 0.02 + 1e-9
+
+    def test_respects_time_budget(self, cluster):
+        result = search_gear_vector(
+            cluster,
+            ImbalancedStencil(),
+            nodes=4,
+            objective=Objective.ENERGY,
+            max_time_penalty=0.0,
+        )
+        assert result.time <= result.baseline_time * (1 + 1e-9)
+
+    def test_balanced_cpu_bound_stays_at_gear1_under_edp(self, cluster):
+        result = search_gear_vector(
+            cluster, EP(scale=0.1), nodes=4, objective=Objective.ED2P,
+            max_time_penalty=0.01,
+        )
+        assert result.gears == (1, 1, 1, 1)
+        assert result.energy_saving == pytest.approx(0.0, abs=1e-9)
+
+    def test_memory_bound_uniformly_downshifts(self, cluster):
+        result = search_gear_vector(
+            cluster, CG(scale=0.1), nodes=2, objective=Objective.EDP,
+            max_time_penalty=0.10,
+        )
+        # CG's tradeoff is so good every rank benefits from lower gears.
+        assert all(g >= 2 for g in result.gears)
+        assert result.energy_saving > 0.05
+
+    def test_history_records_rejections(self, cluster):
+        result = search_gear_vector(
+            cluster, EP(scale=0.05), nodes=2, objective=Objective.ED2P,
+            max_time_penalty=0.01,
+        )
+        assert result.evaluations >= 1
+        assert all(not step.accepted for step in result.history)
+
+    def test_rejects_bad_parameters(self, cluster):
+        with pytest.raises(ConfigurationError):
+            search_gear_vector(
+                cluster, EP(scale=0.05), nodes=2, max_time_penalty=-0.1
+            )
+        with pytest.raises(ConfigurationError):
+            search_gear_vector(cluster, EP(scale=0.05), nodes=2, max_rounds=0)

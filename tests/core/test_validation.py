@@ -1,0 +1,65 @@
+"""Cross-cluster checks and model-vs-simulation validation."""
+
+import pytest
+
+from repro.core.model import EnergyTimeModel, gather_inputs
+from repro.core.validation import cross_cluster_check, validate_model
+from repro.util.errors import ModelError
+from repro.workloads.nas import EP, MG
+
+
+@pytest.fixture(scope="module")
+def mg_model(cluster):
+    inputs = gather_inputs(cluster, MG(scale=0.15), node_counts=(1, 2, 4, 8))
+    return EnergyTimeModel(inputs)
+
+
+class TestCrossCluster:
+    def test_ep_agrees_across_clusters(self, cluster, sun_cluster):
+        check = cross_cluster_check(
+            EP(scale=0.1), cluster, sun_cluster, node_counts=(1, 2, 4, 8)
+        )
+        # The paper: F_p/F_s identical across clusters with one outlier;
+        # communication shapes identical on both.
+        assert check.fs_gap < 0.01
+        assert check.families_agree
+
+    def test_needs_multinode_counts(self, cluster, sun_cluster):
+        with pytest.raises(ModelError):
+            cross_cluster_check(
+                EP(scale=0.1), cluster, sun_cluster, node_counts=(1, 2)
+            )
+
+
+class TestValidateModel:
+    def test_point_errors_reported(self, big_cluster, mg_model):
+        report = validate_model(
+            mg_model,
+            big_cluster,
+            MG(scale=0.15),
+            node_counts=(16,),
+            gears=(1, 4),
+        )
+        assert len(report.point_errors) == 2
+        # The model extrapolates from <= 8-node measurements where the
+        # switch backplane is uncontended; at 16 nodes MG's halo traffic
+        # starts queuing, which no <= 8-node fit can see.  Within ~35 %
+        # is the honest accuracy of the paper's methodology here.
+        assert report.max_abs_time_error() < 0.35
+        assert report.max_abs_energy_error() < 0.35
+
+    def test_error_signs_meaningful(self, big_cluster, mg_model):
+        report = validate_model(
+            mg_model, big_cluster, MG(scale=0.15), node_counts=(16,), gears=(1,)
+        )
+        e = report.point_errors[0]
+        assert e.time_error == pytest.approx(
+            e.predicted_time / e.simulated_time - 1.0
+        )
+
+    def test_empty_report_errors_zero(self, mg_model, big_cluster):
+        report = validate_model(
+            mg_model, big_cluster, MG(scale=0.15), node_counts=(), gears=(1,)
+        )
+        assert report.max_abs_time_error() == 0.0
+        assert report.max_abs_energy_error() == 0.0

@@ -1,0 +1,63 @@
+"""Adaptive-policy experiment: the future-work evaluation."""
+
+import pytest
+
+from repro.experiments.adaptive import adaptive_policies
+
+
+@pytest.fixture(scope="module")
+def adaptive_result():
+    from tests.conftest import TEST_SCALE
+
+    return adaptive_policies(scale=TEST_SCALE)
+
+
+class TestStructure:
+    def test_all_codes_and_strategies(self, adaptive_result):
+        assert set(adaptive_result.outcomes) == {
+            "EP", "BT", "LU", "MG", "SP", "CG", "Jacobi",
+        }
+        for outcomes in adaptive_result.outcomes.values():
+            strategies = [o.strategy for o in outcomes]
+            assert strategies[0] == "static g1"
+            assert "idle-low" in strategies
+            assert "trial-slack" in strategies
+            assert any("EDP oracle" in s for s in strategies)
+
+    def test_render(self, adaptive_result):
+        text = adaptive_result.render()
+        assert "trial-slack" in text and "EDP vs g1" in text
+
+
+class TestFindings:
+    def test_idle_low_never_slower(self, adaptive_result):
+        for name, outcomes in adaptive_result.outcomes.items():
+            base = outcomes[0]
+            idle = adaptive_result.outcome(name, "idle-low")
+            assert idle.time <= base.time * 1.001, name
+
+    def test_idle_low_never_costs_energy(self, adaptive_result):
+        for name in adaptive_result.outcomes:
+            base = adaptive_result.outcome(name, "static g1")
+            idle = adaptive_result.outcome(name, "idle-low")
+            assert idle.energy <= base.energy * 1.001, name
+
+    @pytest.mark.parametrize("name", ["LU", "CG", "Jacobi"])
+    def test_trial_slack_wins_on_real_slack_codes(self, adaptive_result, name):
+        base = adaptive_result.outcome(name, "static g1")
+        slack = adaptive_result.outcome(name, "trial-slack")
+        assert slack.edp < base.edp * 0.95, name
+
+    def test_trial_slack_never_catastrophic(self, adaptive_result):
+        # The trial/revert/lock machinery bounds the damage on
+        # tightly-coupled codes.
+        for name in adaptive_result.outcomes:
+            base = adaptive_result.outcome(name, "static g1")
+            slack = adaptive_result.outcome(name, "trial-slack")
+            assert slack.time <= base.time * 1.15, name
+            assert slack.edp <= base.edp * 1.08, name
+
+    def test_ep_untouched(self, adaptive_result):
+        base = adaptive_result.outcome("EP", "static g1")
+        slack = adaptive_result.outcome("EP", "trial-slack")
+        assert slack.time == pytest.approx(base.time, rel=0.01)

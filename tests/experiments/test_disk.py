@@ -1,0 +1,57 @@
+"""Disk-scaling experiment (future work #1)."""
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster
+from repro.experiments.disk import REGIMES, disk_scaling
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def disk_result():
+    return disk_scaling(scale=0.4)
+
+
+class TestStructure:
+    def test_two_regimes(self):
+        assert [r[0] for r in REGIMES] == ["light I/O", "heavy I/O"]
+
+    def test_all_cells_present(self, disk_result):
+        for regime, _, _ in REGIMES:
+            for gear in (1, 2):
+                for speed in (1, 3, 5):
+                    disk_result.cell(regime, gear, speed)
+
+    def test_render(self, disk_result):
+        text = disk_result.render()
+        assert "light I/O" in text and "heavy I/O" in text
+
+    def test_requires_disk(self):
+        with pytest.raises(ConfigurationError):
+            disk_scaling(scale=0.1, cluster=athlon_cluster())
+
+
+class TestFindings:
+    def test_light_io_spindown_energy_neutral(self, disk_result):
+        base = disk_result.cell("light I/O", 1, 1)
+        slow = disk_result.cell("light I/O", 1, 5)
+        assert abs(slow.energy / base.energy - 1) < 0.05
+
+    def test_heavy_io_spindown_counterproductive(self, disk_result):
+        base = disk_result.cell("heavy I/O", 1, 1)
+        slow = disk_result.cell("heavy I/O", 1, 5)
+        assert slow.energy > base.energy * 1.10
+        assert slow.time > base.time * 1.3
+
+    def test_cpu_gear_dominant_knob(self, disk_result):
+        for regime, _, _ in REGIMES:
+            base = disk_result.cell(regime, 1, 1)
+            gear2 = disk_result.cell(regime, 2, 1)
+            assert gear2.energy < base.energy
+
+    def test_slower_spindle_never_faster(self, disk_result):
+        for regime, _, _ in REGIMES:
+            for gear in (1, 2):
+                t1 = disk_result.cell(regime, gear, 1).time
+                t5 = disk_result.cell(regime, gear, 5).time
+                assert t5 >= t1

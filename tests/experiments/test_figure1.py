@@ -1,0 +1,75 @@
+"""Figure 1 experiment: structure and the paper's §3.1 observations."""
+
+import pytest
+
+from repro.workloads.nas import NAS_PAPER_SUITE
+
+
+class TestStructure:
+    def test_six_panels(self, figure1_result):
+        assert set(figure1_result.curves) == set(NAS_PAPER_SUITE)
+
+    def test_six_gears_per_curve(self, figure1_result):
+        for curve in figure1_result.curves.values():
+            assert [p.gear for p in curve.points] == [1, 2, 3, 4, 5, 6]
+            assert curve.nodes == 1
+
+    def test_render_mentions_every_code(self, figure1_result):
+        text = figure1_result.render()
+        for name in NAS_PAPER_SUITE:
+            assert f"[{name}]" in text
+
+
+class TestPaperObservations:
+    def test_fastest_gear_always_leftmost(self, figure1_result):
+        # "All of our tests show that for a given program, using the
+        # fastest gear takes the least time."
+        for curve in figure1_result.curves.values():
+            assert curve.is_fastest_leftmost()
+
+    def test_slowdown_bounds_hold_everywhere(self, figure1_result, cluster):
+        # 1 <= T_{i+1}/T_i <= f_i/f_{i+1} for adjacent gears.
+        for curve in figure1_result.curves.values():
+            for a, b in zip(curve.points, curve.points[1:]):
+                ratio = b.time / a.time
+                bound = cluster.gears.frequency_ratio(a.gear, b.gear)
+                assert 1.0 <= ratio <= bound + 1e-9
+
+    def test_cg_headline_numbers(self, figure1_result):
+        # "it is possible to use 10% less energy while increasing time
+        # by 1%, with CG" (gear 2), and ~20 % savings for ~10 % delay at
+        # gear 5.
+        rel = dict(
+            (g, (delay, energy)) for g, delay, energy in
+            figure1_result.curve("CG").relative()
+        )
+        delay2, energy2 = rel[2]
+        assert delay2 < 0.03
+        assert 0.06 <= 1 - energy2 <= 0.13
+        delay5, energy5 = rel[5]
+        assert 0.07 <= delay5 <= 0.13
+        assert 0.15 <= 1 - energy5 <= 0.25
+
+    def test_ep_no_real_savings(self, figure1_result, cluster):
+        # "with EP there was essentially no savings": delay tracks the
+        # cycle-time increase and energy stays within a few percent.
+        rel = figure1_result.curve("EP").relative()
+        _, delay2, energy2 = rel[1]
+        bound = cluster.gears.frequency_ratio(1, 2) - 1.0
+        assert delay2 == pytest.approx(bound, abs=0.02)
+        assert abs(1 - energy2) < 0.06
+
+    def test_cg_greatest_relative_savings(self, figure1_result):
+        # CG has the best energy-time tradeoff of the suite.
+        best_saving = {
+            name: 1 - min(e for _, _, e in curve.relative())
+            for name, curve in figure1_result.curves.items()
+        }
+        assert max(best_saving, key=best_saving.get) == "CG"
+
+    def test_system_power_window_at_gear1(self, figure1_result):
+        # 140-150 W at the fastest gear (within a tolerance for
+        # memory-bound codes whose stalled pipeline draws less).
+        for name, curve in figure1_result.curves.items():
+            power = curve.fastest.energy / curve.fastest.time
+            assert 125.0 <= power <= 150.0, name

@@ -1,0 +1,79 @@
+"""Figure 2 experiment: multi-node curves and the case taxonomy."""
+
+import pytest
+
+from repro.core.cases import SpeedupCase
+from repro.experiments.figure2 import PAPER_NODE_COUNTS
+
+
+class TestStructure:
+    def test_paper_node_counts(self, figure2_result):
+        for name, counts in PAPER_NODE_COUNTS.items():
+            assert figure2_result.family(name).node_counts == counts
+
+    def test_bt_sp_use_squares(self):
+        assert PAPER_NODE_COUNTS["BT"] == (1, 4, 9)
+        assert PAPER_NODE_COUNTS["SP"] == (1, 4, 9)
+
+    def test_render_includes_case_tables(self, figure2_result):
+        text = figure2_result.render()
+        assert "poor" in text
+        assert "transitions" in text
+
+
+class TestPaperCases:
+    def test_bt_first_transition_poor(self, figure2_result):
+        assert figure2_result.case_for("BT", 4, 9).case is SpeedupCase.POOR
+
+    def test_sp_first_transition_poor(self, figure2_result):
+        assert figure2_result.case_for("SP", 4, 9).case is SpeedupCase.POOR
+
+    def test_mg_2_to_4_poor(self, figure2_result):
+        assert figure2_result.case_for("MG", 2, 4).case is SpeedupCase.POOR
+
+    def test_cg_4_to_8_poor(self, figure2_result):
+        assert figure2_result.case_for("CG", 4, 8).case is SpeedupCase.POOR
+
+    def test_ep_perfect_speedup(self, figure2_result):
+        # "EP, which gets almost perfect speedup, illustrates this
+        # [case 2]": doubling nodes halves time at ~constant energy.
+        for small, large in ((2, 4), (4, 8)):
+            analysis = figure2_result.case_for("EP", small, large)
+            assert analysis.case is SpeedupCase.PERFECT_SUPERLINEAR
+            assert analysis.speedup == pytest.approx(2.0, rel=0.05)
+
+    def test_lu_4_to_8_good(self, figure2_result):
+        analysis = figure2_result.case_for("LU", 4, 8)
+        assert analysis.case is SpeedupCase.GOOD
+        assert analysis.dominating_gear is not None
+
+
+class TestLUCase3Numbers:
+    def test_lu_gear1_speed_and_energy(self, figure2_result):
+        # "The fastest gear on 8 nodes executes 72% faster than on 4
+        # nodes, but uses 12% more energy."
+        analysis = figure2_result.case_for("LU", 4, 8)
+        assert analysis.speedup == pytest.approx(1.72, abs=0.15)
+        assert analysis.energy_ratio == pytest.approx(1.12, abs=0.08)
+
+    def test_lu_gear4_on_8_vs_gear1_on_4(self, figure2_result):
+        # "Gear 4 on 8 nodes uses approximately the same energy as the
+        # fastest gear on 4 nodes, but executes 50% more quickly."
+        family = figure2_result.family("LU")
+        anchor = family.curve(4).fastest
+        candidate = family.curve(8).point(4)
+        assert candidate.energy == pytest.approx(anchor.energy, rel=0.12)
+        assert anchor.time / candidate.time == pytest.approx(1.5, abs=0.25)
+
+
+class TestCumulativeEnergy:
+    def test_energy_grows_with_poor_scaling(self, figure2_result):
+        # Where speedup is poor, cumulative energy at gear 1 must rise
+        # markedly with node count.
+        family = figure2_result.family("CG")
+        assert family.curve(8).fastest.energy > 1.3 * family.curve(4).fastest.energy
+
+    def test_ep_energy_flat_across_counts(self, figure2_result):
+        family = figure2_result.family("EP")
+        energies = [family.curve(n).fastest.energy for n in (2, 4, 8)]
+        assert max(energies) / min(energies) < 1.05

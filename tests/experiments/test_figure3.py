@@ -1,0 +1,42 @@
+"""Figure 3 experiment: Jacobi's speedups and universal case 3."""
+
+import pytest
+
+from repro.core.cases import SpeedupCase
+from repro.experiments.figure3 import PAPER_NODE_COUNTS, PAPER_SPEEDUPS
+
+
+class TestStructure:
+    def test_paper_node_counts(self, figure3_result):
+        assert figure3_result.family.node_counts == PAPER_NODE_COUNTS
+
+    def test_render_reports_speedups(self, figure3_result):
+        assert "speedups" in figure3_result.render()
+
+
+class TestSpeedups:
+    @pytest.mark.parametrize("nodes", PAPER_NODE_COUNTS)
+    def test_matches_paper_within_five_percent(self, figure3_result, nodes):
+        # Paper: 1.9, 3.6, 5.0, 6.4, 7.7 on 2/4/6/8/10 nodes.
+        assert figure3_result.speedups[nodes] == pytest.approx(
+            PAPER_SPEEDUPS[nodes], rel=0.05
+        )
+
+
+class TestCases:
+    def test_every_adjacent_pair_is_case_3(self, figure3_result):
+        # "Because this application gets good speedup ... each adjacent
+        # pair of curves falls in case 3."
+        assert len(figure3_result.cases) == 4
+        for analysis in figure3_result.cases:
+            assert analysis.case is SpeedupCase.GOOD, analysis
+
+    def test_paper_example_6_nodes_beats_4(self, figure3_result):
+        # "executing in second or third gear on 6 nodes results in the
+        # program finishing faster and using less energy than using
+        # first gear on 4 nodes."
+        anchor = figure3_result.family.curve(4).fastest
+        six = figure3_result.family.curve(6)
+        assert any(
+            six.point(g).dominates(anchor) for g in (2, 3)
+        )

@@ -1,0 +1,30 @@
+"""Figure 4 experiment: the synthetic benchmark's headline numbers."""
+
+import pytest
+
+
+class TestHeadlines:
+    def test_gear5_delay_about_3_percent(self, figure4_result):
+        assert figure4_result.gear5_delay == pytest.approx(0.03, abs=0.02)
+
+    def test_gear5_saving_about_24_percent(self, figure4_result):
+        assert figure4_result.gear5_saving == pytest.approx(0.24, abs=0.05)
+
+    def test_cross_configuration_dominance(self, figure4_result):
+        # "compared to gear 1 on 4 nodes, gear 5 on 8 nodes uses 80% of
+        # the energy and executes in half the time."
+        assert figure4_result.cross_energy_ratio == pytest.approx(0.80, abs=0.08)
+        assert figure4_result.cross_time_ratio == pytest.approx(0.50, abs=0.08)
+
+    def test_good_speedup(self, figure4_result):
+        assert figure4_result.speedups[8] > 7.0
+
+
+class TestStructure:
+    def test_counts(self, figure4_result):
+        assert figure4_result.family.node_counts == (1, 2, 4, 8)
+
+    def test_render_quotes_paper_targets(self, figure4_result):
+        text = figure4_result.render()
+        assert "gear 5" in text
+        assert "paper" in text

@@ -1,0 +1,83 @@
+"""Figure 5 experiment: model extrapolation to 16/25/32 nodes."""
+
+import pytest
+
+from repro.util.fitting import ShapeFamily
+from repro.workloads.nas import NAS_PAPER_SUITE
+
+
+class TestStructure:
+    def test_all_panels_present(self, figure5_result):
+        assert set(figure5_result.panels) == set(NAS_PAPER_SUITE)
+
+    def test_measured_counts_respect_validity(self, figure5_result):
+        assert figure5_result.panel("CG").measured.node_counts == (1, 2, 4, 8)
+        assert figure5_result.panel("BT").measured.node_counts == (1, 4, 9)
+
+    def test_extrapolated_counts_respect_validity(self, figure5_result):
+        assert [c.nodes for c in figure5_result.panel("CG").predicted] == [16, 32]
+        assert [c.nodes for c in figure5_result.panel("BT").predicted] == [16, 25]
+
+    def test_render_flags_dropped_curves(self, figure5_result):
+        assert "NOT PLOTTED" in figure5_result.render()
+
+
+class TestCommunicationClasses:
+    def test_cg_quadratic(self, figure5_result):
+        assert figure5_result.panel("CG").model.comm.family is ShapeFamily.QUADRATIC
+
+    def test_ep_logarithmic(self, figure5_result):
+        assert figure5_result.panel("EP").model.comm.family is ShapeFamily.LOGARITHMIC
+
+    def test_mg_logarithmic(self, figure5_result):
+        assert figure5_result.panel("MG").model.comm.family is ShapeFamily.LOGARITHMIC
+
+    def test_bt_sp_forced_to_paper_class(self, figure5_result):
+        assert figure5_result.panel("BT").model.comm.family is ShapeFamily.LOGARITHMIC
+        assert figure5_result.panel("SP").model.comm.family is ShapeFamily.LOGARITHMIC
+
+    def test_lu_constant_the_papers_revised_finding(self, figure5_result):
+        # §4.1 validation: "for this program, we found that communication
+        # was best modeled as a constant."
+        assert figure5_result.panel("LU").model.comm.family is ShapeFamily.CONSTANT
+
+
+class TestPaperObservations:
+    def test_cg_speedup_below_one_at_32(self, figure5_result):
+        # "(CG has a speedup of less than one on 32 nodes, so that curve
+        # is not plotted.)"
+        panel = figure5_result.panel("CG")
+        dropped = [c.nodes for c in panel.predicted if c not in panel.plotted_predictions]
+        assert dropped == [32]
+
+    def test_curves_become_more_vertical(self, figure5_result):
+        # The minimum-energy gear should move to slower gears as nodes
+        # increase, for at least some codes (the paper cites SP).
+        moved = 0
+        for name in NAS_PAPER_SUITE:
+            gears = figure5_result.panel(name).min_energy_gears()
+            counts = sorted(gears)
+            if gears[counts[-1]] > gears[counts[0]]:
+                moved += 1
+        assert moved >= 2
+
+    def test_sp_minimum_energy_gear_moves_down(self, figure5_result):
+        # Paper: "On four nodes, second gear consumes the least energy.
+        # On ... 16 nodes, fourth gear" — our SP is calibrated slightly
+        # more memory-bound; assert the direction and magnitude.
+        gears = figure5_result.panel("SP").min_energy_gears()
+        assert gears[16] >= gears[4]
+        assert gears[16] >= 4
+
+    def test_fastest_gear_leftmost_in_predictions(self, figure5_result):
+        for name in NAS_PAPER_SUITE:
+            for curve in figure5_result.panel(name).predicted:
+                assert curve.is_fastest_leftmost()
+
+    def test_energy_climbs_when_speedup_tails_off(self, figure5_result):
+        # At 32 nodes the cluster burns far more total energy than at 8
+        # for the poorly-scaling codes.
+        panel = figure5_result.panel("CG")
+        measured8 = panel.measured.curve(8).fastest.energy
+        predicted32 = next(c for c in panel.predicted if c.nodes == 32)
+        assert predicted32.fastest.energy > 2.0 * measured8

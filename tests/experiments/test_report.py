@@ -1,0 +1,42 @@
+"""Rendering helpers for experiment output."""
+
+from repro.core.cases import classify_pair
+from repro.core.curves import CurveFamily, CurvePoint, EnergyTimeCurve
+from repro.experiments.report import render_cases, render_curve, render_family
+
+
+def curve(points, nodes, workload="CG"):
+    return EnergyTimeCurve(
+        workload=workload,
+        nodes=nodes,
+        points=tuple(CurvePoint(g, t, e) for g, t, e in points),
+    )
+
+
+SMALL = curve([(1, 10.0, 1000.0), (2, 10.2, 930.0)], nodes=4)
+LARGE = curve([(1, 6.0, 1200.0), (2, 6.4, 950.0)], nodes=8)
+
+
+def test_render_curve_has_relative_axes():
+    text = render_curve(SMALL)
+    assert "delay vs g1" in text
+    assert "+2.0%" in text
+    assert "93.0%" in text
+
+
+def test_render_curve_custom_label():
+    assert render_curve(SMALL, label="[CG]").startswith("[CG]")
+
+
+def test_render_family_stacks_curves():
+    family = CurveFamily(workload="CG", curves=(SMALL, LARGE))
+    text = render_family(family, title="panel")
+    assert text.startswith("panel")
+    assert "4 node(s)" in text and "8 node(s)" in text
+
+
+def test_render_cases_table():
+    analysis = classify_pair(SMALL, LARGE)
+    text = render_cases([analysis], workload="CG")
+    assert "4->8" in text
+    assert analysis.case.value in text

@@ -1,0 +1,44 @@
+"""The run-everything CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "figure1",
+            "table1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+        }
+
+
+class TestCLI:
+    def test_only_selection(self, capsys):
+        code = main(["--scale", "0.1", "--only", "table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "regenerated" in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "figure9"])
+
+    def test_plots_flag(self, capsys):
+        code = main(["--scale", "0.1", "--only", "figure3", "--plots"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out  # the ASCII plot's legend line
+
+    def test_output_writes_json(self, capsys, tmp_path):
+        code = main(
+            ["--scale", "0.1", "--only", "table1", "--output", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "table1.json").exists()
+        assert "written to" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Comm facade: validation, request shapes, tag discipline."""
+
+import pytest
+
+from repro.mpi.comm import COLLECTIVE_TAG_BASE, Comm
+from repro.mpi.requests import Compute, Elapse, Isend, Now, SetGear
+from repro.util.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_valid(self):
+        c = Comm(rank=2, size=4)
+        assert c.rank == 2 and c.size == 4
+
+    @pytest.mark.parametrize("rank,size", [(-1, 4), (4, 4), (0, 0)])
+    def test_rejects_bad_rank_size(self, rank, size):
+        with pytest.raises(ConfigurationError):
+            Comm(rank=rank, size=size)
+
+
+class TestRequestShapes:
+    def test_compute_yields_compute_request(self):
+        gen = Comm(0, 1).compute(uops=100.0, l2_misses=5.0)
+        req = next(gen)
+        assert isinstance(req, Compute)
+        assert req.block.uops == 100.0
+        assert req.block.l2_misses == 5.0
+
+    def test_compute_miss_latency_override(self):
+        gen = Comm(0, 1).compute(uops=1.0, l2_misses=1.0, miss_latency=19e-9)
+        req = next(gen)
+        assert req.block.miss_latency == 19e-9
+
+    def test_isend_request(self):
+        gen = Comm(0, 2).isend(1, nbytes=64, tag=3, payload="x")
+        req = next(gen)
+        assert isinstance(req, Isend)
+        assert (req.dest, req.tag, req.nbytes, req.payload) == (1, 3, 64, "x")
+
+    def test_now_request(self):
+        assert isinstance(next(Comm(0, 1).now()), Now)
+
+    def test_set_gear_request(self):
+        req = next(Comm(0, 1).set_gear(4))
+        assert isinstance(req, SetGear) and req.gear_index == 4
+
+    def test_elapse_request(self):
+        req = next(Comm(0, 1).elapse(0.25))
+        assert isinstance(req, Elapse) and req.seconds == 0.25
+
+    def test_elapse_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            next(Comm(0, 1).elapse(-1.0))
+
+
+class TestTagDiscipline:
+    def test_user_tags_below_collective_base(self):
+        gen = Comm(0, 2).isend(1, nbytes=8, tag=COLLECTIVE_TAG_BASE)
+        with pytest.raises(ConfigurationError):
+            next(gen)
+
+    def test_negative_user_tag_rejected(self):
+        gen = Comm(0, 2).send(1, nbytes=8, tag=-1)
+        with pytest.raises(ConfigurationError):
+            next(gen)
+
+    def test_collective_tags_advance(self):
+        c = Comm(0, 1)
+        first = c._collective_tag()
+        second = c._collective_tag()
+        assert second == first + 1
+        assert first > COLLECTIVE_TAG_BASE - 1
+
+
+class TestRootValidation:
+    def test_bcast_rejects_bad_root(self):
+        gen = Comm(0, 2).bcast(1, nbytes=8, root=5)
+        with pytest.raises(ConfigurationError):
+            next(gen)
+
+    def test_gather_rejects_bad_root(self):
+        gen = Comm(0, 2).gather(1, nbytes=8, root=-1)
+        with pytest.raises(ConfigurationError):
+            next(gen)

@@ -1,0 +1,46 @@
+"""Request vocabulary validation."""
+
+import pytest
+
+from repro.mpi.requests import Elapse, Handle, Isend, TraceMark
+from repro.util.errors import ConfigurationError
+
+
+class TestIsend:
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ConfigurationError):
+            Isend(dest=1, tag=0, nbytes=-1)
+
+    def test_rejects_negative_tag(self):
+        with pytest.raises(ConfigurationError):
+            Isend(dest=1, tag=-2, nbytes=0)
+
+    def test_zero_byte_message_allowed(self):
+        Isend(dest=0, tag=0, nbytes=0)
+
+
+class TestElapse:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Elapse(-0.5)
+
+    def test_zero_allowed(self):
+        Elapse(0.0)
+
+
+class TestHandle:
+    def test_incomplete_by_default(self):
+        h = Handle(kind="recv", rank=0, peer=1, tag=0)
+        assert not h.complete
+        h.complete_at = 1.5
+        assert h.complete
+
+    def test_uids_unique(self):
+        a = Handle(kind="send", rank=0, peer=1, tag=0)
+        b = Handle(kind="send", rank=0, peer=1, tag=0)
+        assert a.uid != b.uid
+
+
+def test_trace_mark_fields():
+    mark = TraceMark("allreduce", "begin", nbytes=64)
+    assert (mark.op, mark.phase, mark.nbytes) == ("allreduce", "begin", 64)

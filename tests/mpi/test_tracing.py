@@ -1,0 +1,114 @@
+"""Trace records and the active/idle/reducible decompositions."""
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster
+from repro.mpi.tracing import (
+    CATEGORY_COMPUTE,
+    CATEGORY_P2P,
+    CATEGORY_WAIT,
+    RankTrace,
+    TraceRecord,
+)
+from repro.mpi.world import World
+from repro.util.errors import SimulationError
+
+
+def rec(op, cat, t0, t1, **kw):
+    return TraceRecord(rank=0, op=op, category=cat, t_enter=t0, t_exit=t1, **kw)
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        assert rec("compute", CATEGORY_COMPUTE, 1.0, 3.5).duration == 2.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            rec("compute", CATEGORY_COMPUTE, 2.0, 1.0)
+
+
+class TestRankTrace:
+    def test_active_time_sums_compute(self):
+        t = RankTrace(0)
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.0, 1.0))
+        t.add(rec("isend", CATEGORY_P2P, 1.0, 1.1))
+        t.add(rec("compute", CATEGORY_COMPUTE, 1.1, 2.1))
+        assert t.active_time == pytest.approx(2.0)
+
+    def test_idle_time_is_complement(self):
+        t = RankTrace(0)
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.0, 1.0))
+        assert t.idle_time(finish_time=3.0) == pytest.approx(2.0)
+
+    def test_idle_time_rejects_inconsistent_finish(self):
+        t = RankTrace(0)
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.0, 5.0))
+        with pytest.raises(SimulationError):
+            t.idle_time(finish_time=1.0)
+
+    def test_out_of_order_exit_rejected(self):
+        t = RankTrace(0)
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.0, 2.0))
+        with pytest.raises(SimulationError):
+            t.add(rec("compute", CATEGORY_COMPUTE, 0.0, 1.0))
+
+    def test_message_stats(self):
+        t = RankTrace(0)
+        t.add(rec("isend", CATEGORY_P2P, 0.0, 0.1, nbytes=100, peer=1))
+        t.add(rec("isend", CATEGORY_P2P, 0.2, 0.3, nbytes=50, peer=2))
+        assert t.message_stats() == (2, 150)
+
+    def test_call_counts_skip_compute(self):
+        t = RankTrace(0)
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.0, 1.0))
+        t.add(rec("isend", CATEGORY_P2P, 1.0, 1.1))
+        t.add(rec("isend", CATEGORY_P2P, 1.2, 1.3))
+        assert t.call_counts() == {"isend": 2}
+
+
+class TestReducibleWork:
+    def test_compute_after_send_before_block_is_reducible(self):
+        t = RankTrace(0)
+        t.add(rec("isend", CATEGORY_P2P, 0.0, 0.1))
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.1, 1.1))  # reducible
+        t.add(rec("wait_recv", CATEGORY_WAIT, 1.1, 2.0))  # blocking point
+        assert t.reducible_time() == pytest.approx(1.0)
+
+    def test_compute_before_any_send_is_critical(self):
+        t = RankTrace(0)
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.0, 1.0))
+        t.add(rec("wait_recv", CATEGORY_WAIT, 1.0, 2.0))
+        assert t.reducible_time() == 0.0
+
+    def test_send_resets_pending_window(self):
+        # Compute, send, compute, block: only the second chunk counts.
+        t = RankTrace(0)
+        t.add(rec("isend", CATEGORY_P2P, 0.0, 0.1))
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.1, 0.6))
+        t.add(rec("isend", CATEGORY_P2P, 0.6, 0.7))  # resets
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.7, 1.0))
+        t.add(rec("barrier", "collective", 1.0, 1.5))
+        assert t.reducible_time() == pytest.approx(0.3)
+
+    def test_trailing_compute_without_block_not_counted(self):
+        # Conservative: work after the last blocking point is ignored.
+        t = RankTrace(0)
+        t.add(rec("isend", CATEGORY_P2P, 0.0, 0.1))
+        t.add(rec("compute", CATEGORY_COMPUTE, 0.1, 5.0))
+        assert t.reducible_time() == 0.0
+
+    def test_end_to_end_reducible_measured(self):
+        # A two-rank program where rank 0's post-send compute is slack.
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=8)
+                yield from comm.compute(uops=2.6e9)  # 1 s, reducible
+                yield from comm.recv(1)
+            else:
+                yield from comm.recv(0)
+                yield from comm.compute(uops=5.2e9)  # 2 s on the path
+                yield from comm.send(0, nbytes=8)
+
+        res = World(athlon_cluster(), program, nodes=2, gear=1).run()
+        assert res.ranks[0].trace.reducible_time() == pytest.approx(1.0, rel=0.01)
+        assert res.ranks[1].trace.reducible_time() == 0.0

@@ -1,0 +1,113 @@
+"""Gear policy unit behaviour."""
+
+import pytest
+
+from repro.policy import IdleLowPolicy, SlackPolicy, StaticPolicy
+from repro.util.errors import ConfigurationError
+
+
+class TestStaticPolicy:
+    def test_fixed_gear_everywhere(self):
+        p = StaticPolicy(3)
+        assert p.compute_gear() == 3
+        assert p.blocked_gear() == 3
+
+    def test_clone_independent(self):
+        p = StaticPolicy(2)
+        assert p.clone() is not p
+        assert p.clone().gear == 2
+
+    def test_rejects_bad_gear(self):
+        with pytest.raises(ConfigurationError):
+            StaticPolicy(0)
+
+
+class TestIdleLowPolicy:
+    def test_gears(self):
+        p = IdleLowPolicy(compute_gear=1, idle_gear=6)
+        assert p.compute_gear() == 1
+        assert p.blocked_gear() == 6
+
+    def test_observe_is_noop(self):
+        p = IdleLowPolicy()
+        p.observe_wait(1.0, 2.0)
+        assert p.compute_gear() == 1
+
+
+class TestSlackPolicy:
+    def make(self, **kw):
+        base = dict(window=2, high_water=0.3, low_water=0.05)
+        base.update(kw)
+        return SlackPolicy(**base)
+
+    def feed(self, policy, slack_fraction, elapsed=1.0, times=2):
+        for _ in range(times):
+            policy.observe_wait(slack_fraction * elapsed, elapsed)
+
+    def test_starts_at_gear_one(self):
+        assert self.make().compute_gear() == 1
+
+    def test_trials_downshift_on_high_slack(self):
+        p = self.make()
+        self.feed(p, 0.5)
+        assert p.compute_gear() == 2  # trial in flight
+
+    def test_confirms_when_wall_time_stable(self):
+        p = self.make()
+        self.feed(p, 0.5, elapsed=1.0)  # trial to gear 2
+        self.feed(p, 0.4, elapsed=1.0)  # same wall time: confirmed
+        assert p.compute_gear() == 2
+        assert not p._locked
+
+    def test_reverts_when_wall_time_grows(self):
+        p = self.make()
+        self.feed(p, 0.5, elapsed=1.0)  # trial to gear 2
+        self.feed(p, 0.5, elapsed=1.2)  # window stretched: false slack
+        assert p.compute_gear() == 1
+
+    def test_locks_after_repeated_failures(self):
+        p = self.make(initial_backoff=1, max_failed_trials=2)
+        for _ in range(2):
+            self.feed(p, 0.5, elapsed=1.0)  # trial
+            self.feed(p, 0.5, elapsed=1.5)  # fail
+            self.feed(p, 0.5, elapsed=1.0, times=2 * p._hold or 2)  # drain hold
+        assert p._locked
+        before = p.compute_gear()
+        self.feed(p, 0.9, elapsed=1.0, times=6)
+        assert p.compute_gear() == before  # no more trials
+
+    def test_upshifts_on_low_slack(self):
+        p = self.make()
+        self.feed(p, 0.5, elapsed=1.0)
+        self.feed(p, 0.4, elapsed=1.0)  # confirmed at gear 2
+        self.feed(p, 0.01, elapsed=1.0)  # almost no slack: back to 1
+        assert p.compute_gear() == 1
+
+    def test_blocked_gear_is_idle_gear(self):
+        assert self.make(idle_gear=5).blocked_gear() == 5
+
+    def test_shift_log(self):
+        p = self.make()
+        self.feed(p, 0.5)
+        assert p.shifts and p.shifts[0][1] == 2
+
+    def test_clone_resets_state(self):
+        p = self.make()
+        self.feed(p, 0.5)
+        c = p.clone()
+        assert c.compute_gear() == 1
+        assert c.shifts == []
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(high_water=0.1, low_water=0.2),
+            dict(window=0),
+            dict(step_ratio=1.0),
+            dict(confirm_fraction=0.0),
+            dict(max_failed_trials=0),
+        ],
+    )
+    def test_rejects_invalid(self, kw):
+        with pytest.raises(ConfigurationError):
+            SlackPolicy(**kw)

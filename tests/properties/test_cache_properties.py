@@ -1,0 +1,82 @@
+"""Property-based tests of the cache simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cache import (
+    CacheHierarchy,
+    CacheSpec,
+    ReplacementPolicy,
+    SetAssociativeCache,
+)
+
+#: Small, valid cache geometries (power-of-two sets guaranteed).
+geometries = st.sampled_from(
+    [
+        (512, 64, 1),
+        (1024, 64, 2),
+        (2048, 64, 4),
+        (4096, 128, 2),
+        (8192, 64, 8),
+    ]
+)
+
+address_traces = st.lists(
+    st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=400
+)
+
+
+@given(geometry=geometries, trace=address_traces)
+def test_accounting_identity(geometry, trace):
+    """hits + misses == accesses, always."""
+    cache = SetAssociativeCache(CacheSpec(*geometry))
+    for a in trace:
+        cache.access(a)
+    s = cache.stats
+    assert s.hits + s.misses == s.accesses == len(trace)
+
+
+@given(geometry=geometries, trace=address_traces)
+def test_residency_bounded(geometry, trace):
+    cache = SetAssociativeCache(CacheSpec(*geometry))
+    for a in trace:
+        cache.access(a)
+    assert cache.resident_lines <= cache.spec.n_lines
+    assert cache.stats.evictions == max(0, cache.stats.misses - cache.resident_lines)
+
+
+@given(geometry=geometries, trace=address_traces)
+def test_immediate_rereference_hits(geometry, trace):
+    """Accessing the same address twice in a row always hits."""
+    cache = SetAssociativeCache(CacheSpec(*geometry))
+    for a in trace:
+        cache.access(a)
+        assert cache.access(a) is True
+
+
+@given(trace=address_traces)
+def test_bigger_cache_never_more_misses_lru_fully_assoc(trace):
+    """LRU inclusion: a larger fully-associative cache cannot miss more."""
+
+    def misses(n_lines):
+        cache = SetAssociativeCache(
+            CacheSpec(n_lines * 64, 64, n_lines, ReplacementPolicy.LRU)
+        )
+        for a in trace:
+            cache.access(a)
+        return cache.stats.misses
+
+    assert misses(16) >= misses(32)
+
+
+@given(geometry=geometries, trace=address_traces)
+@settings(max_examples=50)
+def test_hierarchy_l2_sees_only_l1_misses(geometry, trace):
+    size, line, assoc = geometry
+    hierarchy = CacheHierarchy(
+        CacheSpec(size, line, assoc), CacheSpec(size * 4, line, assoc)
+    )
+    for a in trace:
+        hierarchy.access(a)
+    assert hierarchy.l2.stats.accesses == hierarchy.l1.stats.misses
+    assert hierarchy.l2.stats.misses <= hierarchy.l1.stats.misses

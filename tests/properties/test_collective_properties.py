@@ -1,0 +1,93 @@
+"""Property-based tests of the simulated collectives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machines import athlon_cluster
+from repro.mpi.world import World
+
+sizes = st.integers(min_value=1, max_value=8)
+values_per_rank = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=8, max_size=8
+)
+
+
+def run(program, nodes):
+    return World(athlon_cluster(), program, nodes=nodes, gear=1).run()
+
+
+@given(nodes=sizes, values=values_per_rank)
+@settings(max_examples=40, deadline=None)
+def test_allreduce_equals_python_sum(nodes, values):
+    def program(comm):
+        return (yield from comm.allreduce(values[comm.rank], nbytes=8))
+
+    res = run(program, nodes)
+    expected = sum(values[:nodes])
+    assert res.return_values() == [expected] * nodes
+
+
+@given(nodes=sizes, values=values_per_rank, root=st.integers(0, 7))
+@settings(max_examples=40, deadline=None)
+def test_reduce_gather_consistency(nodes, values, root):
+    root = root % nodes
+
+    def program(comm):
+        total = yield from comm.reduce(values[comm.rank], nbytes=8, root=root)
+        gathered = yield from comm.gather(values[comm.rank], nbytes=8, root=root)
+        return (total, gathered)
+
+    res = run(program, nodes)
+    total, gathered = res.return_values()[root]
+    assert total == sum(gathered)
+    assert gathered == values[:nodes]
+
+
+@given(nodes=sizes, values=values_per_rank)
+@settings(max_examples=30, deadline=None)
+def test_allgather_is_transpose_invariant(nodes, values):
+    def program(comm):
+        return (yield from comm.allgather(values[comm.rank], nbytes=8))
+
+    res = run(program, nodes)
+    lists = res.return_values()
+    assert all(l == values[:nodes] for l in lists)
+
+
+@given(nodes=sizes)
+@settings(max_examples=30, deadline=None)
+def test_alltoall_is_matrix_transpose(nodes):
+    def program(comm):
+        outbox = [(comm.rank, j) for j in range(comm.size)]
+        return (yield from comm.alltoall(outbox, nbytes=8))
+
+    res = run(program, nodes)
+    for rank, inbox in enumerate(res.return_values()):
+        assert inbox == [(j, rank) for j in range(nodes)]
+
+
+@given(nodes=sizes, root=st.integers(0, 7))
+@settings(max_examples=30, deadline=None)
+def test_bcast_from_any_root(nodes, root):
+    root = root % nodes
+
+    def program(comm):
+        value = ("token", root) if comm.rank == root else None
+        return (yield from comm.bcast(value, nbytes=32, root=root))
+
+    res = run(program, nodes)
+    assert res.return_values() == [("token", root)] * nodes
+
+
+@given(nodes=sizes)
+@settings(max_examples=20, deadline=None)
+def test_collectives_deterministic(nodes):
+    def program(comm):
+        a = yield from comm.allreduce(comm.rank, nbytes=8)
+        yield from comm.barrier()
+        return a
+
+    first = run(program, nodes)
+    second = run(program, nodes)
+    assert first.end_time == second.end_time
+    assert first.total_energy == second.total_energy

@@ -1,0 +1,73 @@
+"""Property-based tests of the power meter and fitting utilities."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.power import PowerMeter
+from repro.util.fitting import ShapeFamily, fit_shape
+
+#: Sequences of (duration, watts) segments.
+profiles = st.lists(
+    st.tuples(
+        st.floats(min_value=1e-4, max_value=10.0),
+        st.floats(min_value=0.0, max_value=500.0),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def build_meter(profile):
+    meter = PowerMeter()
+    t = 0.0
+    for duration, watts in profile:
+        meter.record(t, t + duration, watts)
+        t += duration
+    return meter, t
+
+
+@given(profile=profiles)
+def test_energy_equals_sum_of_segments(profile):
+    meter, _ = build_meter(profile)
+    expected = sum(d * w for d, w in profile)
+    assert meter.energy() == sum(
+        w * (e - s) for s, e, w in meter.intervals
+    )
+    assert math.isclose(meter.energy(), expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(profile=profiles)
+def test_average_power_within_profile_range(profile):
+    meter, _ = build_meter(profile)
+    watts = [w for _, w in profile]
+    avg = meter.average_power()
+    assert min(watts) - 1e-9 <= avg <= max(watts) + 1e-9
+
+
+@given(profile=profiles, rate=st.floats(min_value=5.0, max_value=200.0))
+@settings(max_examples=50)
+def test_sampled_energy_bounded_by_peak_power(profile, rate):
+    meter, total_time = build_meter(profile)
+    peak = max(w for _, w in profile)
+    sampled = meter.sampled_energy(rate)
+    assert 0.0 <= sampled <= peak * total_time + 1e-6
+
+
+@given(
+    coeffs=st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=5.0),
+    ),
+    family=st.sampled_from(list(ShapeFamily)),
+)
+def test_fit_shape_recovers_generated_family(coeffs, family):
+    a, b = coeffs
+    ns = [2, 4, 8, 16, 32]
+    ys = [a + b * family.basis(n) for n in ns]
+    fit = fit_shape(ns, ys, family)
+    assert fit.residual <= 1e-6 * max(1.0, max(ys))
+    for n in (3, 24, 64):
+        expected = a + b * family.basis(n)
+        assert math.isclose(fit.predict(n), expected, rel_tol=1e-6, abs_tol=1e-6)

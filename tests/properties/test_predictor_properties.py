@@ -1,0 +1,98 @@
+"""Property-based tests of the paper's predictors."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import GearCalibration
+from repro.core.predictor import NaivePredictor, RefinedPredictor
+
+#: Random but physically valid calibrations over three gears.
+calibrations = st.builds(
+    lambda s2, s5, p1, drop2, drop5, idle_frac: GearCalibration(
+        workload="H",
+        slowdown={1: 1.0, 2: s2, 5: max(s2, s5)},
+        active_power={1: p1, 2: p1 - drop2, 5: p1 - drop2 - drop5},
+        idle_power={
+            1: (p1 - drop2 - drop5) * idle_frac,
+            2: (p1 - drop2 - drop5) * idle_frac * 0.95,
+            5: (p1 - drop2 - drop5) * idle_frac * 0.9,
+        },
+        single_node_time={1: 10.0, 2: 10.0 * s2, 5: 10.0 * max(s2, s5)},
+    ),
+    s2=st.floats(min_value=1.0, max_value=1.12),
+    s5=st.floats(min_value=1.0, max_value=1.7),
+    p1=st.floats(min_value=120.0, max_value=150.0),
+    drop2=st.floats(min_value=1.0, max_value=15.0),
+    drop5=st.floats(min_value=1.0, max_value=30.0),
+    idle_frac=st.floats(min_value=0.3, max_value=0.7),
+)
+
+components = st.tuples(
+    st.floats(min_value=0.1, max_value=100.0),  # active
+    st.floats(min_value=0.0, max_value=100.0),  # idle
+    st.floats(min_value=0.0, max_value=1.0),  # reducible share
+)
+
+
+@given(cal=calibrations, comp=components, gear=st.sampled_from([1, 2, 5]))
+@settings(max_examples=200)
+def test_refined_time_never_exceeds_naive(cal, comp, gear):
+    active, idle, share = comp
+    naive = NaivePredictor(cal).predict(
+        nodes=4, gear=gear, active_time=active, idle_time=idle
+    )
+    refined = RefinedPredictor(cal).predict(
+        nodes=4,
+        gear=gear,
+        active_time=active,
+        idle_time=idle,
+        reducible_time=share * active,
+    )
+    assert refined.time <= naive.time + 1e-9
+    assert refined.energy <= naive.energy + 1e-6
+
+
+@given(cal=calibrations, comp=components)
+@settings(max_examples=200)
+def test_gear1_prediction_is_identity(cal, comp):
+    active, idle, share = comp
+    p = RefinedPredictor(cal).predict(
+        nodes=2, gear=1, active_time=active, idle_time=idle,
+        reducible_time=share * active,
+    )
+    assert math.isclose(p.time, active + idle, rel_tol=1e-12)
+
+
+@given(cal=calibrations, comp=components, gear=st.sampled_from([2, 5]))
+@settings(max_examples=200)
+def test_slower_gear_never_faster(cal, comp, gear):
+    active, idle, share = comp
+    predictor = RefinedPredictor(cal)
+    fast = predictor.predict(
+        nodes=1, gear=1, active_time=active, idle_time=idle,
+        reducible_time=share * active,
+    )
+    slow = predictor.predict(
+        nodes=1, gear=gear, active_time=active, idle_time=idle,
+        reducible_time=share * active,
+    )
+    assert slow.time >= fast.time - 1e-9
+
+
+@given(cal=calibrations, comp=components, gear=st.sampled_from([1, 2, 5]))
+@settings(max_examples=200)
+def test_energy_scales_linearly_with_nodes(cal, comp, gear):
+    active, idle, share = comp
+    predictor = RefinedPredictor(cal)
+    one = predictor.predict(
+        nodes=1, gear=gear, active_time=active, idle_time=idle,
+        reducible_time=share * active,
+    )
+    eight = predictor.predict(
+        nodes=8, gear=gear, active_time=active, idle_time=idle,
+        reducible_time=share * active,
+    )
+    assert eight.energy == one.energy * 8
+    assert eight.time == one.time

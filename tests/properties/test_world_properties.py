@@ -1,0 +1,114 @@
+"""Property-based stress tests of the MPI runtime.
+
+Hypothesis generates random-but-well-formed communication patterns
+(ring shifts, permutation exchanges, random compute interleavings) and
+checks the invariants no run may violate: completion without deadlock,
+payload integrity, time/energy accounting identities, and determinism.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machines import athlon_cluster
+from repro.mpi.world import World
+
+#: Ranks counts to exercise.
+sizes = st.integers(min_value=2, max_value=6)
+#: Random per-rank compute weights (creates imbalance).
+weights = st.lists(
+    st.floats(min_value=0.1, max_value=5.0), min_size=6, max_size=6
+)
+#: Ring-shift distances.
+shifts = st.integers(min_value=1, max_value=5)
+rounds = st.integers(min_value=1, max_value=4)
+gears = st.integers(min_value=1, max_value=6)
+
+
+def run(program, nodes, gear=1):
+    return World(athlon_cluster(), program, nodes=nodes, gear=gear).run()
+
+
+@given(nodes=sizes, shift=shifts, n_rounds=rounds, ws=weights)
+@settings(max_examples=40, deadline=None)
+def test_ring_shift_delivers_and_terminates(nodes, shift, n_rounds, ws):
+    """Arbitrary ring shifts with imbalanced compute always complete."""
+    shift = shift % nodes or 1
+
+    def program(comm):
+        token = comm.rank
+        for round_index in range(n_rounds):
+            yield from comm.compute(uops=ws[comm.rank] * 1e7)
+            dest = (comm.rank + shift) % comm.size
+            source = (comm.rank - shift) % comm.size
+            token = yield from comm.sendrecv(
+                dest, source, send_bytes=1024, tag=round_index, payload=token
+            )
+        return token
+
+    result = run(program, nodes)
+    # After n rounds of shifting by `shift`, rank r holds the token of
+    # rank (r - n*shift) mod nodes.
+    for rank, token in enumerate(result.return_values()):
+        assert token == (rank - n_rounds * shift) % nodes
+
+
+@given(nodes=sizes, ws=weights, gear=gears)
+@settings(max_examples=40, deadline=None)
+def test_accounting_identities(nodes, ws, gear):
+    """Per-rank meters cover the run; T^A + T^I == elapsed."""
+
+    def program(comm):
+        yield from comm.compute(uops=ws[comm.rank] * 1e7, l2_misses=1e4)
+        yield from comm.barrier()
+
+    result = run(program, nodes, gear)
+    assert result.active_time + result.idle_time == result.elapsed
+    for rank_result in result.ranks:
+        meter = rank_result.meter
+        assert meter.duration == result.end_time or result.end_time == 0
+        assert meter.energy() > 0
+    assert result.total_energy == sum(r.meter.energy() for r in result.ranks)
+
+
+@given(nodes=sizes, ws=weights)
+@settings(max_examples=25, deadline=None)
+def test_determinism_under_randomized_programs(nodes, ws):
+    def program(comm):
+        yield from comm.compute(uops=ws[comm.rank] * 1e7)
+        total = yield from comm.allreduce(ws[comm.rank], nbytes=8)
+        return total
+
+    a = run(program, nodes)
+    b = run(program, nodes)
+    assert a.end_time == b.end_time
+    assert a.total_energy == b.total_energy
+    assert a.return_values() == b.return_values()
+
+
+@given(nodes=sizes, gear=gears, ws=weights)
+@settings(max_examples=25, deadline=None)
+def test_gear_scaling_bounds_full_program(nodes, gear, ws):
+    """Whole-program slowdown respects the paper's frequency bound."""
+
+    def program(comm):
+        yield from comm.compute(uops=ws[comm.rank] * 2e7, l2_misses=2e4)
+        yield from comm.allreduce(1.0, nbytes=8)
+
+    fast = run(program, nodes, 1)
+    slow = run(program, nodes, gear)
+    cluster = athlon_cluster()
+    bound = cluster.gears.frequency_ratio(1, gear)
+    ratio = slow.end_time / fast.end_time
+    assert 1.0 - 1e-9 <= ratio <= bound + 1e-9
+
+
+@given(nodes=sizes, payloads=st.lists(st.binary(max_size=64), min_size=6, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_payload_integrity_all_to_one(nodes, payloads):
+    """Gathered payloads arrive intact and in rank order."""
+
+    def program(comm):
+        return (yield from comm.gather(payloads[comm.rank], nbytes=64, root=0))
+
+    result = run(program, nodes)
+    assert result.return_values()[0] == payloads[:nodes]

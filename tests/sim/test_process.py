@@ -1,0 +1,57 @@
+"""Rank process wrapper: lifecycle and generator protocol."""
+
+import pytest
+
+from repro.sim.process import STOP, ProcessState, RankProcess
+from repro.util.errors import SimulationError
+
+
+def echo_program():
+    got = yield "first"
+    got2 = yield ("second", got)
+    return got2
+
+
+class TestLifecycle:
+    def test_request_and_resume_values_flow(self):
+        p = RankProcess(0, echo_program())
+        assert p.resume(None) == "first"
+        assert p.resume("A") == ("second", "A")
+        assert p.resume("B") is STOP
+        assert p.result == "B"
+        assert p.done
+
+    def test_state_transitions(self):
+        p = RankProcess(0, echo_program())
+        assert p.state is ProcessState.READY
+        p.resume(None)
+        p.block("waiting on recv")
+        assert p.state is ProcessState.BLOCKED
+        assert p.blocked_on == "waiting on recv"
+        p.resume("x")
+        assert p.state is ProcessState.READY
+
+    def test_rejects_non_generator_program(self):
+        with pytest.raises(SimulationError):
+            RankProcess(1, [1, 2])  # type: ignore[arg-type]
+
+    def test_resume_past_completion_rejected(self):
+        def empty():
+            return 42
+            yield  # pragma: no cover
+
+        p = RankProcess(0, empty())
+        assert p.resume(None) is STOP
+        with pytest.raises(SimulationError):
+            p.resume(None)
+
+    def test_exception_marks_failed_and_propagates(self):
+        def boom():
+            yield "ok"
+            raise ValueError("kernel panic")
+
+        p = RankProcess(0, boom())
+        p.resume(None)
+        with pytest.raises(ValueError):
+            p.resume(None)
+        assert p.state is ProcessState.FAILED

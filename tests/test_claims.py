@@ -1,0 +1,138 @@
+"""The paper's headline claims, asserted end-to-end.
+
+One test per claim in DESIGN.md Section 5, run against the session-scoped
+experiment fixtures.  These are the reproduction's acceptance tests: if
+this file is green, the paper's story holds in this implementation.
+"""
+
+import pytest
+
+from repro.core.cases import SpeedupCase
+from repro.workloads.nas import NAS_PAPER_SUITE
+
+
+class TestClaim1FastestGearLeftmost:
+    def test_single_node(self, figure1_result):
+        for curve in figure1_result.curves.values():
+            assert curve.is_fastest_leftmost()
+
+    def test_multi_node(self, figure2_result):
+        for family in figure2_result.families.values():
+            for curve in family:
+                assert curve.is_fastest_leftmost()
+
+
+class TestClaim2SlowdownBound:
+    def test_every_workload_every_gear_pair(self, figure2_result, cluster):
+        for family in figure2_result.families.values():
+            for curve in family:
+                for a, b in zip(curve.points, curve.points[1:]):
+                    ratio = b.time / a.time
+                    bound = cluster.gears.frequency_ratio(a.gear, b.gear)
+                    assert 1.0 - 1e-12 <= ratio <= bound + 1e-9
+
+
+class TestClaim3HeadlineTradeoffs:
+    def test_cg_gear2(self, figure1_result):
+        _, delay, energy = figure1_result.curve("CG").relative()[1]
+        assert delay <= 0.03
+        assert 0.06 <= 1 - energy <= 0.13
+
+    def test_cg_gear5(self, figure1_result):
+        _, delay, energy = figure1_result.curve("CG").relative()[4]
+        assert 0.07 <= delay <= 0.13
+        assert 0.15 <= 1 - energy <= 0.25
+
+    def test_ep_gear2_no_savings(self, figure1_result):
+        _, delay, energy = figure1_result.curve("EP").relative()[1]
+        assert 0.09 <= delay <= 0.12  # ~the 11 % cycle-time increase
+        assert abs(1 - energy) <= 0.06
+
+
+class TestClaim4Table1Ordering:
+    def test_upm_order(self, table1_result):
+        assert table1_result.upm_order() == ["EP", "BT", "LU", "MG", "SP", "CG"]
+
+    def test_slope_order_with_single_inversion(self, table1_result):
+        slopes = [r.slope_1_2 for r in table1_result.rows]
+        inversions = sum(1 for a, b in zip(slopes, slopes[1:]) if a < b)
+        assert inversions <= 1
+
+
+class TestClaim5UPCRises:
+    def test_memory_bound_upc(self, cluster):
+        from repro.core.run import run_workload
+        from repro.workloads.nas import CG
+
+        cg = CG(scale=0.1)
+        upc = {
+            g: run_workload(cluster, cg, nodes=1, gear=g).result.counters.upc
+            for g in (1, 6)
+        }
+        assert upc[6] > upc[1] * 1.2
+
+
+class TestClaim6Figure2Cases:
+    @pytest.mark.parametrize(
+        "workload,small,large,expected",
+        [
+            ("BT", 4, 9, SpeedupCase.POOR),
+            ("SP", 4, 9, SpeedupCase.POOR),
+            ("MG", 2, 4, SpeedupCase.POOR),
+            ("CG", 4, 8, SpeedupCase.POOR),
+            ("EP", 4, 8, SpeedupCase.PERFECT_SUPERLINEAR),
+            ("LU", 4, 8, SpeedupCase.GOOD),
+        ],
+    )
+    def test_case(self, figure2_result, workload, small, large, expected):
+        assert figure2_result.case_for(workload, small, large).case is expected
+
+
+class TestClaim7JacobiAllCase3:
+    def test_all_adjacent_good(self, figure3_result):
+        assert all(
+            c.case is SpeedupCase.GOOD for c in figure3_result.cases
+        )
+
+    def test_speedups_match_paper(self, figure3_result):
+        paper = {2: 1.9, 4: 3.6, 6: 5.0, 8: 6.4, 10: 7.7}
+        for n, s in paper.items():
+            assert figure3_result.speedups[n] == pytest.approx(s, rel=0.06)
+
+
+class TestClaim8Synthetic:
+    def test_gear5_tradeoff(self, figure4_result):
+        assert figure4_result.gear5_delay == pytest.approx(0.03, abs=0.02)
+        assert figure4_result.gear5_saving == pytest.approx(0.24, abs=0.05)
+
+    def test_cross_dominance(self, figure4_result):
+        assert figure4_result.cross_energy_ratio == pytest.approx(0.80, abs=0.08)
+        assert figure4_result.cross_time_ratio == pytest.approx(0.50, abs=0.08)
+
+
+class TestClaim9ModelFindings:
+    def test_curves_more_vertical_with_nodes(self, figure5_result):
+        moved = sum(
+            1
+            for name in NAS_PAPER_SUITE
+            for gears in [figure5_result.panel(name).min_energy_gears()]
+            if gears[max(gears)] > gears[min(gears)]
+        )
+        assert moved >= 2
+
+    def test_cg_not_plotted_at_32(self, figure5_result):
+        panel = figure5_result.panel("CG")
+        plotted = {c.nodes for c in panel.plotted_predictions}
+        assert 32 not in plotted and 16 in plotted
+
+    def test_speedup_tails_off_by_32(self, figure5_result):
+        # Total cluster energy at the largest size grows dramatically
+        # versus 8/9 nodes for most codes.
+        growing = 0
+        for name in NAS_PAPER_SUITE:
+            panel = figure5_result.panel(name)
+            largest_measured = panel.measured.curves[-1].fastest.energy
+            largest_predicted = panel.predicted[-1].fastest.energy
+            if largest_predicted > 1.5 * largest_measured:
+                growing += 1
+        assert growing >= 3

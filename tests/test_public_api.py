@@ -1,0 +1,71 @@
+"""The package's public surface: imports, __all__, quickstart flow."""
+
+import importlib
+
+import pytest
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__
+
+
+def test_all_names_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.cluster",
+        "repro.sim",
+        "repro.mpi",
+        "repro.core",
+        "repro.workloads",
+        "repro.experiments",
+        "repro.util",
+    ],
+)
+def test_subpackage_all_exports_exist(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_quickstart_flow():
+    # The README quickstart, verbatim in spirit.
+    from repro import athlon_cluster, gear_sweep
+    from repro.workloads import CG
+
+    curve = gear_sweep(athlon_cluster(), CG(scale=0.05), nodes=1)
+    rows = curve.relative()
+    assert len(rows) == 6
+    gear, delay, energy = rows[0]
+    assert (gear, delay, energy) == (1, 0.0, 1.0)
+
+
+def test_public_docstrings_everywhere():
+    # Every public module, class, and function carries a docstring.
+    import inspect
+    import pkgutil
+
+    import repro
+
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mod = importlib.import_module(info.name)
+        if not mod.__doc__:
+            missing.append(info.name)
+        for name, obj in vars(mod).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != info.name:
+                continue
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    missing.append(f"{info.name}.{name}")
+    assert not missing, f"missing docstrings: {missing}"

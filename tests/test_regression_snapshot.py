@@ -1,0 +1,49 @@
+"""Golden regression snapshot.
+
+The simulator is fully deterministic, so key configurations pin to exact
+values.  If a change moves these numbers, it changed the physics — the
+calibration against the paper (EXPERIMENTS.md) must be re-verified, and
+this snapshot deliberately refuses to pass until it is re-recorded.
+
+To re-record after an *intentional* physics change::
+
+    python - <<'EOF'
+    from repro.cluster.machines import athlon_cluster
+    from repro.core.run import run_workload
+    from repro.workloads import CG, EP, LU, Jacobi
+    cluster = athlon_cluster()
+    for W, n, g in ((CG,1,1),(CG,1,5),(CG,8,1),(EP,1,2),(LU,8,4),(Jacobi,10,1)):
+        m = run_workload(cluster, W(scale=0.25), nodes=n, gear=g)
+        print(f'("{W(0.1).name}", {n}, {g}): ({m.time!r}, {m.energy!r}),')
+    EOF
+"""
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster
+from repro.core.run import run_workload
+from repro.workloads import CG, EP, LU, Jacobi
+
+#: (workload, nodes, gear) -> (time_s, energy_j), at scale 0.25.
+GOLDEN = {
+    ("CG", 1, 1): (15.179606440071556, 2037.3779874776378),
+    ("CG", 1, 5): (16.680119260584384, 1618.5078836627326),
+    ("CG", 8, 1): (4.206132079567522, 3630.368066923077),
+    ("EP", 1, 2): (20.677950439502577, 2542.7504303409946),
+    ("LU", 8, 4): (2.4067173051953135, 1826.6554968281066),
+    ("Jacobi", 10, 1): (2.9223096125278474, 3642.592201061688),
+}
+
+WORKLOADS = {"CG": CG, "EP": EP, "LU": LU, "Jacobi": Jacobi}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN), ids=lambda k: f"{k[0]}-n{k[1]}-g{k[2]}")
+def test_golden_values(key):
+    name, nodes, gear = key
+    cluster = athlon_cluster()
+    measurement = run_workload(
+        cluster, WORKLOADS[name](scale=0.25), nodes=nodes, gear=gear
+    )
+    expected_time, expected_energy = GOLDEN[key]
+    assert measurement.time == pytest.approx(expected_time, rel=1e-12)
+    assert measurement.energy == pytest.approx(expected_energy, rel=1e-12)

@@ -1,0 +1,25 @@
+"""Exception hierarchy contracts."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    DeadlockError,
+    ModelError,
+    ReproError,
+    SimulationError,
+)
+
+
+def test_all_derive_from_repro_error():
+    for exc in (ConfigurationError, SimulationError, ModelError, DeadlockError):
+        assert issubclass(exc, ReproError)
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_catchable_as_base():
+    try:
+        raise DeadlockError("all ranks blocked")
+    except ReproError as err:
+        assert "blocked" in str(err)

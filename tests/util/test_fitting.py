@@ -1,0 +1,106 @@
+"""Least-squares fitting helpers and shape-family selection."""
+
+import math
+
+import pytest
+
+from repro.util.errors import ModelError
+from repro.util.fitting import (
+    FitResult,
+    ShapeFamily,
+    best_shape,
+    fit_linear,
+    fit_shape,
+)
+
+
+class TestFitLinear:
+    def test_exact_line(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        a, b = fit.coefficients
+        assert a == pytest.approx(1.0)
+        assert b == pytest.approx(2.0)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_through_origin(self):
+        fit = fit_linear([1, 2, 4], [2.0, 4.0, 8.0], through_origin=True)
+        assert fit.coefficients[0] == 0.0
+        assert fit.coefficients[1] == pytest.approx(2.0)
+
+    def test_residual_reported(self):
+        fit = fit_linear([0, 1, 2], [0.0, 1.0, 1.0])
+        assert fit.residual > 0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ModelError):
+            fit_linear([1, 2], [1.0])
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ModelError):
+            fit_linear([1], [1.0])
+
+
+class TestShapeFamilies:
+    def test_basis_values(self):
+        assert ShapeFamily.CONSTANT.basis(8) == 0.0
+        assert ShapeFamily.LOGARITHMIC.basis(8) == pytest.approx(3.0)
+        assert ShapeFamily.LINEAR.basis(8) == 8.0
+        assert ShapeFamily.QUADRATIC.basis(8) == 64.0
+
+    def test_constant_fit_is_mean(self):
+        fit = fit_shape([2, 4, 8], [1.0, 2.0, 3.0], ShapeFamily.CONSTANT)
+        assert fit.coefficients[0] == pytest.approx(2.0)
+        assert fit.predict(100) == pytest.approx(2.0)
+
+    def test_exact_quadratic_recovered(self):
+        ns = [2, 4, 8, 16]
+        ys = [0.5 + 0.1 * n * n for n in ns]
+        fit = fit_shape(ns, ys, ShapeFamily.QUADRATIC)
+        assert fit.coefficients[0] == pytest.approx(0.5, abs=1e-9)
+        assert fit.coefficients[1] == pytest.approx(0.1, abs=1e-9)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_exact_logarithmic_recovered(self):
+        ns = [2, 4, 8, 16, 32]
+        ys = [1.0 + 0.3 * math.log2(n) for n in ns]
+        fit = fit_shape(ns, ys, ShapeFamily.LOGARITHMIC)
+        assert fit.predict(64) == pytest.approx(1.0 + 0.3 * 6, rel=1e-9)
+
+    def test_negative_slope_falls_back_to_constant(self):
+        # Communication never shrinks within a family; decreasing data
+        # must not produce a negative-slope extrapolation.
+        fit = fit_shape([2, 4, 8], [3.0, 2.0, 1.0], ShapeFamily.LINEAR)
+        assert fit.coefficients[1] == 0.0
+        assert fit.predict(32) == pytest.approx(2.0)
+
+    def test_rejects_node_counts_below_one(self):
+        with pytest.raises(ModelError):
+            fit_shape([0.5, 2], [1.0, 2.0], ShapeFamily.LOGARITHMIC)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ModelError):
+            fit_shape([2], [1.0], ShapeFamily.LINEAR)
+
+
+class TestBestShape:
+    def test_selects_quadratic_for_quadratic_data(self):
+        ns = [2, 4, 8, 16]
+        ys = [0.2 * n * n + 0.05 * n for n in ns]  # near-quadratic
+        fit = best_shape(ns, ys)
+        assert fit.family is ShapeFamily.QUADRATIC
+
+    def test_selects_logarithmic_for_log_data(self):
+        ns = [2, 4, 8, 16, 32]
+        ys = [1.0 + 2.0 * math.log2(n) for n in ns]
+        fit = best_shape(ns, ys)
+        assert fit.family is ShapeFamily.LOGARITHMIC
+
+    def test_tie_prefers_simpler_family(self):
+        # Flat data fits every family exactly; constant must win.
+        fit = best_shape([2, 4, 8], [5.0, 5.0, 5.0])
+        assert fit.family is ShapeFamily.CONSTANT
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ModelError):
+            best_shape([2, 4], [1.0, 2.0], families=())

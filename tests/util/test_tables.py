@@ -1,0 +1,53 @@
+"""Text table and series rendering."""
+
+import pytest
+
+from repro.util.tables import TextTable, format_cell, format_series
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        t = TextTable(["name", "UPM"])
+        t.add_row(["EP", 844.0])
+        t.add_row(["CG", 8.6])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "844" in out and "8.6" in out
+
+    def test_title_prepended(self):
+        t = TextTable(["a"], title="Table 1")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "Table 1"
+
+    def test_rejects_wrong_arity(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_table_renders_header_only(self):
+        t = TextTable(["x", "y"])
+        assert len(t.render().splitlines()) == 2
+
+
+class TestFormatCell:
+    def test_float_four_significant_digits(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_int_unchanged(self):
+        assert format_cell(42) == "42"
+
+    def test_bool_is_not_treated_as_number(self):
+        assert format_cell(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_cell("EP") == "EP"
+
+
+def test_format_series_layout():
+    out = format_series("CG@8", [(1.5, 200.0), (1.6, 180.0)])
+    lines = out.splitlines()
+    assert lines[0] == "CG@8:"
+    assert "1.5" in lines[1] and "200" in lines[1]
+    assert len(lines) == 3

@@ -1,0 +1,52 @@
+"""Unit conversion and validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import (
+    GHZ,
+    KIB,
+    MHZ,
+    MIB,
+    MS,
+    US,
+    hz_to_mhz,
+    joules,
+    mhz_to_hz,
+    seconds,
+    watts,
+)
+
+
+def test_mhz_round_trip():
+    assert hz_to_mhz(mhz_to_hz(1800.0)) == pytest.approx(1800.0)
+
+
+def test_mhz_to_hz_value():
+    assert mhz_to_hz(2000.0) == pytest.approx(2.0e9)
+
+
+def test_constants_consistent():
+    assert GHZ == 1000 * MHZ
+    assert MS == 1000 * US
+    assert MIB == 1024 * KIB
+
+
+@pytest.mark.parametrize("validator", [seconds, joules, watts])
+def test_validators_accept_zero_and_positive(validator):
+    assert validator(0.0) == 0.0
+    assert validator(12.5) == 12.5
+
+
+@pytest.mark.parametrize("validator", [seconds, joules, watts])
+@pytest.mark.parametrize("bad", [-1.0, float("nan"), float("inf")])
+def test_validators_reject_bad_values(validator, bad):
+    with pytest.raises(ConfigurationError):
+        validator(bad)
+
+
+def test_validators_coerce_int():
+    assert seconds(3) == 3.0
+    assert isinstance(seconds(3), float)

@@ -1,0 +1,99 @@
+"""ASCII plotting engine."""
+
+import pytest
+
+from repro.core.curves import CurveFamily, CurvePoint, EnergyTimeCurve
+from repro.util.errors import ConfigurationError
+from repro.viz.plot import AsciiPlot, plot_curve, plot_family
+
+
+def curve(points, nodes=1, workload="CG"):
+    return EnergyTimeCurve(
+        workload=workload,
+        nodes=nodes,
+        points=tuple(CurvePoint(g, t, e) for g, t, e in points),
+    )
+
+
+CG_LIKE = curve(
+    [(1, 10.0, 1000.0), (2, 10.2, 910.0), (5, 11.0, 800.0), (6, 12.2, 810.0)]
+)
+
+
+class TestAsciiPlot:
+    def test_markers_placed(self):
+        plot = AsciiPlot(width=40, height=10)
+        plot.add_series("a", [(0.0, 0.0), (1.0, 1.0)])
+        canvas = [
+            line for line in plot.render().splitlines() if line.startswith("|")
+        ]
+        assert sum(line.count("o") for line in canvas) == 2
+
+    def test_multiple_series_distinct_markers(self):
+        plot = AsciiPlot()
+        plot.add_series("a", [(0, 0)])
+        plot.add_series("b", [(1, 1)])
+        out = plot.render()
+        assert "o=a" in out and "x=b" in out
+
+    def test_extremes_map_inside_canvas(self):
+        plot = AsciiPlot(width=20, height=8)
+        plot.add_series("s", [(-5.0, 100.0), (5.0, -100.0)])
+        plot.render()  # no IndexError
+
+    def test_degenerate_single_point(self):
+        plot = AsciiPlot()
+        plot.add_series("p", [(3.0, 3.0)])
+        assert "o" in plot.render()
+
+    def test_axis_annotations(self):
+        plot = AsciiPlot(x_label="time (s)", y_label="energy (J)")
+        plot.add_series("s", [(1, 2), (3, 4)])
+        out = plot.render()
+        assert "time (s)" in out and "energy (J)" in out
+
+    def test_title(self):
+        plot = AsciiPlot(title="Figure 1")
+        plot.add_series("s", [(0, 0)])
+        assert plot.render().splitlines()[0] == "Figure 1"
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ConfigurationError):
+            AsciiPlot().add_series("e", [])
+
+    def test_rejects_render_without_series(self):
+        with pytest.raises(ConfigurationError):
+            AsciiPlot().render()
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            AsciiPlot(width=4, height=2)
+
+    def test_rejects_multichar_marker(self):
+        plot = AsciiPlot()
+        with pytest.raises(ConfigurationError):
+            plot.add_series("s", [(0, 0)], marker="ab")
+
+    def test_connecting_dots_between_points(self):
+        plot = AsciiPlot(width=40, height=10)
+        plot.add_series("s", [(0.0, 0.0), (10.0, 10.0)])
+        assert "." in plot.render()
+
+
+class TestCurvePlots:
+    def test_plot_curve_marks_gears_as_digits(self):
+        out = plot_curve(CG_LIKE)
+        for gear in (1, 2, 5, 6):
+            assert f"gear {gear}" in out
+
+    def test_plot_family_one_series_per_count(self):
+        family = CurveFamily(
+            workload="CG",
+            curves=(
+                curve([(1, 10.0, 1000.0), (2, 10.5, 950.0)], nodes=2),
+                curve([(1, 6.0, 1150.0), (2, 6.3, 1060.0)], nodes=4),
+            ),
+        )
+        out = plot_family(family)
+        assert "2 nodes" in out and "4 nodes" in out
+        assert "energy" in out

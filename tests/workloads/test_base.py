@@ -1,0 +1,117 @@
+"""Workload abstraction: specs, kernel splitting, validity."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workloads.base import CommScheme, Workload, WorkloadSpec
+from repro.workloads.nas import CG, EP
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="T",
+        iterations=10,
+        total_uops=1e9,
+        upm=50.0,
+        miss_latency=25e-9,
+        serial_fraction=0.02,
+        paper_comm_class=CommScheme.LOGARITHMIC,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestWorkloadSpec:
+    def test_total_misses(self):
+        assert make_spec().total_misses == pytest.approx(1e9 / 50.0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(iterations=0),
+            dict(total_uops=0),
+            dict(upm=-1),
+            dict(miss_latency=0.0),
+            dict(serial_fraction=1.0),
+            dict(serial_fraction=-0.1),
+        ],
+    )
+    def test_rejects_invalid(self, overrides):
+        with pytest.raises(ConfigurationError):
+            make_spec(**overrides)
+
+
+class _Fixed(Workload):
+    def __init__(self):
+        self.spec = make_spec()
+
+    def program(self, comm):
+        yield from self.iteration_compute(comm)
+
+
+class TestKernelSplitting:
+    def test_parallel_block_divides_work(self):
+        w = _Fixed()
+        b1 = w.parallel_block(nodes=1)
+        b4 = w.parallel_block(nodes=4)
+        assert b4.uops == pytest.approx(b1.uops / 4)
+        assert b1.uops == pytest.approx(1e9 * 0.98 / 10)
+
+    def test_blocks_preserve_upm(self):
+        w = _Fixed()
+        assert w.parallel_block(nodes=3).upm == pytest.approx(50.0)
+        serial = w.serial_block()
+        assert serial is not None
+        assert serial.upm == pytest.approx(50.0)
+
+    def test_share_parameter(self):
+        w = _Fixed()
+        half = w.parallel_block(nodes=2, share=0.5)
+        full = w.parallel_block(nodes=2, share=1.0)
+        assert half.uops == pytest.approx(full.uops / 2)
+
+    def test_no_serial_block_when_fs_zero(self):
+        w = _Fixed()
+        w.spec = make_spec(serial_fraction=0.0)
+        assert w.serial_block() is None
+
+    def test_conservation_across_ranks_and_iterations(self):
+        # Sum over all ranks/iterations of parallel + serial == total.
+        w = _Fixed()
+        nodes = 4
+        parallel = w.parallel_block(nodes).uops * nodes * w.spec.iterations
+        serial = w.serial_block().uops * w.spec.iterations
+        assert parallel + serial == pytest.approx(w.spec.total_uops)
+
+
+class TestValidity:
+    def test_default_accepts_any_count(self):
+        assert _Fixed().valid_node_counts(5) == [1, 2, 3, 4, 5]
+
+    def test_power_of_two_rule(self):
+        assert CG(0.1).valid_node_counts(10) == [1, 2, 4, 8]
+
+    def test_validate_nodes_raises(self):
+        with pytest.raises(ConfigurationError):
+            CG(0.1).validate_nodes(3)
+
+    def test_validate_nodes_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            _Fixed().validate_nodes(0)
+
+
+class TestScaleParameter:
+    def test_scale_preserves_per_iteration_work(self):
+        full = EP(1.0)
+        small = EP(0.25)
+        per_iter_full = full.spec.total_uops / full.spec.iterations
+        per_iter_small = small.spec.total_uops / small.spec.iterations
+        assert per_iter_full == pytest.approx(per_iter_small)
+
+    def test_scale_floors_at_three_iterations(self):
+        assert EP(0.0001).spec.iterations == 3
+
+    def test_duration_hint_scales(self):
+        full = EP(1.0).single_node_duration_hint(1.3, 2e9)
+        half = EP(0.5).single_node_duration_hint(1.3, 2e9)
+        assert half == pytest.approx(full / 2, rel=1e-6)

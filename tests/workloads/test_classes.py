@@ -1,0 +1,90 @@
+"""NAS problem classes (S/W/A/B/C)."""
+
+import pytest
+
+from repro.core.run import run_workload
+from repro.util.errors import ConfigurationError
+from repro.workloads.nas.classes import (
+    CLASS_WORK,
+    comm_factor,
+    is_thrashing,
+    work_factor,
+)
+from repro.workloads.nas import BT, CG, EP, IS, LU, MG
+
+
+class TestFactors:
+    def test_class_b_is_reference(self):
+        assert work_factor("B") == 1.0
+        assert comm_factor("B") == 1.0
+
+    def test_ordering(self):
+        factors = [work_factor(c) for c in ("S", "W", "A", "B", "C")]
+        assert factors == sorted(factors)
+
+    def test_comm_scales_sublinearly(self):
+        # Surface-to-volume: class C quadruples the work but not the
+        # communication.
+        assert comm_factor("C") < work_factor("C")
+        assert comm_factor("C") == pytest.approx(4.0 ** (2 / 3))
+
+    def test_rejects_unknown_class(self):
+        with pytest.raises(ConfigurationError):
+            work_factor("D")
+
+
+class TestWorkloadScaling:
+    @pytest.mark.parametrize("cls", [EP, CG, LU, MG, BT])
+    def test_class_c_slower_than_b(self, cluster, cls):
+        b = run_workload(cluster, cls(scale=0.05), nodes=1, gear=1)
+        c = run_workload(
+            cluster, cls(scale=0.05, problem_class="C"), nodes=1, gear=1
+        )
+        assert c.time == pytest.approx(b.time * 4.0, rel=0.01)
+
+    def test_class_a_runs_quickly(self, cluster):
+        a = run_workload(
+            cluster, CG(scale=0.05, problem_class="A"), nodes=1, gear=1
+        )
+        b = run_workload(cluster, CG(scale=0.05), nodes=1, gear=1)
+        assert a.time == pytest.approx(b.time * 0.25, rel=0.01)
+
+    def test_upm_fingerprint_class_invariant(self, cluster):
+        for pc in ("A", "B", "C"):
+            m = run_workload(
+                cluster, CG(scale=0.05, problem_class=pc), nodes=1, gear=1
+            )
+            assert m.upm == pytest.approx(8.6, rel=1e-6)
+
+    def test_comm_volume_scales_with_class(self):
+        assert CG(0.1, problem_class="C").exchange_bytes > CG(0.1).exchange_bytes
+        assert MG(0.1, problem_class="S").face_bytes < MG(0.1).face_bytes
+
+
+class TestISThrashing:
+    def test_predicate(self):
+        assert is_thrashing("C", 1)
+        assert is_thrashing("C", 2)
+        assert not is_thrashing("C", 4)
+        assert not is_thrashing("B", 1)
+
+    def test_class_c_thrashes_on_small_counts(self, cluster):
+        # The paper: "class C thrashes on 1 and 2 nodes, making
+        # comparative energy results meaningless."  Per unit of work,
+        # the thrashing run is an order of magnitude slower.
+        b = run_workload(cluster, IS(scale=0.3), nodes=1, gear=1)
+        c = run_workload(
+            cluster, IS(scale=0.3, problem_class="C"), nodes=1, gear=1
+        )
+        slowdown_per_work = (c.time / 4.0) / b.time
+        assert slowdown_per_work > 5.0
+
+    def test_class_c_recovers_at_four_nodes(self, cluster):
+        c2 = run_workload(
+            cluster, IS(scale=0.3, problem_class="C"), nodes=2, gear=1
+        )
+        c4 = run_workload(
+            cluster, IS(scale=0.3, problem_class="C"), nodes=4, gear=1
+        )
+        # Escaping the paging regime beats the nominal 2x scaling.
+        assert c2.time / c4.time > 3.0

@@ -1,0 +1,58 @@
+"""NAS grid helpers: node-count rules and exchange schedules."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workloads.nas.common import (
+    perfect_squares,
+    powers_of_two,
+    square_grid_neighbors,
+    square_grid_schedule,
+)
+
+
+class TestCountRules:
+    def test_powers_of_two(self):
+        assert powers_of_two(10) == [1, 2, 4, 8]
+        assert powers_of_two(32) == [1, 2, 4, 8, 16, 32]
+        assert powers_of_two(1) == [1]
+
+    def test_perfect_squares(self):
+        assert perfect_squares(10) == [1, 4, 9]
+        assert perfect_squares(25) == [1, 4, 9, 16, 25]
+
+
+class TestGridSchedule:
+    def test_single_rank_empty(self):
+        assert square_grid_schedule(0, 1) == []
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            square_grid_schedule(0, 8)
+
+    @pytest.mark.parametrize("nodes", [4, 9, 16, 25])
+    def test_globally_consistent_pairing(self, nodes):
+        # At every step k, if rank r receives from s, then s sends to r
+        # at its own step k — the matching condition for sendrecv.
+        schedules = {r: square_grid_schedule(r, nodes) for r in range(nodes)}
+        steps = len(schedules[0])
+        assert all(len(s) == steps for s in schedules.values())
+        for k in range(steps):
+            for r in range(nodes):
+                dest, source = schedules[r][k]
+                peer_dest, _ = schedules[source][k]
+                assert peer_dest == r
+
+    @pytest.mark.parametrize("nodes", [9, 16, 25])
+    def test_four_distinct_neighbors_on_big_grids(self, nodes):
+        neighbors = square_grid_neighbors(0, nodes)
+        assert len(neighbors) == 4
+        assert len(set(neighbors)) == 4
+
+    def test_two_by_two_collapses(self):
+        assert len(square_grid_schedule(0, 4)) == 2
+
+    def test_neighbors_exclude_self(self):
+        for nodes in (4, 9, 16):
+            for r in range(nodes):
+                assert r not in square_grid_neighbors(r, nodes)

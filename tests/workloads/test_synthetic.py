@@ -1,0 +1,44 @@
+"""Synthetic high-memory-pressure workload (Figure 4's subject)."""
+
+import pytest
+
+from repro.core.run import run_workload
+from repro.workloads.synthetic import MISS_RATE, UOPS_PER_REF, SyntheticMemoryPressure
+
+
+class TestSpec:
+    def test_upm_derived_from_miss_rate(self):
+        w = SyntheticMemoryPressure(0.1)
+        assert w.spec.upm == pytest.approx(UOPS_PER_REF / MISS_RATE)
+
+    def test_custom_miss_rate(self):
+        w = SyntheticMemoryPressure(0.1, miss_rate=0.14)
+        assert w.spec.upm == pytest.approx(UOPS_PER_REF / 0.14)
+
+    def test_latency_bound_misses(self):
+        # No MLP: full DRAM round trip visible per miss.
+        assert SyntheticMemoryPressure(0.1).spec.miss_latency >= 200e-9
+
+
+class TestBehaviour:
+    def test_tiny_gear_penalty(self, cluster):
+        w = SyntheticMemoryPressure(scale=0.1)
+        t1 = run_workload(cluster, w, nodes=1, gear=1).time
+        t5 = run_workload(cluster, w, nodes=1, gear=5).time
+        assert (t5 / t1 - 1.0) < 0.05  # paper: ~3 %
+
+    def test_large_energy_saving(self, cluster):
+        w = SyntheticMemoryPressure(scale=0.1)
+        e1 = run_workload(cluster, w, nodes=1, gear=1).energy
+        e5 = run_workload(cluster, w, nodes=1, gear=5).energy
+        assert 0.18 <= 1.0 - e5 / e1 <= 0.32  # paper: ~24 %
+
+    def test_good_speedup(self, cluster):
+        w = SyntheticMemoryPressure(scale=0.1)
+        t1 = run_workload(cluster, w, nodes=1, gear=1).time
+        t8 = run_workload(cluster, w, nodes=8, gear=1).time
+        assert t1 / t8 > 7.0  # paper: "over 7 on 8 nodes"
+
+    def test_runs_on_any_count(self, cluster):
+        m = run_workload(cluster, SyntheticMemoryPressure(0.05), nodes=5, gear=4)
+        assert m.time > 0
