@@ -1,0 +1,98 @@
+"""EXEC-1: the parallel cached executor — serial vs parallel, cold vs warm.
+
+Regenerates the full paper suite (Figures 1-5 + Table 1) four ways:
+
+- serial, no cache (the pre-executor harness's behaviour);
+- ``jobs=4``, no cache (pure fan-out; bounded by the machine's cores);
+- cold cache (serial, paying fingerprint + store overhead);
+- warm cache (every simulation point replayed from disk).
+
+The asserted contract: all four produce identical exported artifacts,
+and the warm rerun is >= 5x faster than the cold one.  Run standalone
+(``PYTHONPATH=src python benchmarks/bench_executor.py``) for the timing
+table alone.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+
+from conftest import run_once
+
+from repro.exec import Executor, ResultCache
+from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
+from repro.reporting import result_to_dict
+from repro.util.tables import TextTable
+
+SUITE = (
+    ("figure1", figure1),
+    ("table1", table1),
+    ("figure2", figure2),
+    ("figure3", figure3),
+    ("figure4", figure4),
+    ("figure5", figure5),
+)
+
+
+def _run_suite(scale: float, executor: Executor) -> dict[str, str]:
+    """Every artifact, exported to canonical JSON text."""
+    return {
+        name: json.dumps(
+            result_to_dict(fn(scale=scale, executor=executor)),
+            indent=2,
+            sort_keys=True,
+        )
+        for name, fn in SUITE
+    }
+
+
+def _timed(scale: float, executor: Executor) -> tuple[float, dict[str, str]]:
+    start = time.perf_counter()
+    artifacts = _run_suite(scale, executor)
+    return time.perf_counter() - start, artifacts
+
+
+def compare_modes(scale: float) -> tuple[TextTable, dict[str, float]]:
+    """Time the four execution modes; returns the table and raw seconds."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        cache = ResultCache(root=root)
+        t_serial, baseline = _timed(scale, Executor())
+        t_parallel, parallel = _timed(scale, Executor(jobs=4))
+        t_cold, cold = _timed(scale, Executor(cache=cache))
+        t_warm, warm = _timed(scale, Executor(cache=cache))
+        stats = cache.stats
+    for name, text in baseline.items():
+        assert parallel[name] == text, f"{name}: parallel != serial"
+        assert cold[name] == text, f"{name}: cold-cache != serial"
+        assert warm[name] == text, f"{name}: warm-cache != serial"
+    times = {
+        "serial": t_serial,
+        "parallel(4)": t_parallel,
+        "cold cache": t_cold,
+        "warm cache": t_warm,
+    }
+    table = TextTable(
+        ["mode", "suite time (s)", "speedup vs serial"],
+        title=f"Full paper suite, scale {scale} ({stats.render()})",
+    )
+    for mode, seconds in times.items():
+        table.add_row([mode, f"{seconds:.2f}", f"{t_serial / seconds:.1f}x"])
+    return table, times
+
+
+def test_executor_modes(benchmark, bench_scale):
+    """Serial vs parallel vs cold/warm cache on the full suite."""
+    table, times = run_once(benchmark, compare_modes, bench_scale)
+    print()
+    print(table.render())
+    assert times["cold cache"] / times["warm cache"] >= 5.0
+
+
+if __name__ == "__main__":
+    import os
+
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+    table, times = compare_modes(scale)
+    print(table.render())

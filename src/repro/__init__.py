@@ -38,6 +38,7 @@ from repro.core import (
     run_workload,
 )
 from repro.core.model import gather_inputs
+from repro.exec import Executor, ResultCache
 from repro.mpi import Comm, World
 from repro.policy import IdleLowPolicy, SlackPolicy, StaticPolicy, run_with_policy
 from repro.workloads import (
@@ -76,6 +77,8 @@ __all__ = [
     "node_sweep",
     "run_workload",
     "gather_inputs",
+    "Executor",
+    "ResultCache",
     "Comm",
     "World",
     "IdleLowPolicy",

@@ -9,7 +9,7 @@ panel of Figure 2/3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.cluster.cluster import ClusterSpec
@@ -33,7 +33,11 @@ class RunMeasurement:
         idle_time: T^I — execution time minus T^A.
         reducible_time: T^R — conservative reducible work.
         upm: whole-run micro-ops per L2 miss.
-        result: the underlying :class:`WorldResult`.
+        result: the underlying :class:`WorldResult`, or None when the
+            measurement was restored from the on-disk result cache (the
+            headline numbers above are cached; the full event-level
+            result is not).  Excluded from equality: two measurements
+            with the same headline numbers are the same measurement.
     """
 
     workload: str
@@ -46,7 +50,7 @@ class RunMeasurement:
     idle_time: float
     reducible_time: float
     upm: float
-    result: WorldResult
+    result: WorldResult | None = field(default=None, compare=False)
 
     @property
     def average_power(self) -> float:

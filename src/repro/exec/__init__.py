@@ -1,0 +1,40 @@
+"""Parallel, cached experiment execution.
+
+Every paper artifact decomposes into independent *simulation points*
+(one :class:`~repro.exec.tasks.SimTask` per gear sweep, measurement or
+calibration).  :func:`~repro.exec.sweep.sweep` fans those points out
+across a process pool and merges the results deterministically;
+:class:`~repro.exec.cache.ResultCache` memoises each point on disk,
+keyed by a content fingerprint of the full cluster/workload
+configuration plus a package code-version token, so re-running an
+experiment whose inputs have not changed costs one JSON read per point.
+
+:class:`~repro.exec.executor.Executor` bundles the two into the object
+the experiment harness (``repro.experiments``) passes around.
+"""
+
+from repro.exec.cache import CacheStats, ResultCache, default_cache_dir
+from repro.exec.executor import Executor
+from repro.exec.fingerprint import code_version_token, fingerprint, jsonable
+from repro.exec.sweep import sweep
+from repro.exec.tasks import (
+    CalibrationTask,
+    GearSweepTask,
+    MeasurementTask,
+    SimTask,
+)
+
+__all__ = [
+    "CacheStats",
+    "CalibrationTask",
+    "Executor",
+    "GearSweepTask",
+    "MeasurementTask",
+    "ResultCache",
+    "SimTask",
+    "code_version_token",
+    "default_cache_dir",
+    "fingerprint",
+    "jsonable",
+    "sweep",
+]

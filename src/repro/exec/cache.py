@@ -1,0 +1,171 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under ``$REPRO_CACHE_DIR``, default ``~/.cache/repro``)::
+
+    <root>/<key[:2]>/<key>.json
+
+where ``key`` is the 64-hex-char fingerprint of the simulation point
+(see :mod:`repro.exec.fingerprint`).  Each entry is a JSON document::
+
+    {"key": ..., "version": <code-version token>, "meta": {...},
+     "payload": <task-encoded result>}
+
+The code-version token is *part of the key*, so entries written by older
+code are simply never hit again; :meth:`ResultCache.prune` deletes them
+(that is the "invalidation" the stats report, together with corrupt
+entries discarded on read).  Writes are atomic (tmp file + rename), so a
+killed run never leaves a half-written entry that a later run would
+trust.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exec.fingerprint import code_version_token
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/invalidation counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``load`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.stores} stored, "
+            f"{self.invalidated} invalidated"
+        )
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of simulation-point payloads.
+
+    Attributes:
+        root: cache directory (created lazily on first store).
+        stats: counters updated by every operation.
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Any | None:
+        """Payload stored under ``key``, or None on a miss.
+
+        A corrupt or mismatched entry is deleted, counted as invalidated,
+        and reported as a miss.
+        """
+        path = self._entry_path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            self.stats.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            self._discard(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry["payload"]
+
+    def store(self, key: str, payload: Any, *, meta: dict[str, Any] | None = None) -> Path:
+        """Write ``payload`` under ``key`` atomically; returns the path."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "version": code_version_token(),
+            "meta": meta or {},
+            "payload": payload,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.invalidated += 1
+
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            self._discard(path)
+            removed += 1
+        return removed
+
+    def prune(self, *, current_version: str | None = None) -> int:
+        """Delete entries written by a different code version.
+
+        Args:
+            current_version: token to keep (default: the running code's).
+
+        Returns:
+            How many stale or unreadable entries were removed.
+        """
+        keep = current_version or code_version_token()
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                entry = json.loads(path.read_text())
+                version = entry.get("version")
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                version = None
+            if version != keep:
+                self._discard(path)
+                removed += 1
+        return removed

@@ -1,0 +1,51 @@
+"""The executor the experiment harness passes around.
+
+An :class:`Executor` bundles a worker count and an optional result cache
+into one object, so every experiment function takes a single
+``executor=`` keyword instead of separate knobs.  The default executor
+(``Executor()``) is serial and uncached — exactly the behaviour of the
+pre-executor harness — so library callers opt in explicitly and test
+behaviour never changes behind anyone's back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.sweep import sweep
+from repro.exec.tasks import SimTask
+
+
+class Executor:
+    """Runs simulation points with a fixed parallelism/cache policy.
+
+    Args:
+        jobs: worker processes per sweep (1 = inline, serial).
+        cache: ``None`` for no caching, a :class:`ResultCache` to reuse
+            one, or ``True`` to build the default on-disk cache
+            (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    """
+
+    def __init__(self, *, jobs: int = 1, cache: ResultCache | bool | None = None):
+        if cache is True:
+            cache = ResultCache()
+        elif cache is False:
+            cache = None
+        self.jobs = jobs
+        self.cache: ResultCache | None = cache
+
+    def run(self, tasks: Iterable[SimTask]) -> list[Any]:
+        """Sweep the points under this executor's policy."""
+        return sweep(tasks, jobs=self.jobs, cache=self.cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Cache counters (all zeros when caching is off)."""
+        if self.cache is None:
+            return CacheStats()
+        return self.cache.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = self.cache.root if self.cache is not None else "off"
+        return f"<Executor jobs={self.jobs} cache={where}>"

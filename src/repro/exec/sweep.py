@@ -1,0 +1,134 @@
+"""Fan a set of simulation points out, merge results deterministically.
+
+:func:`sweep` is the one concurrency primitive of the package.  The
+contract that makes it safe to drop into the experiment harness:
+
+- **Deterministic merge.**  Results come back in the order the tasks
+  were given — never in completion order — so a parallel run is
+  byte-identical to a serial one.
+- **Cache transparency.**  With a cache, each point is looked up by its
+  content fingerprint first and only misses are executed (then stored).
+  A warm sweep does no simulation at all.
+- **Failure naming.**  Any exception in a worker is re-raised in the
+  caller as a :class:`~repro.util.errors.SimulationError` naming the
+  failing point's key, with the original exception chained as the cause.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from typing import Any, Iterable, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import code_version_token, fingerprint
+from repro.exec.tasks import SimTask
+from repro.util.errors import ConfigurationError, SimulationError
+
+
+def cache_key(task: SimTask) -> str:
+    """The content-addressed cache key of one simulation point."""
+    return fingerprint(
+        {"task": task.describe(), "code_version": code_version_token()}
+    )
+
+
+def _execute(task: SimTask) -> Any:
+    """Run one task; module-level so process pools can pickle it."""
+    return task.run()
+
+
+def _point_error(task: SimTask, exc: BaseException) -> SimulationError:
+    return SimulationError(
+        f"sweep point {task.key!r} failed: {type(exc).__name__}: {exc}"
+    )
+
+
+def sweep(
+    tasks: Iterable[SimTask],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> list[Any]:
+    """Execute simulation points, possibly in parallel, possibly cached.
+
+    Args:
+        tasks: the points; keys must be unique.
+        jobs: worker processes.  1 (the default) runs inline in this
+            process; N > 1 runs cache misses on a process pool of up to
+            N workers.
+        cache: optional on-disk result cache consulted before running
+            and filled after.
+
+    Returns:
+        One result per task, in task order regardless of completion
+        order or cache state.
+
+    Raises:
+        ConfigurationError: duplicate task keys or ``jobs < 1``.
+        SimulationError: a point failed; the message names its key and
+            the original exception is chained as ``__cause__``.
+    """
+    ordered: Sequence[SimTask] = list(tasks)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    seen: set[tuple] = set()
+    for task in ordered:
+        if task.key in seen:
+            raise ConfigurationError(f"duplicate sweep point key {task.key!r}")
+        seen.add(task.key)
+
+    results: dict[tuple, Any] = {}
+    pending: list[tuple[SimTask, str | None]] = []
+    for task in ordered:
+        if cache is not None:
+            key = cache_key(task)
+            payload = cache.load(key)
+            if payload is not None:
+                results[task.key] = task.decode(payload)
+                continue
+            pending.append((task, key))
+        else:
+            pending.append((task, None))
+
+    if jobs > 1 and len(pending) > 1:
+        computed = _run_pool(pending, jobs)
+    else:
+        computed = _run_inline(pending)
+
+    for (task, key), result in zip(pending, computed):
+        results[task.key] = result
+        if cache is not None and key is not None:
+            cache.store(
+                key,
+                task.encode(result),
+                meta={"point": [str(part) for part in task.key]},
+            )
+    return [results[task.key] for task in ordered]
+
+
+def _run_inline(pending: Sequence[tuple[SimTask, str | None]]) -> list[Any]:
+    out = []
+    for task, _ in pending:
+        try:
+            out.append(task.run())
+        except Exception as exc:
+            raise _point_error(task, exc) from exc
+    return out
+
+
+def _run_pool(
+    pending: Sequence[tuple[SimTask, str | None]], jobs: int
+) -> list[Any]:
+    workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_execute, task) for task, _ in pending]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        out = []
+        for (task, _), future in zip(pending, futures):
+            try:
+                out.append(future.result())
+            except Exception as exc:
+                for other in futures:
+                    other.cancel()
+                raise _point_error(task, exc) from exc
+    return out

@@ -1,0 +1,226 @@
+"""Simulation points: the units of parallel execution and caching.
+
+A :class:`SimTask` is one independent "plug in the multimeters and run
+it" experiment — small enough to fan out across processes, coarse enough
+that the result is worth caching.  Three concrete kinds cover every
+paper artifact:
+
+- :class:`GearSweepTask` — one energy-time curve (one line in a figure);
+- :class:`MeasurementTask` — one fastest-gear trace run (model step 1,
+  Table 1's UPM column);
+- :class:`CalibrationTask` — the single-node per-gear S_g/P_g/I_g table
+  (model step 4).
+
+Each task is a frozen, picklable dataclass that knows how to
+
+- ``run()`` itself (in a worker process),
+- ``describe()`` itself as the canonical structure its cache key is
+  fingerprinted from (full cluster + workload state — see
+  :mod:`repro.exec.fingerprint`), and
+- ``encode``/``decode`` its result to/from the JSON payload the cache
+  stores.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.cluster import ClusterSpec
+from repro.core.calibration import GearCalibration, calibrate_gears
+from repro.core.curves import EnergyTimeCurve
+from repro.core.run import RunMeasurement, gear_sweep, run_workload
+from repro.exec.fingerprint import jsonable
+from repro.reporting import curve_from_dict, curve_to_dict
+from repro.workloads.base import Workload
+
+
+def _describe_workload(workload: Workload) -> Any:
+    """Canonical state of a workload instance (class + all attributes)."""
+    return jsonable(workload)
+
+
+def _describe_cluster(cluster: ClusterSpec) -> Any:
+    """Canonical state of a cluster spec (nested frozen dataclasses)."""
+    return jsonable(cluster)
+
+
+class SimTask(ABC):
+    """One independent simulation point."""
+
+    @property
+    @abstractmethod
+    def key(self) -> tuple:
+        """Orderable identity, unique within one sweep."""
+
+    @abstractmethod
+    def describe(self) -> Any:
+        """Canonical structure the cache key is fingerprinted from."""
+
+    @abstractmethod
+    def run(self) -> Any:
+        """Execute the simulation; runs in a worker process."""
+
+    @abstractmethod
+    def encode(self, result: Any) -> Any:
+        """Flatten a result to the JSON payload the cache stores."""
+
+    @abstractmethod
+    def decode(self, payload: Any) -> Any:
+        """Rebuild a result from a cached payload."""
+
+
+@dataclass(frozen=True)
+class GearSweepTask(SimTask):
+    """Run one workload at one node count across gears (one curve)."""
+
+    cluster: ClusterSpec
+    workload: Workload
+    nodes: int
+    gears: tuple[int, ...] | None = None
+
+    @property
+    def key(self) -> tuple:
+        return (
+            "gear_sweep",
+            self.cluster.name,
+            self.cluster.max_nodes,
+            self.workload.name,
+            self.nodes,
+            self.gears,
+        )
+
+    def describe(self) -> Any:
+        return {
+            "kind": "gear_sweep",
+            "cluster": _describe_cluster(self.cluster),
+            "workload": _describe_workload(self.workload),
+            "nodes": self.nodes,
+            "gears": self.gears,
+        }
+
+    def run(self) -> EnergyTimeCurve:
+        return gear_sweep(
+            self.cluster, self.workload, nodes=self.nodes, gears=self.gears
+        )
+
+    def encode(self, result: EnergyTimeCurve) -> Any:
+        return curve_to_dict(result)
+
+    def decode(self, payload: Any) -> EnergyTimeCurve:
+        return curve_from_dict(payload)
+
+
+@dataclass(frozen=True)
+class MeasurementTask(SimTask):
+    """Run one (workload, nodes, gear) configuration and measure it."""
+
+    cluster: ClusterSpec
+    workload: Workload
+    nodes: int
+    gear: int = 1
+
+    @property
+    def key(self) -> tuple:
+        return (
+            "measurement",
+            self.cluster.name,
+            self.cluster.max_nodes,
+            self.workload.name,
+            self.nodes,
+            self.gear,
+        )
+
+    def describe(self) -> Any:
+        return {
+            "kind": "measurement",
+            "cluster": _describe_cluster(self.cluster),
+            "workload": _describe_workload(self.workload),
+            "nodes": self.nodes,
+            "gear": self.gear,
+        }
+
+    def run(self) -> RunMeasurement:
+        return run_workload(
+            self.cluster, self.workload, nodes=self.nodes, gear=self.gear
+        )
+
+    def encode(self, result: RunMeasurement) -> Any:
+        return {
+            "workload": result.workload,
+            "cluster": result.cluster,
+            "nodes": result.nodes,
+            "gear": result.gear,
+            "time_s": result.time,
+            "energy_j": result.energy,
+            "active_time_s": result.active_time,
+            "idle_time_s": result.idle_time,
+            "reducible_time_s": result.reducible_time,
+            "upm": result.upm,
+        }
+
+    def decode(self, payload: Any) -> RunMeasurement:
+        return RunMeasurement(
+            workload=payload["workload"],
+            cluster=payload["cluster"],
+            nodes=payload["nodes"],
+            gear=payload["gear"],
+            time=payload["time_s"],
+            energy=payload["energy_j"],
+            active_time=payload["active_time_s"],
+            idle_time=payload["idle_time_s"],
+            reducible_time=payload["reducible_time_s"],
+            upm=payload["upm"],
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationTask(SimTask):
+    """Single-node per-gear calibration runs (model step 4)."""
+
+    cluster: ClusterSpec
+    workload: Workload
+
+    @property
+    def key(self) -> tuple:
+        return (
+            "calibration",
+            self.cluster.name,
+            self.cluster.max_nodes,
+            self.workload.name,
+        )
+
+    def describe(self) -> Any:
+        return {
+            "kind": "calibration",
+            "cluster": _describe_cluster(self.cluster),
+            "workload": _describe_workload(self.workload),
+        }
+
+    def run(self) -> GearCalibration:
+        return calibrate_gears(self.cluster, self.workload)
+
+    def encode(self, result: GearCalibration) -> Any:
+        # JSON object keys are strings; gear indices are rebuilt in decode.
+        return {
+            "workload": result.workload,
+            "slowdown": {str(g): v for g, v in result.slowdown.items()},
+            "active_power": {str(g): v for g, v in result.active_power.items()},
+            "idle_power": {str(g): v for g, v in result.idle_power.items()},
+            "single_node_time": {
+                str(g): v for g, v in result.single_node_time.items()
+            },
+        }
+
+    def decode(self, payload: Any) -> GearCalibration:
+        def by_gear(mapping: dict[str, float]) -> dict[int, float]:
+            return {int(g): v for g, v in mapping.items()}
+
+        return GearCalibration(
+            workload=payload["workload"],
+            slowdown=by_gear(payload["slowdown"]),
+            active_power=by_gear(payload["active_power"]),
+            idle_power=by_gear(payload["idle_power"]),
+            single_node_time=by_gear(payload["single_node_time"]),
+        )

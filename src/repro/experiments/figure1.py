@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.machines import athlon_cluster
 from repro.core.curves import EnergyTimeCurve
-from repro.core.run import gear_sweep
+from repro.exec import Executor, GearSweepTask
 from repro.experiments.report import render_curve
 from repro.workloads.nas import nas_suite
 
@@ -47,17 +47,23 @@ class Figure1Result:
 
 
 def figure1(
-    *, scale: float = 1.0, cluster: ClusterSpec | None = None
+    *,
+    scale: float = 1.0,
+    cluster: ClusterSpec | None = None,
+    executor: Executor | None = None,
 ) -> Figure1Result:
     """Run the Figure 1 experiment.
 
     Args:
         scale: workload scale (1.0 = full size).
         cluster: override the paper's Athlon cluster.
+        executor: parallelism/cache policy (default: serial, uncached).
     """
     cluster = cluster or athlon_cluster()
-    curves = {
-        workload.name: gear_sweep(cluster, workload, nodes=1)
-        for workload in nas_suite(scale)
-    }
+    executor = executor or Executor()
+    suite = nas_suite(scale)
+    sweeps = executor.run(
+        GearSweepTask(cluster, workload, nodes=1) for workload in suite
+    )
+    curves = {workload.name: curve for workload, curve in zip(suite, sweeps)}
     return Figure1Result(curves=curves)

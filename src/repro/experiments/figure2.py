@@ -19,7 +19,7 @@ from repro.cluster.cluster import ClusterSpec
 from repro.cluster.machines import athlon_cluster
 from repro.core.cases import CaseAnalysis, classify_family
 from repro.core.curves import CurveFamily
-from repro.core.run import node_sweep
+from repro.exec import Executor, GearSweepTask
 from repro.experiments.report import render_cases, render_family
 from repro.workloads.nas import nas_suite
 
@@ -71,15 +71,35 @@ class Figure2Result:
 
 
 def figure2(
-    *, scale: float = 1.0, cluster: ClusterSpec | None = None
+    *,
+    scale: float = 1.0,
+    cluster: ClusterSpec | None = None,
+    executor: Executor | None = None,
 ) -> Figure2Result:
     """Run the Figure 2 experiment."""
     cluster = cluster or athlon_cluster()
+    executor = executor or Executor()
+    suite = nas_suite(scale)
+    # Every (workload, node count) pair is an independent point; fan them
+    # all out in one sweep.
+    pairs = [
+        (workload, nodes)
+        for workload in suite
+        for nodes in PAPER_NODE_COUNTS[workload.name]
+    ]
+    sweeps = executor.run(
+        GearSweepTask(cluster, workload, nodes=nodes) for workload, nodes in pairs
+    )
+    curves_by_workload: dict[str, list] = {w.name: [] for w in suite}
+    for (workload, _), curve in zip(pairs, sweeps):
+        curves_by_workload[workload.name].append(curve)
     families: dict[str, CurveFamily] = {}
     cases: dict[str, list[CaseAnalysis]] = {}
-    for workload in nas_suite(scale):
-        counts = PAPER_NODE_COUNTS[workload.name]
-        family = node_sweep(cluster, workload, node_counts=counts)
+    for workload in suite:
+        family = CurveFamily(
+            workload=workload.name,
+            curves=tuple(curves_by_workload[workload.name]),
+        )
         families[workload.name] = family
         # The paper classifies multi-node transitions; the 1-node curve
         # is a reference, not a comparison anchor.

@@ -14,7 +14,7 @@ from repro.cluster.cluster import ClusterSpec
 from repro.cluster.machines import athlon_cluster
 from repro.core.cases import CaseAnalysis, classify_family
 from repro.core.curves import CurveFamily
-from repro.core.run import node_sweep
+from repro.exec import Executor, GearSweepTask
 from repro.experiments.report import render_cases, render_family
 from repro.workloads.jacobi import Jacobi
 
@@ -52,13 +52,21 @@ class Figure3Result:
 
 
 def figure3(
-    *, scale: float = 1.0, cluster: ClusterSpec | None = None
+    *,
+    scale: float = 1.0,
+    cluster: ClusterSpec | None = None,
+    executor: Executor | None = None,
 ) -> Figure3Result:
     """Run the Figure 3 experiment."""
     cluster = cluster or athlon_cluster()
+    executor = executor or Executor()
     workload = Jacobi(scale)
     # Measure node 1 too (the speedup reference), then plot 2..10.
-    full = node_sweep(cluster, workload, node_counts=(1, *PAPER_NODE_COUNTS))
+    counts = (1, *PAPER_NODE_COUNTS)
+    sweeps = executor.run(
+        GearSweepTask(cluster, workload, nodes=n) for n in counts
+    )
+    full = CurveFamily(workload=workload.name, curves=tuple(sweeps))
     speedups = {n: s for n, s in full.speedups().items() if n > 1}
     family = CurveFamily(
         workload=full.workload,

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.machines import athlon_cluster
 from repro.core.curves import CurveFamily
-from repro.core.run import node_sweep
+from repro.exec import Executor, GearSweepTask
 from repro.experiments.report import render_family
 from repro.workloads.synthetic import SyntheticMemoryPressure
 
@@ -58,12 +58,19 @@ class Figure4Result:
 
 
 def figure4(
-    *, scale: float = 1.0, cluster: ClusterSpec | None = None
+    *,
+    scale: float = 1.0,
+    cluster: ClusterSpec | None = None,
+    executor: Executor | None = None,
 ) -> Figure4Result:
     """Run the Figure 4 experiment."""
     cluster = cluster or athlon_cluster()
+    executor = executor or Executor()
     workload = SyntheticMemoryPressure(scale)
-    family = node_sweep(cluster, workload, node_counts=PAPER_NODE_COUNTS)
+    sweeps = executor.run(
+        GearSweepTask(cluster, workload, nodes=n) for n in PAPER_NODE_COUNTS
+    )
+    family = CurveFamily(workload=workload.name, curves=tuple(sweeps))
     speedups = {n: s for n, s in family.speedups().items() if n > 1}
     one = family.curve(1)
     _, gear5_delay, gear5_energy = one.relative()[4]

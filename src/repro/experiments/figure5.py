@@ -31,9 +31,16 @@ from repro.cluster.cluster import ClusterSpec
 from repro.cluster.machines import athlon_cluster
 from repro.core.commclass import PAPER_CLASSES
 from repro.core.curves import CurveFamily, EnergyTimeCurve
-from repro.core.model import EnergyTimeModel, gather_inputs
-from repro.core.run import gear_sweep
+from repro.core.model import EnergyTimeModel, ModelInputs
+from repro.exec import (
+    CalibrationTask,
+    Executor,
+    GearSweepTask,
+    MeasurementTask,
+    SimTask,
+)
 from repro.experiments.report import render_curve
+from repro.util.errors import ModelError
 from repro.util.fitting import ShapeFamily
 from repro.workloads.base import Workload
 from repro.workloads.nas import nas_suite
@@ -132,6 +139,7 @@ def figure5(
     cluster: ClusterSpec | None = None,
     validate: bool = False,
     refined: bool = True,
+    executor: Executor | None = None,
 ) -> Figure5Result:
     """Run the Figure 5 experiment.
 
@@ -142,34 +150,63 @@ def figure5(
         validate: also *simulate* the extrapolated configurations and
             attach the ground-truth curves (not available to the paper).
         refined: use the refined critical/reducible-work predictor.
+        executor: parallelism/cache policy (default: serial, uncached).
     """
     measure_cluster = cluster or athlon_cluster(10)
     # Ground-truth runs need a larger (simulated) installation.
     truth_cluster = athlon_cluster(max(EXTRAPOLATED_COUNTS))
-    panels: dict[str, WorkloadFigure5] = {}
-    for workload in nas_suite(scale):
+    executor = executor or Executor()
+    suite = nas_suite(scale)
+    # Every trace run, calibration run and gear sweep of every panel is
+    # an independent simulation point; flatten them into one sweep and
+    # reassemble per workload afterwards.  Fitting and prediction are
+    # cheap and stay in this process.
+    tasks: list[SimTask] = []
+    plan: list[tuple[Workload, list[int], list[int], int]] = []
+    for workload in suite:
         measured_counts = _valid(workload, MEASURED_COUNTS, measure_cluster.max_nodes)
-        inputs = gather_inputs(measure_cluster, workload, node_counts=measured_counts)
+        if 1 not in measured_counts:
+            raise ModelError("the model needs the 1-node measurement")
+        targets = _valid(workload, EXTRAPOLATED_COUNTS, truth_cluster.max_nodes)
+        plan.append((workload, measured_counts, targets, len(tasks)))
+        tasks.extend(
+            MeasurementTask(measure_cluster, workload, nodes=n, gear=1)
+            for n in measured_counts
+        )
+        tasks.append(CalibrationTask(measure_cluster, workload))
+        tasks.extend(
+            GearSweepTask(measure_cluster, workload, nodes=n)
+            for n in measured_counts
+        )
+        if validate:
+            tasks.extend(
+                GearSweepTask(truth_cluster, workload, nodes=n) for n in targets
+            )
+    results = executor.run(tasks)
+
+    panels: dict[str, WorkloadFigure5] = {}
+    for workload, measured_counts, targets, start in plan:
+        count = len(measured_counts)
+        traces = results[start : start + count]
+        calibration = results[start + count]
+        sweeps = results[start + count + 1 : start + 2 * count + 1]
+        inputs = ModelInputs(
+            workload=workload.name,
+            measurements=dict(zip(measured_counts, traces)),
+            calibration=calibration,
+        )
         forced: ShapeFamily | None = (
             PAPER_CLASSES[workload.name]
             if workload.name in FORCED_CLASS_WORKLOADS
             else None
         )
         model = EnergyTimeModel(inputs, comm_family=forced, refined=refined)
-        measured = CurveFamily(
-            workload=workload.name,
-            curves=tuple(
-                gear_sweep(measure_cluster, workload, nodes=n)
-                for n in measured_counts
-            ),
-        )
-        targets = _valid(workload, EXTRAPOLATED_COUNTS, truth_cluster.max_nodes)
+        measured = CurveFamily(workload=workload.name, curves=tuple(sweeps))
         predicted = tuple(model.predict_curve(nodes=n) for n in targets)
         simulated: tuple[EnergyTimeCurve, ...] = ()
         if validate:
-            simulated = tuple(
-                gear_sweep(truth_cluster, workload, nodes=n) for n in targets
-            )
+            truth_start = start + 2 * count + 1
+            simulated = tuple(results[truth_start : truth_start + len(targets)])
         panels[workload.name] = WorkloadFigure5(
             workload=workload.name,
             measured=measured,

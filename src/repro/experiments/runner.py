@@ -5,6 +5,15 @@ Usage::
     python -m repro.experiments.runner            # everything, full scale
     python -m repro.experiments.runner --scale 0.3
     python -m repro.experiments.runner --only figure1 table1
+    python -m repro.experiments.runner --jobs 4   # parallel simulation
+    python -m repro.experiments.runner --no-cache # force re-simulation
+    python -m repro.experiments.runner --cache-stats
+
+Simulation points are memoised in the on-disk result cache
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; see ``docs/EXECUTOR.md``),
+so a rerun whose code and configuration are unchanged replays from disk.
+``--jobs N`` fans cache misses out over N worker processes; the merged
+artifacts are byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ import sys
 import time
 from typing import Callable
 
+from repro.exec import Executor, ResultCache
 from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
 
 EXPERIMENTS: dict[str, Callable[..., object]] = {
@@ -42,6 +52,23 @@ def main(argv: list[str] | None = None) -> int:
         help="run only these experiments",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent simulation points",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss accounting at the end",
+    )
+    parser.add_argument(
         "--plots",
         action="store_true",
         help="also render each figure as an ASCII scatter plot",
@@ -52,10 +79,24 @@ def main(argv: list[str] | None = None) -> int:
         help="also write each result as JSON into this directory",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     names = args.only or list(EXPERIMENTS)
+    executor = Executor(
+        jobs=args.jobs, cache=None if args.no_cache else ResultCache()
+    )
+    failures = 0
     for name in names:
         start = time.perf_counter()
-        result = EXPERIMENTS[name](scale=args.scale)
+        try:
+            result = EXPERIMENTS[name](scale=args.scale, executor=executor)
+        except Exception as exc:
+            failures += 1
+            print(
+                f"[{name} FAILED: {type(exc).__name__}: {exc}]",
+                file=sys.stderr,
+            )
+            continue
         elapsed = time.perf_counter() - start
         print(result.render())
         if args.plots and hasattr(result, "render_plots"):
@@ -71,7 +112,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"[written to {destination}]")
         print(f"\n[{name} regenerated in {elapsed:.1f} s]\n")
-    return 0
+    if args.cache_stats:
+        print(f"[{executor.stats.render()}]")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.machines import athlon_cluster
-from repro.core.run import gear_sweep, run_workload
+from repro.exec import Executor, GearSweepTask, MeasurementTask
 from repro.util.tables import TextTable
 from repro.workloads.nas import nas_suite
 
@@ -57,20 +57,29 @@ class Table1Result:
         return table.render()
 
 
-def table1(*, scale: float = 1.0, cluster: ClusterSpec | None = None) -> Table1Result:
+def table1(
+    *,
+    scale: float = 1.0,
+    cluster: ClusterSpec | None = None,
+    executor: Executor | None = None,
+) -> Table1Result:
     """Run the Table 1 experiment (UPM + slopes on one node)."""
     cluster = cluster or athlon_cluster()
-    rows = []
-    for workload in nas_suite(scale):
-        curve = gear_sweep(cluster, workload, nodes=1, gears=(1, 2, 3))
-        upm = run_workload(cluster, workload, nodes=1, gear=1).upm
-        rows.append(
-            Table1Row(
-                workload=workload.name,
-                upm=upm,
-                slope_1_2=curve.slope(1, 2),
-                slope_2_3=curve.slope(2, 3),
-            )
+    executor = executor or Executor()
+    suite = nas_suite(scale)
+    tasks = [
+        GearSweepTask(cluster, w, nodes=1, gears=(1, 2, 3)) for w in suite
+    ] + [MeasurementTask(cluster, w, nodes=1, gear=1) for w in suite]
+    results = executor.run(tasks)
+    curves, measurements = results[: len(suite)], results[len(suite) :]
+    rows = [
+        Table1Row(
+            workload=workload.name,
+            upm=measurement.upm,
+            slope_1_2=curve.slope(1, 2),
+            slope_2_3=curve.slope(2, 3),
         )
+        for workload, curve, measurement in zip(suite, curves, measurements)
+    ]
     rows.sort(key=lambda r: r.upm, reverse=True)
     return Table1Result(rows=tuple(rows))

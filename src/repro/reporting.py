@@ -32,12 +32,34 @@ def curve_to_dict(curve: EnergyTimeCurve) -> dict[str, Any]:
     }
 
 
+def curve_from_dict(data: dict[str, Any]) -> EnergyTimeCurve:
+    """Rebuild a curve exported by :func:`curve_to_dict`."""
+    from repro.core.curves import CurvePoint
+
+    return EnergyTimeCurve(
+        workload=data["workload"],
+        nodes=data["nodes"],
+        points=tuple(
+            CurvePoint(gear=p["gear"], time=p["time_s"], energy=p["energy_j"])
+            for p in data["points"]
+        ),
+    )
+
+
 def family_to_dict(family: CurveFamily) -> dict[str, Any]:
     """One figure panel as plain data."""
     return {
         "workload": family.workload,
         "curves": [curve_to_dict(c) for c in family],
     }
+
+
+def family_from_dict(data: dict[str, Any]) -> CurveFamily:
+    """Rebuild a curve family exported by :func:`family_to_dict`."""
+    return CurveFamily(
+        workload=data["workload"],
+        curves=tuple(curve_from_dict(c) for c in data["curves"]),
+    )
 
 
 def case_to_dict(analysis: CaseAnalysis) -> dict[str, Any]:

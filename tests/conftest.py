@@ -16,6 +16,17 @@ from repro.cluster.machines import athlon_cluster, reference_cluster
 TEST_SCALE = 0.25
 
 
+def pytest_addoption(parser):
+    """Register the golden-artifact update flag (see tests/exec)."""
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/exec/goldens/*.json from the current code "
+        "instead of asserting against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def cluster():
     """The paper's ten-node power-scalable cluster."""

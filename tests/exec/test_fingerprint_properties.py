@@ -1,0 +1,170 @@
+"""Property tests for the cache-key fingerprint and the store/load cycle.
+
+The cache is only safe if the fingerprint is *exactly* as fine-grained
+as the simulation's inputs: two equal configs must collide, any real
+perturbation must separate, and representation noise (dict insertion
+order) must not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import ResultCache, fingerprint, jsonable
+from repro.util.errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Config-shaped value strategies
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+
+configs = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+        st.dictionaries(st.integers(-100, 100), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _deep_copy_reordered(obj):
+    """Equal structure, reversed dict insertion order at every level."""
+    if isinstance(obj, dict):
+        return {k: _deep_copy_reordered(v) for k, v in reversed(list(obj.items()))}
+    if isinstance(obj, list):
+        return [_deep_copy_reordered(v) for v in obj]
+    return obj
+
+
+class TestEquality:
+    @given(configs)
+    def test_equal_configs_hash_equal(self, config):
+        assert fingerprint(config) == fingerprint(_deep_copy_reordered(config))
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, min_size=2, max_size=6))
+    def test_dict_insertion_order_is_erased(self, config):
+        reordered = dict(reversed(list(config.items())))
+        assert list(config) != list(reordered) or len(config) < 2
+        assert fingerprint(config) == fingerprint(reordered)
+
+    @given(configs)
+    def test_fingerprint_is_stable_across_calls(self, config):
+        assert fingerprint(config) == fingerprint(config)
+
+
+class TestSeparation:
+    @given(
+        st.dictionaries(st.text(max_size=8), scalars, min_size=1, max_size=6),
+        st.data(),
+    )
+    def test_value_perturbation_changes_key(self, config, data):
+        key = data.draw(st.sampled_from(sorted(config, key=repr)))
+        new_value = data.draw(scalars.filter(lambda v: v != config[key] or type(v) is not type(config[key])))
+        perturbed = dict(config)
+        perturbed[key] = new_value
+        assert fingerprint(perturbed) != fingerprint(config)
+
+    @given(st.dictionaries(st.text(max_size=8), scalars, max_size=4), st.text(max_size=8), scalars)
+    def test_added_field_changes_key(self, config, key, value):
+        grown = dict(config)
+        grown.pop(key, None)
+        base = fingerprint(grown)
+        grown[key] = value
+        assert fingerprint(grown) != base
+
+    @given(st.integers(min_value=-(10**6), max_value=10**6))
+    def test_int_and_float_are_distinct(self, n):
+        assert fingerprint(n) != fingerprint(float(n))
+        assert fingerprint({"x": n}) != fingerprint({"x": float(n)})
+
+    def test_bool_and_int_are_distinct(self):
+        assert fingerprint(True) != fingerprint(1)
+        assert fingerprint(False) != fingerprint(0)
+
+    def test_int_key_and_str_key_are_distinct(self):
+        assert fingerprint({1: "a"}) != fingerprint({"1": "a"})
+
+    def test_tuple_and_list_collide_by_design(self):
+        # JSON round-trips turn tuples into lists; a config must keep its
+        # key across that round trip.
+        assert fingerprint((1, 2)) == fingerprint([1, 2])
+
+
+class TestCanonicalisation:
+    def test_dataclass_and_enum_encode(self):
+        class Flavour(enum.Enum):
+            A = "a"
+
+        @dataclass(frozen=True)
+        class Spec:
+            x: int
+            flavour: Flavour
+
+        a = fingerprint(Spec(1, Flavour.A))
+        b = fingerprint(Spec(2, Flavour.A))
+        assert a != b
+        assert a == fingerprint(Spec(1, Flavour.A))
+
+    def test_non_finite_floats_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fingerprint(float("nan"))
+        with pytest.raises(ConfigurationError):
+            fingerprint({"x": float("inf")})
+
+    def test_unfingerprintable_objects_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fingerprint(lambda: None)
+
+    @given(configs)
+    def test_jsonable_output_is_json_clean(self, config):
+        import json
+
+        json.dumps(jsonable(config), sort_keys=True, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# Store -> load round trip
+
+json_payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        st.text(max_size=12),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=25)
+    @given(payload=json_payloads, config=configs)
+    def test_store_then_load_returns_equal_payload(self, tmp_path_factory, payload, config):
+        cache = ResultCache(root=tmp_path_factory.mktemp("cache"))
+        key = fingerprint(config)
+        cache.store(key, payload)
+        assert cache.load(key) == payload
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_load_unknown_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.load(fingerprint("nothing here")) is None
+        assert cache.stats.misses == 1

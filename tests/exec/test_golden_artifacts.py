@@ -1,0 +1,86 @@
+"""Golden-artifact regression tests.
+
+Every paper artifact is regenerated at a reduced scale and compared
+*byte for byte* against a committed golden JSON file.  This pins down
+the full-precision determinism of the simulation engine — the property
+the result cache and the parallel sweep both rely on: if these tests
+pass, replaying a point from disk or computing it in a worker process
+is indistinguishable from computing it inline.
+
+When an intentional change shifts the numbers, regenerate the goldens
+and commit the diff::
+
+    PYTHONPATH=src python -m pytest tests/exec/test_golden_artifacts.py \
+        --update-goldens
+
+(The run *fails* after rewriting any file so a stale-golden refresh can
+never silently pass in CI; rerun without the flag to verify.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
+from repro.reporting import result_to_dict
+
+#: Scale the goldens are generated at — small enough to run in seconds,
+#: large enough that every workload still takes >= 3 iterations.
+GOLDEN_SCALE = 0.05
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+EXPERIMENTS = {
+    "figure1": figure1,
+    "table1": table1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+}
+
+
+def render_artifact(name: str) -> str:
+    """One experiment's exported JSON, exactly as ``write_result`` writes it."""
+    result = EXPERIMENTS[name](scale=GOLDEN_SCALE)
+    return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_artifact_matches_golden(name, update_goldens):
+    """The regenerated artifact is byte-identical to the committed golden."""
+    path = GOLDEN_DIR / f"{name}.json"
+    text = render_artifact(name)
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.fail(
+            f"golden {path.name} rewritten; rerun without --update-goldens",
+            pytrace=False,
+        )
+    if not path.exists():
+        pytest.fail(
+            f"missing golden {path}; generate it with --update-goldens",
+            pytrace=False,
+        )
+    assert text == path.read_text(), (
+        f"{name} artifact drifted from its golden; if intentional, rerun "
+        "with --update-goldens and commit the diff"
+    )
+
+
+def test_regeneration_is_deterministic():
+    """Two fresh in-process runs of one artifact are byte-identical.
+
+    This isolates engine determinism from golden staleness: it fails only
+    if the simulator itself is nondeterministic.
+    """
+    assert render_artifact("table1") == render_artifact("table1")

@@ -1,0 +1,207 @@
+"""Concurrency and caching behaviour of the sweep executor.
+
+The load-bearing guarantees: a parallel sweep merges to exactly the
+serial result (deterministic, ordered by point, not by completion), a
+failing worker surfaces as a :class:`SimulationError` naming the point,
+and the cache's hit/miss/invalidation accounting is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster
+from repro.exec import (
+    CalibrationTask,
+    Executor,
+    GearSweepTask,
+    MeasurementTask,
+    ResultCache,
+    SimTask,
+    code_version_token,
+    sweep,
+)
+from repro.exec.sweep import cache_key
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.workloads.jacobi import Jacobi
+from repro.workloads.nas import EP, MG
+
+#: Tiny but non-degenerate workload scale for executor tests.
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return athlon_cluster()
+
+
+@pytest.fixture(scope="module")
+def tasks(cluster):
+    """A mixed bag of points: sweeps, measurements, a calibration."""
+    return [
+        GearSweepTask(cluster, EP(SCALE), nodes=2),
+        GearSweepTask(cluster, MG(SCALE), nodes=1, gears=(1, 2)),
+        MeasurementTask(cluster, Jacobi(SCALE), nodes=3, gear=2),
+        CalibrationTask(cluster, EP(SCALE)),
+    ]
+
+
+@dataclass(frozen=True)
+class ExplodingTask(SimTask):
+    """A point whose simulation always fails (picklable for the pool)."""
+
+    label: str
+
+    @property
+    def key(self) -> tuple:
+        return ("exploding", self.label)
+
+    def describe(self) -> Any:
+        return {"kind": "exploding", "label": self.label}
+
+    def run(self) -> Any:
+        raise ValueError(f"boom in {self.label}")
+
+    def encode(self, result: Any) -> Any:  # pragma: no cover - never succeeds
+        return result
+
+    def decode(self, payload: Any) -> Any:  # pragma: no cover - never succeeds
+        return payload
+
+
+class TestDeterministicMerge:
+    def test_serial_and_parallel_results_are_identical(self, tasks):
+        serial = sweep(tasks, jobs=1)
+        parallel = sweep(tasks, jobs=4)
+        assert serial == parallel
+
+    def test_results_come_back_in_task_order(self, cluster):
+        counts = (4, 1, 3, 2)
+        tasks = [
+            GearSweepTask(cluster, Jacobi(SCALE), nodes=n) for n in counts
+        ]
+        curves = sweep(tasks, jobs=4)
+        assert tuple(c.nodes for c in curves) == counts
+
+    def test_duplicate_point_keys_are_rejected(self, cluster):
+        task = GearSweepTask(cluster, EP(SCALE), nodes=1)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            sweep([task, task])
+
+    def test_jobs_must_be_positive(self, tasks):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            sweep(tasks, jobs=0)
+
+
+class TestFailurePropagation:
+    def test_inline_failure_names_the_point(self, cluster):
+        tasks = [
+            GearSweepTask(cluster, EP(SCALE), nodes=1),
+            ExplodingTask("inline"),
+        ]
+        with pytest.raises(SimulationError, match=r"'exploding', 'inline'") as info:
+            sweep(tasks, jobs=1)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_pool_failure_names_the_point(self, cluster):
+        tasks = [
+            GearSweepTask(cluster, EP(SCALE), nodes=1),
+            ExplodingTask("pooled"),
+            GearSweepTask(cluster, EP(SCALE), nodes=2),
+        ]
+        with pytest.raises(SimulationError, match=r"'exploding', 'pooled'") as info:
+            sweep(tasks, jobs=2)
+        assert isinstance(info.value.__cause__, ValueError)
+
+
+class TestCacheAccounting:
+    def test_cold_then_warm(self, tasks, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cold = sweep(tasks, cache=cache)
+        assert cache.stats.misses == len(tasks)
+        assert cache.stats.stores == len(tasks)
+        warm = sweep(tasks, cache=cache)
+        assert warm == cold
+        assert cache.stats.hits == len(tasks)
+        assert len(cache) == len(tasks)
+
+    def test_warm_parallel_sweep_does_not_spawn_work(self, tasks, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cold = sweep(tasks, cache=cache)
+        # All points cached: the pooled path has nothing to submit.
+        warm = sweep(tasks, jobs=4, cache=cache)
+        assert warm == cold
+        assert cache.stats.stores == len(tasks)
+
+    def test_distinct_configs_have_distinct_keys(self, cluster):
+        keys = {
+            cache_key(GearSweepTask(cluster, EP(SCALE), nodes=n)) for n in (1, 2, 4)
+        }
+        # EP(0.25) has a different iteration count, hence different work.
+        keys.add(cache_key(GearSweepTask(cluster, EP(0.25), nodes=1)))
+        keys.add(cache_key(MeasurementTask(cluster, EP(SCALE), nodes=1)))
+        assert len(keys) == 5
+
+    def test_corrupt_entry_is_invalidated_and_recomputed(self, cluster, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        tasks = [GearSweepTask(cluster, EP(SCALE), nodes=1)]
+        (result,) = sweep(tasks, cache=cache)
+        entry = next(iter(cache._entry_paths()))
+        entry.write_text("{ not json")
+        (again,) = sweep(tasks, cache=cache)
+        assert again == result
+        assert cache.stats.invalidated == 1
+        assert cache.stats.stores == 2
+
+    def test_prune_removes_stale_versions(self, cluster, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        sweep([GearSweepTask(cluster, EP(SCALE), nodes=1)], cache=cache)
+        assert cache.prune() == 0
+        assert cache.prune(current_version="some-other-code") == 1
+        assert len(cache) == 0
+        assert cache.stats.invalidated == 1
+
+    def test_clear_empties_the_cache(self, tasks, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        sweep(tasks, cache=cache)
+        assert cache.clear() == len(tasks)
+        assert len(cache) == 0
+
+    def test_cache_key_tracks_code_version(self, cluster, monkeypatch):
+        # repro.exec.sweep (the module) is shadowed by the sweep function
+        # re-exported from the package, so patch via the module object.
+        import importlib
+
+        sweep_module = importlib.import_module("repro.exec.sweep")
+
+        task = GearSweepTask(cluster, EP(SCALE), nodes=1)
+        before = cache_key(task)
+        monkeypatch.setattr(sweep_module, "code_version_token", lambda: "other-code")
+        assert cache_key(task) != before
+
+
+class TestExecutor:
+    def test_default_executor_is_serial_and_uncached(self):
+        ex = Executor()
+        assert ex.jobs == 1 and ex.cache is None
+        assert ex.stats.lookups == 0
+
+    def test_cache_true_builds_default_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        ex = Executor(cache=True)
+        assert ex.cache is not None
+        assert ex.cache.root == tmp_path / "c"
+
+    def test_executor_runs_tasks(self, tasks, tmp_path):
+        ex = Executor(jobs=2, cache=ResultCache(root=tmp_path))
+        first = ex.run(tasks)
+        second = ex.run(tasks)
+        assert first == second
+        assert ex.stats.hits == len(tasks)
+
+    def test_code_version_token_is_stable(self):
+        assert code_version_token() == code_version_token()
+        assert len(code_version_token()) == 64

@@ -1,8 +1,18 @@
 """The run-everything CLI."""
 
+import json
+
 import pytest
 
 from repro.experiments.runner import EXPERIMENTS, main
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs from touching (or reusing) the real user cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
 
 
 class TestRegistry:
@@ -29,6 +39,10 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["--only", "figure9"])
 
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0", "--only", "table1"])
+
     def test_plots_flag(self, capsys):
         code = main(["--scale", "0.1", "--only", "figure3", "--plots"])
         assert code == 0
@@ -36,9 +50,74 @@ class TestCLI:
         assert "legend:" in out  # the ASCII plot's legend line
 
     def test_output_writes_json(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifacts"
         code = main(
-            ["--scale", "0.1", "--only", "table1", "--output", str(tmp_path)]
+            ["--scale", "0.1", "--only", "table1", "--output", str(out_dir)]
         )
         assert code == 0
-        assert (tmp_path / "table1.json").exists()
+        assert (out_dir / "table1.json").exists()
         assert "written to" in capsys.readouterr().out
+
+
+class TestExecutorFlags:
+    def test_parallel_run_matches_serial_byte_for_byte(self, tmp_path):
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        args = ["--scale", "0.1", "--only", "table1", "figure1", "--no-cache"]
+        assert main([*args, "--output", str(serial_dir)]) == 0
+        assert main([*args, "--jobs", "4", "--output", str(parallel_dir)]) == 0
+        for name in ("table1", "figure1"):
+            serial = (serial_dir / f"{name}.json").read_bytes()
+            parallel = (parallel_dir / f"{name}.json").read_bytes()
+            assert serial == parallel
+
+    def test_cache_is_used_across_runs(self, capsys, isolated_cache):
+        args = ["--scale", "0.1", "--only", "table1", "--cache-stats"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "cache:" in cold and " 0 hits" in cold
+        assert isolated_cache.is_dir()  # entries were written
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert " 0 misses" in warm
+
+    def test_no_cache_leaves_no_cache_directory(self, capsys, isolated_cache):
+        args = [
+            "--scale", "0.1", "--only", "table1", "--no-cache", "--cache-stats",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert " 0 hits" in out and " 0 misses" in out
+        assert not isolated_cache.exists()
+
+    def test_cached_rerun_output_is_identical(self, tmp_path):
+        first_dir, second_dir = tmp_path / "first", tmp_path / "second"
+        args = ["--scale", "0.1", "--only", "figure3"]
+        assert main([*args, "--output", str(first_dir)]) == 0
+        assert main([*args, "--output", str(second_dir)]) == 0
+        first = json.loads((first_dir / "figure3.json").read_text())
+        second = json.loads((second_dir / "figure3.json").read_text())
+        assert first == second
+
+
+class TestFailurePath:
+    def test_failing_experiment_exits_1_not_crash(self, capsys, monkeypatch):
+        def explode(**kwargs):
+            raise SimulationError("the cluster caught fire")
+
+        monkeypatch.setitem(EXPERIMENTS, "figure1", explode)
+        code = main(["--scale", "0.1", "--only", "figure1"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "figure1 FAILED" in err
+        assert "the cluster caught fire" in err
+
+    def test_other_experiments_still_run_after_a_failure(self, capsys, monkeypatch):
+        def explode(**kwargs):
+            raise ValueError("bad apple")
+
+        monkeypatch.setitem(EXPERIMENTS, "figure1", explode)
+        code = main(["--scale", "0.1", "--only", "figure1", "table1"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "figure1 FAILED" in captured.err
+        assert "Table 1" in captured.out  # the healthy experiment completed

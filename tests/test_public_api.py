@@ -25,6 +25,7 @@ def test_all_names_importable():
         "repro.sim",
         "repro.mpi",
         "repro.core",
+        "repro.exec",
         "repro.workloads",
         "repro.experiments",
         "repro.util",
