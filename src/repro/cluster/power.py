@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.cpu import CPUPowerModel, CPUSpec
 from repro.cluster.gears import Gear
 from repro.util.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -97,6 +100,19 @@ class PowerMeter:
         self._ends: list[float] = []
         self._watts: list[float] = []
         self._energy = 0.0
+        self._registry: "MetricsRegistry | None" = None
+        self._metric_prefix = ""
+
+    def attach(self, registry: "MetricsRegistry", prefix: str) -> None:
+        """Stream future intervals into ``registry``.
+
+        Every accepted interval publishes one ``<prefix>.power_w``
+        timeseries sample (at the interval start) and adds its joules to
+        the ``<prefix>.energy_j`` counter.  Detached (the default), the
+        meter publishes nothing and costs one ``is not None`` check.
+        """
+        self._registry = registry
+        self._metric_prefix = prefix
 
     def record(self, start: float, end: float, watts: float) -> None:
         """Record that power was ``watts`` over ``[start, end)``.
@@ -118,6 +134,11 @@ class PowerMeter:
         self._ends.append(end)
         self._watts.append(watts)
         self._energy += watts * (end - start)
+        if self._registry is not None:
+            self._registry.observe(f"{self._metric_prefix}.power_w", start, watts)
+            self._registry.inc(
+                f"{self._metric_prefix}.energy_j", watts * (end - start)
+            )
 
     @property
     def intervals(self) -> Sequence[tuple[float, float, float]]:

@@ -17,13 +17,16 @@ the discipline the paper follows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.cluster.cluster import ClusterSpec
 from repro.core.metrics import slowdown_ratio
 from repro.core.run import run_workload
 from repro.util.errors import ModelError
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import RunObserver
 
 
 @dataclass(frozen=True)
@@ -90,6 +93,7 @@ def calibrate_gears(
     workload: Workload,
     *,
     gears: Sequence[int] | None = None,
+    observer: "RunObserver | None" = None,
 ) -> GearCalibration:
     """Run the workload on one node at every gear and extract S_g, P_g.
 
@@ -103,7 +107,9 @@ def calibrate_gears(
     times: dict[int, float] = {}
     powers: dict[int, float] = {}
     for g in indices:
-        measurement = run_workload(cluster, workload, nodes=1, gear=g)
+        measurement = run_workload(
+            cluster, workload, nodes=1, gear=g, observer=observer
+        )
         times[g] = measurement.time
         powers[g] = measurement.average_power
     reference = times[1]

@@ -10,12 +10,15 @@ panel of Figure 2/3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cluster.cluster import ClusterSpec
 from repro.core.curves import CurvePoint, EnergyTimeCurve, CurveFamily
 from repro.mpi.world import World, WorldResult
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import RunObserver
 
 
 @dataclass(frozen=True)
@@ -70,12 +73,29 @@ def run_workload(
     *,
     nodes: int,
     gear: int = 1,
+    observer: "RunObserver | None" = None,
 ) -> RunMeasurement:
-    """Execute one workload configuration and measure it."""
+    """Execute one workload configuration and measure it.
+
+    With an ``observer`` the run is announced (started / gear changes /
+    complete) so traces and metrics can be captured; ``None`` (the
+    default) runs the exact uninstrumented code path.
+    """
     workload.validate_nodes(nodes)
     cluster.validate_run(nodes, gear)
-    world = World(cluster, workload.program, nodes=nodes, gear=gear)
+    if observer is not None:
+        from repro.obs.observer import RunLabel
+
+        label = RunLabel(
+            workload=workload.name, cluster=cluster.name, nodes=nodes, gear=gear
+        )
+        observer.run_started(label)
+    world = World(
+        cluster, workload.program, nodes=nodes, gear=gear, observer=observer
+    )
     result = world.run()
+    if observer is not None:
+        observer.run_complete(label, result)
     return RunMeasurement(
         workload=workload.name,
         cluster=cluster.name,
@@ -97,11 +117,13 @@ def gear_sweep(
     *,
     nodes: int,
     gears: Sequence[int] | None = None,
+    observer: "RunObserver | None" = None,
 ) -> EnergyTimeCurve:
     """Run a workload at every gear; returns one energy-time curve."""
     gear_indices = list(gears) if gears is not None else list(cluster.gears.indices)
     measurements = [
-        run_workload(cluster, workload, nodes=nodes, gear=g) for g in gear_indices
+        run_workload(cluster, workload, nodes=nodes, gear=g, observer=observer)
+        for g in gear_indices
     ]
     return EnergyTimeCurve(
         workload=workload.name,
@@ -116,9 +138,11 @@ def node_sweep(
     *,
     node_counts: Sequence[int],
     gears: Sequence[int] | None = None,
+    observer: "RunObserver | None" = None,
 ) -> CurveFamily:
     """Gear-sweep a workload at several node counts (one figure panel)."""
     curves = [
-        gear_sweep(cluster, workload, nodes=n, gears=gears) for n in node_counts
+        gear_sweep(cluster, workload, nodes=n, gears=gears, observer=observer)
+        for n in node_counts
     ]
     return CurveFamily(workload=workload.name, curves=tuple(curves))

@@ -16,6 +16,7 @@ the experiment harness (``repro.experiments``) passes around.
 from repro.exec.cache import CacheStats, ResultCache, default_cache_dir
 from repro.exec.executor import Executor
 from repro.exec.fingerprint import code_version_token, fingerprint, jsonable
+from repro.exec.profile import ExecProfile, TaskTiming
 from repro.exec.sweep import sweep
 from repro.exec.tasks import (
     CalibrationTask,
@@ -27,11 +28,13 @@ from repro.exec.tasks import (
 __all__ = [
     "CacheStats",
     "CalibrationTask",
+    "ExecProfile",
     "Executor",
     "GearSweepTask",
     "MeasurementTask",
     "ResultCache",
     "SimTask",
+    "TaskTiming",
     "code_version_token",
     "default_cache_dir",
     "fingerprint",

@@ -1,20 +1,25 @@
 """The executor the experiment harness passes around.
 
-An :class:`Executor` bundles a worker count and an optional result cache
-into one object, so every experiment function takes a single
-``executor=`` keyword instead of separate knobs.  The default executor
-(``Executor()``) is serial and uncached — exactly the behaviour of the
-pre-executor harness — so library callers opt in explicitly and test
-behaviour never changes behind anyone's back.
+An :class:`Executor` bundles a worker count, an optional result cache,
+and an optional observability policy into one object, so every
+experiment function takes a single ``executor=`` keyword instead of
+separate knobs.  The default executor (``Executor()``) is serial,
+uncached, and unobserved — exactly the behaviour of the pre-executor
+harness — so library callers opt in explicitly and test behaviour never
+changes behind anyone's back.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.profile import ExecProfile
 from repro.exec.sweep import sweep
 from repro.exec.tasks import SimTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import RunObserver
 
 
 class Executor:
@@ -25,19 +30,41 @@ class Executor:
         cache: ``None`` for no caching, a :class:`ResultCache` to reuse
             one, or ``True`` to build the default on-disk cache
             (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+        observer: optional :class:`repro.obs.observer.RunObserver` that
+            rides along every simulated run.  Observed sweeps execute
+            inline and uncached (a replayed point produces no events),
+            but results are unchanged — simulation is deterministic.
+        profile: True to accumulate an :class:`ExecProfile` (per-task
+            wall time, cache latencies, worker utilization) across every
+            sweep this executor runs.
     """
 
-    def __init__(self, *, jobs: int = 1, cache: ResultCache | bool | None = None):
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | bool | None = None,
+        observer: "RunObserver | None" = None,
+        profile: bool = False,
+    ):
         if cache is True:
             cache = ResultCache()
         elif cache is False:
             cache = None
         self.jobs = jobs
         self.cache: ResultCache | None = cache
+        self.observer = observer
+        self.profile: ExecProfile | None = ExecProfile() if profile else None
 
     def run(self, tasks: Iterable[SimTask]) -> list[Any]:
         """Sweep the points under this executor's policy."""
-        return sweep(tasks, jobs=self.jobs, cache=self.cache)
+        return sweep(
+            tasks,
+            jobs=self.jobs,
+            cache=self.cache,
+            observer=self.observer,
+            profile=self.profile,
+        )
 
     @property
     def stats(self) -> CacheStats:
@@ -48,4 +75,9 @@ class Executor:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = self.cache.root if self.cache is not None else "off"
-        return f"<Executor jobs={self.jobs} cache={where}>"
+        extras = ""
+        if self.observer is not None:
+            extras += " observed"
+        if self.profile is not None:
+            extras += " profiled"
+        return f"<Executor jobs={self.jobs} cache={where}{extras}>"

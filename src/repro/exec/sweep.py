@@ -12,17 +12,28 @@ contract that makes it safe to drop into the experiment harness:
 - **Failure naming.**  Any exception in a worker is re-raised in the
   caller as a :class:`~repro.util.errors.SimulationError` naming the
   failing point's key, with the original exception chained as the cause.
+
+Observability: an ``observer`` (see :mod:`repro.obs.observer`) rides
+along every simulation — which forces the sweep inline and uncached,
+because a cached or out-of-process point produces no events to observe.
+A ``profile`` (:class:`~repro.exec.profile.ExecProfile`) records host
+wall time per point and per cache interaction in every mode.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.exec.cache import ResultCache
 from repro.exec.fingerprint import code_version_token, fingerprint
+from repro.exec.profile import SOURCE_CACHE, SOURCE_RUN, ExecProfile, TaskTiming
 from repro.exec.tasks import SimTask
 from repro.util.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import RunObserver
 
 
 def cache_key(task: SimTask) -> str:
@@ -37,6 +48,13 @@ def _execute(task: SimTask) -> Any:
     return task.run()
 
 
+def _execute_timed(task: SimTask) -> tuple[Any, float]:
+    """Run one task in a worker, returning (result, wall seconds)."""
+    start = time.perf_counter()
+    result = task.run()
+    return result, time.perf_counter() - start
+
+
 def _point_error(task: SimTask, exc: BaseException) -> SimulationError:
     return SimulationError(
         f"sweep point {task.key!r} failed: {type(exc).__name__}: {exc}"
@@ -48,6 +66,8 @@ def sweep(
     *,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    observer: "RunObserver | None" = None,
+    profile: ExecProfile | None = None,
 ) -> list[Any]:
     """Execute simulation points, possibly in parallel, possibly cached.
 
@@ -58,6 +78,12 @@ def sweep(
             N workers.
         cache: optional on-disk result cache consulted before running
             and filled after.
+        observer: optional run observer.  Observed sweeps run inline and
+            bypass the cache — a replayed or out-of-process point has no
+            gear events or trace records to observe.  Observation never
+            changes results (the simulator is deterministic).
+        profile: optional profile accumulating per-point wall time and
+            cache-latency accounting across this sweep.
 
     Returns:
         One result per task, in task order regardless of completion
@@ -77,58 +103,119 @@ def sweep(
             raise ConfigurationError(f"duplicate sweep point key {task.key!r}")
         seen.add(task.key)
 
+    sweep_start = time.perf_counter()
+    if observer is not None:
+        cache = None  # cached points would produce no events to observe
+
     results: dict[tuple, Any] = {}
     pending: list[tuple[SimTask, str | None]] = []
+    lookups: dict[tuple, float] = {}
     for task in ordered:
         if cache is not None:
+            lookup_start = time.perf_counter()
             key = cache_key(task)
             payload = cache.load(key)
+            lookup_s = time.perf_counter() - lookup_start
             if payload is not None:
                 results[task.key] = task.decode(payload)
+                if profile is not None:
+                    profile.add(
+                        TaskTiming(
+                            key=str(task.key),
+                            source=SOURCE_CACHE,
+                            seconds=0.0,
+                            lookup_s=lookup_s,
+                        )
+                    )
                 continue
+            lookups[task.key] = lookup_s
             pending.append((task, key))
         else:
             pending.append((task, None))
 
-    if jobs > 1 and len(pending) > 1:
-        computed = _run_pool(pending, jobs)
+    if jobs > 1 and len(pending) > 1 and observer is None:
+        computed = _run_pool(pending, jobs, profile)
+        if profile is not None:
+            profile.workers = max(profile.workers, min(jobs, len(pending)))
     else:
-        computed = _run_inline(pending)
+        computed = _run_inline(pending, observer, profile)
 
-    for (task, key), result in zip(pending, computed):
+    for i, ((task, key), result) in enumerate(zip(pending, computed)):
         results[task.key] = result
+        store_s = 0.0
         if cache is not None and key is not None:
+            store_start = time.perf_counter()
             cache.store(
                 key,
                 task.encode(result),
                 meta={"point": [str(part) for part in task.key]},
             )
+            store_s = time.perf_counter() - store_start
+        if profile is not None and (store_s or task.key in lookups):
+            # Fold cache traffic into the point's timing entry.
+            timing = profile.timings[-len(pending) + i]
+            profile.timings[-len(pending) + i] = TaskTiming(
+                key=timing.key,
+                source=timing.source,
+                seconds=timing.seconds,
+                lookup_s=lookups.get(task.key, 0.0),
+                store_s=store_s,
+            )
+    if profile is not None:
+        profile.wall_s += time.perf_counter() - sweep_start
     return [results[task.key] for task in ordered]
 
 
-def _run_inline(pending: Sequence[tuple[SimTask, str | None]]) -> list[Any]:
+def _run_inline(
+    pending: Sequence[tuple[SimTask, str | None]],
+    observer: "RunObserver | None" = None,
+    profile: ExecProfile | None = None,
+) -> list[Any]:
     out = []
     for task, _ in pending:
+        start = time.perf_counter()
         try:
-            out.append(task.run())
+            # Only pass the observer when one is attached: tasks that
+            # predate observability keep their plain run() signature.
+            if observer is not None:
+                out.append(task.run(observer=observer))
+            else:
+                out.append(task.run())
         except Exception as exc:
             raise _point_error(task, exc) from exc
+        if profile is not None:
+            profile.add(
+                TaskTiming(
+                    key=str(task.key),
+                    source=SOURCE_RUN,
+                    seconds=time.perf_counter() - start,
+                )
+            )
     return out
 
 
 def _run_pool(
-    pending: Sequence[tuple[SimTask, str | None]], jobs: int
+    pending: Sequence[tuple[SimTask, str | None]],
+    jobs: int,
+    profile: ExecProfile | None = None,
 ) -> list[Any]:
     workers = min(jobs, len(pending))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_execute, task) for task, _ in pending]
+        futures = [pool.submit(_execute_timed, task) for task, _ in pending]
         wait(futures, return_when=FIRST_EXCEPTION)
         out = []
         for (task, _), future in zip(pending, futures):
             try:
-                out.append(future.result())
+                result, seconds = future.result()
             except Exception as exc:
                 for other in futures:
                     other.cancel()
                 raise _point_error(task, exc) from exc
+            out.append(result)
+            if profile is not None:
+                profile.add(
+                    TaskTiming(
+                        key=str(task.key), source=SOURCE_RUN, seconds=seconds
+                    )
+                )
     return out

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.cluster.cluster import ClusterSpec
 from repro.core.calibration import GearCalibration, calibrate_gears
@@ -34,6 +34,9 @@ from repro.core.run import RunMeasurement, gear_sweep, run_workload
 from repro.exec.fingerprint import jsonable
 from repro.reporting import curve_from_dict, curve_to_dict
 from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import RunObserver
 
 
 def _describe_workload(workload: Workload) -> Any:
@@ -59,8 +62,15 @@ class SimTask(ABC):
         """Canonical structure the cache key is fingerprinted from."""
 
     @abstractmethod
-    def run(self) -> Any:
-        """Execute the simulation; runs in a worker process."""
+    def run(self, observer: "RunObserver | None" = None) -> Any:
+        """Execute the simulation; runs in a worker process.
+
+        Args:
+            observer: optional :class:`repro.obs.observer.RunObserver`
+                that rides along every underlying simulated run (inline
+                sweeps only — observers do not cross process
+                boundaries).
+        """
 
     @abstractmethod
     def encode(self, result: Any) -> Any:
@@ -100,9 +110,14 @@ class GearSweepTask(SimTask):
             "gears": self.gears,
         }
 
-    def run(self) -> EnergyTimeCurve:
+    def run(self, observer: "RunObserver | None" = None) -> EnergyTimeCurve:
+        """Simulate the sweep (optionally observed)."""
         return gear_sweep(
-            self.cluster, self.workload, nodes=self.nodes, gears=self.gears
+            self.cluster,
+            self.workload,
+            nodes=self.nodes,
+            gears=self.gears,
+            observer=observer,
         )
 
     def encode(self, result: EnergyTimeCurve) -> Any:
@@ -141,9 +156,14 @@ class MeasurementTask(SimTask):
             "gear": self.gear,
         }
 
-    def run(self) -> RunMeasurement:
+    def run(self, observer: "RunObserver | None" = None) -> RunMeasurement:
+        """Simulate the measurement (optionally observed)."""
         return run_workload(
-            self.cluster, self.workload, nodes=self.nodes, gear=self.gear
+            self.cluster,
+            self.workload,
+            nodes=self.nodes,
+            gear=self.gear,
+            observer=observer,
         )
 
     def encode(self, result: RunMeasurement) -> Any:
@@ -198,8 +218,9 @@ class CalibrationTask(SimTask):
             "workload": _describe_workload(self.workload),
         }
 
-    def run(self) -> GearCalibration:
-        return calibrate_gears(self.cluster, self.workload)
+    def run(self, observer: "RunObserver | None" = None) -> GearCalibration:
+        """Run the calibration sweeps (optionally observed)."""
+        return calibrate_gears(self.cluster, self.workload, observer=observer)
 
     def encode(self, result: GearCalibration) -> Any:
         # JSON object keys are strings; gear indices are rebuilt in decode.

@@ -8,12 +8,22 @@ Usage::
     python -m repro.experiments.runner --jobs 4   # parallel simulation
     python -m repro.experiments.runner --no-cache # force re-simulation
     python -m repro.experiments.runner --cache-stats
+    python -m repro.experiments.runner --emit-trace traces/ --only figure1
+    python -m repro.experiments.runner --metrics metrics.jsonl
+    python -m repro.experiments.runner --profile
 
 Simulation points are memoised in the on-disk result cache
 (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; see ``docs/EXECUTOR.md``),
 so a rerun whose code and configuration are unchanged replays from disk.
 ``--jobs N`` fans cache misses out over N worker processes; the merged
 artifacts are byte-identical to a serial run.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``--emit-trace DIR``
+writes one Chrome trace-event JSON per simulated run into DIR (open in
+``chrome://tracing`` or Perfetto); ``--metrics FILE`` dumps run metrics
+as JSON lines; ``--profile`` prints executor profiling (per-task wall
+time, cache latencies, worker utilization).  Tracing and metrics force
+inline, uncached simulation — a replayed point produces no events.
 """
 
 from __future__ import annotations
@@ -21,10 +31,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable
 
 from repro.exec import Executor, ResultCache
 from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
+from repro.reporting import emit_cache_stats, emit_profile, write_result
 
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "figure1": figure1,
@@ -34,6 +46,22 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "figure4": figure4,
     "figure5": figure5,
 }
+
+
+def _build_observer(args: argparse.Namespace):
+    """The observer stack the flags ask for (None when observability is off)."""
+    from repro.obs import CompositeObserver, MetricsObserver, TraceObserver
+
+    observers = []
+    if args.emit_trace:
+        observers.append(TraceObserver(Path(args.emit_trace)))
+    if args.metrics:
+        observers.append(MetricsObserver())
+    if not observers:
+        return None
+    if len(observers) == 1:
+        return observers[0]
+    return CompositeObserver(observers)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,6 +97,24 @@ def main(argv: list[str] | None = None) -> int:
         help="print cache hit/miss accounting at the end",
     )
     parser.add_argument(
+        "--emit-trace",
+        metavar="DIR",
+        help="write one Chrome trace-event JSON per simulated run into "
+        "DIR (forces inline, uncached simulation)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write run metrics (times, energies, gear timelines, MPI "
+        "active/idle splits) as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print executor profiling: per-task wall time, cache "
+        "latencies, worker utilization",
+    )
+    parser.add_argument(
         "--plots",
         action="store_true",
         help="also render each figure as an ASCII scatter plot",
@@ -82,8 +128,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     names = args.only or list(EXPERIMENTS)
+    observer = _build_observer(args)
     executor = Executor(
-        jobs=args.jobs, cache=None if args.no_cache else ResultCache()
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+        observer=observer,
+        profile=args.profile,
     )
     failures = 0
     for name in names:
@@ -103,17 +153,41 @@ def main(argv: list[str] | None = None) -> int:
             print()
             print(result.render_plots())
         if args.output:
-            from pathlib import Path
-
-            from repro.reporting import write_result
-
             destination = write_result(
                 result, Path(args.output) / f"{name}.json"
             )
             print(f"[written to {destination}]")
         print(f"\n[{name} regenerated in {elapsed:.1f} s]\n")
+    if args.emit_trace:
+        from repro.obs import TraceObserver
+
+        tracers = (
+            observer.observers
+            if hasattr(observer, "observers")
+            else [observer]
+        )
+        for tracer in tracers:
+            if isinstance(tracer, TraceObserver):
+                print(
+                    f"[{len(tracer.written)} trace(s) written to "
+                    f"{tracer.directory}]"
+                )
+    if args.metrics:
+        from repro.obs import MetricsObserver, write_metrics
+
+        collectors = (
+            observer.observers
+            if hasattr(observer, "observers")
+            else [observer]
+        )
+        for collector in collectors:
+            if isinstance(collector, MetricsObserver):
+                destination = write_metrics(args.metrics, collector.registry)
+                print(f"[metrics written to {destination}]")
+    if args.profile and executor.profile is not None:
+        emit_profile(executor.profile)
     if args.cache_stats:
-        print(f"[{executor.stats.render()}]")
+        emit_cache_stats(executor.stats)
     return 1 if failures else 0
 
 

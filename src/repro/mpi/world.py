@@ -27,7 +27,7 @@ would record.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.cluster.cluster import ClusterSpec
 from repro.cluster.counters import CounterBank
@@ -61,6 +61,9 @@ from repro.mpi.tracing import (
 from repro.sim.engine import Simulator
 from repro.sim.process import STOP, RankProcess
 from repro.util.errors import ConfigurationError, DeadlockError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import RunObserver
 
 #: Type of the per-rank program factory: called with this rank's Comm.
 ProgramFactory = Callable[[Comm], Any]
@@ -182,6 +185,7 @@ class World:
         nodes: int,
         gear: int | Sequence[int] = 1,
         max_events: int | None = 50_000_000,
+        observer: "RunObserver | None" = None,
     ):
         if isinstance(gear, int):
             gears = [gear] * nodes
@@ -196,6 +200,7 @@ class World:
 
         self.cluster = cluster
         self.nodes = nodes
+        self._observer = observer
         self.engine = Simulator()
         self.network = cluster.network_model()
         self._max_events = max_events
@@ -224,6 +229,11 @@ class World:
         if self._started:
             raise SimulationError("a World can only be run once")
         self._started = True
+        if self._observer is not None:
+            # Publish the starting gear of every node so gear timelines
+            # are complete even for runs that never shift.
+            for rt in self._runtimes:
+                self._observer.gear_change(rt.rank, 0.0, rt.node.gear.index)
         for rt in self._runtimes:
             self._advance(rt, None)
         self.engine.run(max_events=self._max_events)
@@ -339,7 +349,12 @@ class World:
             if request.gear_index == rt.node.gear.index:
                 return False, None
             switch = self.cluster.node.cpu.gear_switch_latency
+            old_gear = rt.node.gear.index
             rt.node.set_gear(request.gear_index)
+            if self._observer is not None:
+                self._observer.gear_change(
+                    rt.rank, now, request.gear_index, old_gear
+                )
             self._trace(rt, "set_gear", CATEGORY_OTHER, now, now + switch)
             if switch == 0:
                 return False, None

@@ -1,0 +1,55 @@
+"""JSON-lines export of a metrics registry.
+
+One line per metric, deterministic order (kind, then name)::
+
+    {"kind": "counter", "name": "runs.completed", "value": 6.0}
+    {"kind": "gauge", "name": "run.CG-n1-g1.time_s", "value": 12.5}
+    {"kind": "series", "name": "...gear", "points": [[0.0, 1.0], ...]}
+
+The format is append-friendly and trivially consumed by ``jq``, pandas
+(``pd.read_json(..., lines=True)``) or a metrics pipeline, without
+importing this package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+
+
+def metrics_lines(registry: MetricsRegistry) -> list[str]:
+    """The registry flattened to JSON-lines records, deterministic order."""
+    snapshot = registry.snapshot()
+    lines = []
+    for name, value in snapshot["counters"].items():
+        lines.append(
+            json.dumps(
+                {"kind": "counter", "name": name, "value": value},
+                sort_keys=True,
+            )
+        )
+    for name, value in snapshot["gauges"].items():
+        lines.append(
+            json.dumps(
+                {"kind": "gauge", "name": name, "value": value}, sort_keys=True
+            )
+        )
+    for name, points in snapshot["series"].items():
+        lines.append(
+            json.dumps(
+                {"kind": "series", "name": name, "points": points},
+                sort_keys=True,
+            )
+        )
+    return lines
+
+
+def write_metrics(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write the registry as a ``.jsonl`` file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(metrics_lines(registry))
+    path.write_text(text + "\n" if text else "")
+    return path

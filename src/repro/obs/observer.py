@@ -1,0 +1,194 @@
+"""Run observers: the hook objects the simulation layers call into.
+
+A :class:`RunObserver` rides along one or more simulated runs:
+
+- :func:`repro.core.run.run_workload` (and everything built on it —
+  gear sweeps, calibration, policy runs) announces each run with
+  :meth:`~RunObserver.run_started` / :meth:`~RunObserver.run_complete`;
+- :class:`repro.mpi.world.World` reports every gear transition (initial
+  gears included) via :meth:`~RunObserver.gear_change` while the run is
+  in flight.
+
+All base-class methods are no-ops, so concrete observers override only
+what they need.  Observers are *optional everywhere*: every hook site
+defaults to ``None`` and guards with one ``is not None`` check, which
+keeps uninstrumented runs on the exact pre-observability code path
+(byte-identical artifacts, sub-percent overhead).
+
+Concrete observers:
+
+- :class:`TraceObserver` — writes one Chrome trace-event JSON per run;
+- :class:`MetricsObserver` — publishes run metrics into a
+  :class:`~repro.obs.registry.MetricsRegistry`;
+- :class:`CompositeObserver` — fans hooks out to several observers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.mpi.world import WorldResult
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import GearChange, trace_events, write_chrome_trace
+
+
+@dataclass(frozen=True)
+class RunLabel:
+    """Identity of one simulated run, used to name its artifacts.
+
+    Attributes:
+        workload: benchmark name.
+        cluster: cluster name.
+        nodes: rank/node count.
+        gear: fixed gear index, or 0 for a policy-managed run.
+    """
+
+    workload: str
+    cluster: str
+    nodes: int
+    gear: int
+
+    @property
+    def slug(self) -> str:
+        """Filesystem-safe identifier, e.g. ``CG-n4-g2``."""
+        safe = "".join(c if c.isalnum() else "_" for c in self.workload)
+        gear = "policy" if self.gear == 0 else f"g{self.gear}"
+        return f"{safe}-n{self.nodes}-{gear}"
+
+
+class RunObserver:
+    """Base observer; every hook is a no-op."""
+
+    def run_started(self, label: RunLabel) -> None:
+        """A run with this label is about to execute."""
+
+    def gear_change(self, rank: int, time: float, gear: int, old: int | None = None) -> None:
+        """Rank ``rank`` is at gear ``gear`` from simulated ``time`` on.
+
+        Called once per rank at run start (``old`` is None) and on every
+        subsequent transition.
+        """
+
+    def run_complete(self, label: RunLabel, result: WorldResult) -> None:
+        """The labelled run finished with ``result``."""
+
+
+class TraceObserver(RunObserver):
+    """Writes each observed run as a Chrome trace-event JSON file.
+
+    One file per run label, ``<dir>/<label.slug>.trace.json``; repeated
+    runs of an identical configuration overwrite with identical bytes
+    (the simulator is deterministic).  Open the files in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+
+    def __init__(self, directory: str | Path, *, include_power: bool = True):
+        self.directory = Path(directory)
+        self.include_power = include_power
+        #: Paths written so far, in completion order.
+        self.written: list[Path] = []
+        self._gear_changes: list[GearChange] = []
+
+    def run_started(self, label: RunLabel) -> None:
+        """Reset the per-run gear-change buffer."""
+        self._gear_changes = []
+
+    def gear_change(self, rank: int, time: float, gear: int, old: int | None = None) -> None:
+        """Buffer one transition for the trace being collected."""
+        self._gear_changes.append(GearChange(rank=rank, time=time, gear=gear, old=old))
+
+    def run_complete(self, label: RunLabel, result: WorldResult) -> None:
+        """Export the finished run and clear the buffer."""
+        events = trace_events(
+            result,
+            gear_changes=self._gear_changes,
+            label=f"{label.workload} on {label.nodes} node(s), "
+            + ("policy-managed" if label.gear == 0 else f"gear {label.gear}"),
+            include_power=self.include_power,
+        )
+        path = self.directory / f"{label.slug}.trace.json"
+        self.written.append(write_chrome_trace(path, events))
+        self._gear_changes = []
+
+
+class MetricsObserver(RunObserver):
+    """Publishes per-run measurements into a metrics registry.
+
+    For every completed run labelled ``L`` (slug ``s``):
+
+    - counters ``runs.completed``, ``energy_j.total`` and
+      ``gear_changes.total`` accumulate across runs;
+    - gauges ``run.<s>.time_s``, ``run.<s>.energy_j`` hold headline
+      numbers, and per rank ``run.<s>.rank<k>.active_s`` /
+      ``.idle_s`` / ``.energy_j`` hold the MPI active/idle split;
+    - timeseries ``run.<s>.rank<k>.gear`` holds the gear timeline, and
+      (with ``sample_power_hz`` set) ``run.<s>.rank<k>.power_w`` holds
+      finite-rate power samples, like the paper's multimeter rig.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        sample_power_hz: float | None = None,
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sample_power_hz = sample_power_hz
+        self._gear_changes: list[GearChange] = []
+
+    def run_started(self, label: RunLabel) -> None:
+        """Reset the per-run gear-change buffer."""
+        self._gear_changes = []
+
+    def gear_change(self, rank: int, time: float, gear: int, old: int | None = None) -> None:
+        """Buffer one transition for the run in flight."""
+        self._gear_changes.append(GearChange(rank=rank, time=time, gear=gear, old=old))
+
+    def run_complete(self, label: RunLabel, result: WorldResult) -> None:
+        """Publish the finished run's metrics under its slug."""
+        reg = self.registry
+        slug = label.slug
+        reg.inc("runs.completed")
+        reg.inc("energy_j.total", result.total_energy)
+        reg.set_gauge(f"run.{slug}.time_s", result.elapsed)
+        reg.set_gauge(f"run.{slug}.energy_j", result.total_energy)
+        for rank_result in result.ranks:
+            prefix = f"run.{slug}.rank{rank_result.rank}"
+            active = rank_result.trace.active_time
+            reg.set_gauge(f"{prefix}.active_s", active)
+            reg.set_gauge(f"{prefix}.idle_s", max(0.0, result.end_time - active))
+            reg.set_gauge(f"{prefix}.energy_j", rank_result.energy)
+            if self.sample_power_hz is not None:
+                for sample in rank_result.meter.samples(self.sample_power_hz):
+                    reg.observe(f"{prefix}.power_w", sample.time, sample.watts)
+        for change in self._gear_changes:
+            if change.old is not None:
+                reg.inc("gear_changes.total")
+            reg.observe(
+                f"run.{slug}.rank{change.rank}.gear", change.time, change.gear
+            )
+        self._gear_changes = []
+
+
+class CompositeObserver(RunObserver):
+    """Fans every hook out to a sequence of observers, in order."""
+
+    def __init__(self, observers: Sequence[RunObserver]):
+        self.observers = list(observers)
+
+    def run_started(self, label: RunLabel) -> None:
+        """Forward to every child."""
+        for observer in self.observers:
+            observer.run_started(label)
+
+    def gear_change(self, rank: int, time: float, gear: int, old: int | None = None) -> None:
+        """Forward to every child."""
+        for observer in self.observers:
+            observer.gear_change(rank, time, gear, old)
+
+    def run_complete(self, label: RunLabel, result: WorldResult) -> None:
+        """Forward to every child."""
+        for observer in self.observers:
+            observer.run_complete(label, result)

@@ -16,7 +16,7 @@ programs and automatically reduce the energy gear appropriately".
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.cluster.cluster import ClusterSpec
 from repro.core.run import RunMeasurement
@@ -26,13 +26,33 @@ from repro.mpi.world import World
 from repro.policy.base import GearPolicy
 from repro.workloads.base import Workload
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.observer import RunObserver
+    from repro.obs.registry import MetricsRegistry
+
 
 class PolicyComm(Comm):
-    """A communicator that delegates gear control to a policy."""
+    """A communicator that delegates gear control to a policy.
 
-    def __init__(self, rank: int, size: int, policy: GearPolicy):
+    With a ``metrics`` registry attached, every observed blocking span
+    publishes a ``policy.rank<k>.waits`` counter, accumulated
+    ``policy.rank<k>.waited_s`` seconds, and a
+    ``policy.rank<k>.blocked_s`` timeseries sample — the per-rank slack
+    signal adaptive policies act on.  Detached (the default), the layer
+    costs one ``is not None`` check per blocking span.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        policy: GearPolicy,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         super().__init__(rank, size)
         self.policy = policy
+        self.metrics = metrics
         self._last_observation = 0.0
 
     # ------------------------------------------------------------------
@@ -59,6 +79,12 @@ class PolicyComm(Comm):
         yield SetGear(self.policy.compute_gear())
         end = yield Now()
         self.policy.observe_wait(end - start, end - self._last_observation)
+        if self.metrics is not None:
+            self.metrics.inc(f"policy.rank{self.rank}.waits")
+            self.metrics.inc(f"policy.rank{self.rank}.waited_s", end - start)
+            self.metrics.observe(
+                f"policy.rank{self.rank}.blocked_s", end, end - start
+            )
         self._last_observation = end
         return result
 
@@ -92,22 +118,41 @@ def run_with_policy(
     *,
     nodes: int,
     policy: GearPolicy,
+    observer: "RunObserver | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> RunMeasurement:
     """Run a workload under a gear policy and measure it.
 
     Each rank receives its own :meth:`GearPolicy.clone`, so per-rank
     adaptive state (slack windows) stays independent — the policies run
     exactly as a per-node runtime daemon would.
+
+    Args:
+        observer: optional run observer (trace/metrics capture); the run
+            is labelled with gear 0, marking "policy-managed".
+        metrics: optional registry the per-rank :class:`PolicyComm`
+            instances publish blocking spans into.
     """
     workload.validate_nodes(nodes)
     policies = [policy.clone() for _ in range(nodes)]
 
     def program(comm: Comm):
-        managed = PolicyComm(comm.rank, comm.size, policies[comm.rank])
+        managed = PolicyComm(
+            comm.rank, comm.size, policies[comm.rank], metrics=metrics
+        )
         return workload.program(managed)
 
-    world = World(cluster, program, nodes=nodes, gear=1)
+    if observer is not None:
+        from repro.obs.observer import RunLabel
+
+        label = RunLabel(
+            workload=workload.name, cluster=cluster.name, nodes=nodes, gear=0
+        )
+        observer.run_started(label)
+    world = World(cluster, program, nodes=nodes, gear=1, observer=observer)
     result = world.run()
+    if observer is not None:
+        observer.run_complete(label, result)
     return RunMeasurement(
         workload=workload.name,
         cluster=cluster.name,

@@ -12,12 +12,17 @@ paper reports are exported, not simulator internals.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
-from typing import Any
+from typing import IO, TYPE_CHECKING, Any
 
 from repro.core.cases import CaseAnalysis
 from repro.core.curves import CurveFamily, EnergyTimeCurve
 from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.exec.cache import CacheStats
+    from repro.exec.profile import ExecProfile
 
 
 def curve_to_dict(curve: EnergyTimeCurve) -> dict[str, Any]:
@@ -134,6 +139,37 @@ def result_to_dict(result: Any) -> dict[str, Any]:
             f"don't know how to export a {type(result).__name__}"
         )
     return out
+
+
+def cache_stats_to_dict(stats: "CacheStats") -> dict[str, Any]:
+    """One cache's counters as plain data (for dashboards/CI artifacts)."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "stores": stats.stores,
+        "invalidated": stats.invalidated,
+        "hit_rate": stats.hit_rate,
+    }
+
+
+def render_cache_stats(stats: "CacheStats") -> str:
+    """Cache counters as the runner's bracketed status line."""
+    return f"[{stats.render()}]"
+
+
+def emit_cache_stats(stats: "CacheStats", *, stream: IO[str] | None = None) -> None:
+    """Print the cache-stats status line (the ``--cache-stats`` output).
+
+    All harness status output funnels through here rather than bare
+    ``print`` calls in the CLI, so the format is owned — and tested — in
+    one place.
+    """
+    print(render_cache_stats(stats), file=stream or sys.stdout)
+
+
+def emit_profile(profile: "ExecProfile", *, stream: IO[str] | None = None) -> None:
+    """Print an executor profile report (the ``--profile`` output)."""
+    print(profile.render(), file=stream or sys.stdout)
 
 
 def write_result(result: Any, path: str | Path) -> Path:

@@ -1,0 +1,108 @@
+"""Executor profiling: timing accounting and the sweep that fills it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster
+from repro.exec import ExecProfile, ResultCache, TaskTiming, sweep
+from repro.exec.profile import SOURCE_CACHE, SOURCE_RUN
+from repro.exec.tasks import MeasurementTask
+from repro.workloads.jacobi import Jacobi
+
+
+def jacobi_tasks(gears=(1, 2)):
+    """A couple of cheap, distinct simulation points."""
+    return [
+        MeasurementTask(
+            cluster=athlon_cluster(),
+            workload=Jacobi(scale=0.03),
+            nodes=1,
+            gear=g,
+        )
+        for g in gears
+    ]
+
+
+class TestDerivedNumbers:
+    def filled(self) -> ExecProfile:
+        profile = ExecProfile(workers=2)
+        profile.add(TaskTiming(key="a", source=SOURCE_RUN, seconds=2.0))
+        profile.add(
+            TaskTiming(
+                key="b",
+                source=SOURCE_RUN,
+                seconds=1.0,
+                lookup_s=0.25,
+                store_s=0.25,
+            )
+        )
+        profile.add(
+            TaskTiming(key="c", source=SOURCE_CACHE, seconds=0.0, lookup_s=0.5)
+        )
+        profile.wall_s = 2.0
+        return profile
+
+    def test_totals(self):
+        profile = self.filled()
+        assert profile.task_count == 3
+        assert profile.busy_s == pytest.approx(4.0)
+        assert profile.utilization == pytest.approx(1.0)  # 4.0 / (2.0 * 2)
+
+    def test_cache_accounting(self):
+        profile = self.filled()
+        assert profile.cache_hits == 1
+        assert profile.cache_misses == 1  # only "b" had a failed lookup
+        assert profile.mean_latency(SOURCE_CACHE) == pytest.approx(0.5)
+        assert profile.mean_latency(SOURCE_RUN) == pytest.approx(1.75)
+
+    def test_slowest_sorts_by_total_time_then_key(self):
+        assert [t.key for t in self.filled().slowest(2)] == ["a", "b"]
+
+    def test_empty_profile_renders_without_errors(self):
+        report = ExecProfile().render()
+        assert "Executor profile" in report
+        assert "utilization" in report
+
+    def test_render_lists_slowest_points(self):
+        report = self.filled().render()
+        assert "Slowest points" in report
+        assert "cache" in report
+
+    def test_utilization_is_zero_without_wall_time(self):
+        assert ExecProfile().utilization == 0.0
+
+
+class TestSweepFillsProfile:
+    def test_uncached_inline_sweep_times_every_point(self):
+        profile = ExecProfile()
+        sweep(jacobi_tasks(), profile=profile)
+        assert profile.task_count == 2
+        assert all(t.source == SOURCE_RUN for t in profile.timings)
+        assert all(t.seconds > 0 for t in profile.timings)
+        assert all(t.lookup_s == 0.0 for t in profile.timings)
+        assert profile.wall_s >= max(t.seconds for t in profile.timings)
+
+    def test_cached_sweep_records_miss_then_hit_latencies(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cold, warm = ExecProfile(), ExecProfile()
+        sweep(jacobi_tasks(), cache=ResultCache(), profile=cold)
+        sweep(jacobi_tasks(), cache=ResultCache(), profile=warm)
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        assert all(t.lookup_s > 0 and t.store_s > 0 for t in cold.timings)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert all(t.seconds == 0.0 for t in warm.timings)
+
+    def test_pool_sweep_reports_worker_count(self):
+        profile = ExecProfile()
+        results = sweep(jacobi_tasks((1, 2, 3)), jobs=2, profile=profile)
+        assert len(results) == 3
+        assert profile.workers == 2
+        assert profile.task_count == 3
+
+    def test_profiling_does_not_change_results(self):
+        plain = sweep(jacobi_tasks())
+        profiled = sweep(jacobi_tasks(), profile=ExecProfile())
+        assert [m.energy for m in plain] == [m.energy for m in profiled]

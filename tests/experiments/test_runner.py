@@ -99,6 +99,100 @@ class TestExecutorFlags:
         assert first == second
 
 
+class TestObservabilityFlags:
+    def test_emit_trace_writes_perfetto_loadable_traces(self, capsys, tmp_path):
+        trace_dir = tmp_path / "traces"
+        code = main(
+            [
+                "--scale", "0.05", "--only", "figure1",
+                "--emit-trace", str(trace_dir), "--no-cache",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace(s) written to {trace_dir}" in out
+        traces = sorted(trace_dir.glob("*.trace.json"))
+        assert traces
+        document = json.loads(traces[0].read_text())
+        events = document["traceEvents"]
+        assert {e["ph"] for e in events} >= {"M", "X", "C"}
+
+    def test_metrics_flag_writes_json_lines(self, capsys, tmp_path):
+        metrics_file = tmp_path / "metrics.jsonl"
+        code = main(
+            [
+                "--scale", "0.05", "--only", "table1",
+                "--metrics", str(metrics_file), "--no-cache",
+            ]
+        )
+        assert code == 0
+        assert f"metrics written to {metrics_file}" in capsys.readouterr().out
+        records = [
+            json.loads(line) for line in metrics_file.read_text().splitlines()
+        ]
+        assert any(
+            r["kind"] == "counter" and r["name"] == "runs.completed"
+            for r in records
+        )
+        assert any(r["kind"] == "series" for r in records)
+
+    def test_profile_flag_prints_executor_report(self, capsys):
+        code = main(["--scale", "0.05", "--only", "table1", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Executor profile" in out
+        assert "worker utilization" in out
+
+    def test_observed_run_artifact_matches_unobserved(self, capsys, tmp_path):
+        plain_dir, observed_dir = tmp_path / "plain", tmp_path / "observed"
+        base = ["--scale", "0.05", "--only", "table1", "--no-cache"]
+        assert main([*base, "--output", str(plain_dir)]) == 0
+        assert (
+            main(
+                [
+                    *base,
+                    "--output", str(observed_dir),
+                    "--emit-trace", str(tmp_path / "traces"),
+                    "--metrics", str(tmp_path / "metrics.jsonl"),
+                ]
+            )
+            == 0
+        )
+        assert (plain_dir / "table1.json").read_bytes() == (
+            observed_dir / "table1.json"
+        ).read_bytes()
+
+
+class TestCacheStatsReporting:
+    def test_cache_stats_line_comes_from_reporting(self, capsys):
+        """The --cache-stats output is reporting's rendering, not an ad-hoc print."""
+        from repro.exec import Executor
+        from repro.reporting import render_cache_stats
+
+        assert main(["--scale", "0.1", "--only", "table1", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        expected_cold = render_cache_stats(Executor().stats)
+        # Same bracketed shape, live numbers: the line is produced by
+        # reporting.render_cache_stats, so format drift fails here.
+        assert expected_cold.startswith("[cache:")
+        stats_lines = [l for l in out.splitlines() if l.startswith("[cache:")]
+        assert len(stats_lines) == 1
+        assert stats_lines[0].endswith("invalidated]")
+
+    def test_emit_cache_stats_writes_to_given_stream(self):
+        import io
+
+        from repro.exec.cache import CacheStats
+        from repro.reporting import emit_cache_stats, render_cache_stats
+
+        stats = CacheStats()
+        stats.hits, stats.misses = 3, 1
+        stream = io.StringIO()
+        emit_cache_stats(stats, stream=stream)
+        assert stream.getvalue() == render_cache_stats(stats) + "\n"
+        assert "3 hits" in stream.getvalue()
+
+
 class TestFailurePath:
     def test_failing_experiment_exits_1_not_crash(self, capsys, monkeypatch):
         def explode(**kwargs):

@@ -1,0 +1,182 @@
+"""Property-based invariants of :class:`repro.mpi.tracing.RankTrace`.
+
+The energy model's inputs are the decompositions this class recovers
+from raw trace records — active time (T^A), idle time (T^I) and the
+refined model's reducible work (T^R).  These tests pin the invariants
+the decomposition promises under randomly generated, well-formed traces:
+
+- ``active_time + idle_time(finish)`` recovers the full span exactly;
+- nested records (emitted inside a collective) never leak into the
+  top-level decomposition;
+- reducible work is bounded by both total compute and idle time.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.tracing import (
+    BLOCKING_OPS,
+    CATEGORY_COLLECTIVE,
+    CATEGORY_COMPUTE,
+    CATEGORY_P2P,
+    SEND_OPS,
+    RankTrace,
+    TraceRecord,
+)
+from repro.util.errors import SimulationError
+
+#: (op, category) pairs a simulated rank actually emits at top level.
+_OPS = (
+    [("compute", CATEGORY_COMPUTE)]
+    + [(op, CATEGORY_P2P) for op in sorted(SEND_OPS)]
+    + [
+        (op, CATEGORY_COLLECTIVE if op in ("barrier", "allreduce") else CATEGORY_P2P)
+        for op in sorted(BLOCKING_OPS)
+    ]
+)
+
+#: A trace as (op-index, duration, gap-before-record) triples.
+trace_shapes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(_OPS) - 1),
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def build_trace(shape, *, nest_every: int = 0) -> tuple[RankTrace, float]:
+    """Materialise a RankTrace from a generated shape.
+
+    Returns the trace and its finish time (the last exit, i.e. the span
+    end a :class:`~repro.core.results.RunResult` would report).  When
+    ``nest_every`` is positive, every ``nest_every``-th record is marked
+    nested, as if emitted inside a collective bracket.
+    """
+    trace = RankTrace(rank=0)
+    clock = 0.0
+    for i, (op_i, duration, gap) in enumerate(shape):
+        op, category = _OPS[op_i]
+        clock += gap
+        nested = nest_every > 0 and i % nest_every == 0
+        trace.add(
+            TraceRecord(
+                rank=0,
+                op=op,
+                category=category,
+                t_enter=clock,
+                t_exit=clock + duration,
+                nested=nested,
+            )
+        )
+        clock += duration
+    return trace, clock
+
+
+@given(shape=trace_shapes)
+def test_active_plus_idle_recovers_the_span_exactly(shape):
+    trace, finish = build_trace(shape)
+    active = trace.active_time
+    idle = trace.idle_time(finish)
+    assert active >= 0.0 and idle >= 0.0
+    assert active + idle == pytest.approx(finish, abs=1e-9)
+
+
+@given(shape=trace_shapes, nest_every=st.integers(min_value=1, max_value=4))
+def test_nested_records_are_excluded_from_top_level_decomposition(
+    shape, nest_every
+):
+    nested_trace, _ = build_trace(shape, nest_every=nest_every)
+    top = list(nested_trace.top_level())
+    assert all(not r.nested for r in top)
+    # The top-level view must equal a trace built from only the
+    # non-nested records: mpi_time, reducible work and the call census
+    # all ignore what happens inside a collective bracket.
+    flat = RankTrace(rank=0)
+    for record in top:
+        flat.add(record)
+    assert nested_trace.mpi_time == pytest.approx(flat.mpi_time)
+    assert nested_trace.reducible_time() == pytest.approx(flat.reducible_time())
+    assert nested_trace.call_counts() == flat.call_counts()
+    assert nested_trace.message_stats() == flat.message_stats()
+
+
+@given(shape=trace_shapes)
+@settings(max_examples=100)
+def test_reducible_time_is_bounded_by_compute_and_idle(shape):
+    trace, finish = build_trace(shape)
+    reducible = trace.reducible_time()
+    assert reducible >= 0.0
+    # T^R is compute, so it can never exceed total compute...
+    top_compute = sum(
+        r.duration for r in trace.top_level() if r.category == CATEGORY_COMPUTE
+    )
+    assert reducible <= top_compute + 1e-9
+    # ...and a rank that computes the whole span has nothing reducible
+    # only if it never idles: slack bounds what slowing down can hide.
+    slack = finish - top_compute
+    if reducible > 0:
+        assert slack >= -1e-9
+
+
+@given(shape=trace_shapes)
+def test_reducible_time_requires_a_send_before_a_blocking_point(shape):
+    trace, _ = build_trace(shape)
+    ops = [r.op for r in trace.top_level()]
+    sends = [i for i, op in enumerate(ops) if op in SEND_OPS]
+    if not sends or all(
+        op not in BLOCKING_OPS for op in ops[sends[0] :]
+    ):
+        assert trace.reducible_time() == 0.0
+
+
+@given(
+    duration=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    shortfall=st.floats(min_value=1e-6, max_value=5.0, allow_nan=False),
+)
+def test_idle_time_rejects_finish_before_active(duration, shortfall):
+    trace = RankTrace(rank=0)
+    trace.add(
+        TraceRecord(
+            rank=0,
+            op="compute",
+            category=CATEGORY_COMPUTE,
+            t_enter=0.0,
+            t_exit=duration,
+        )
+    )
+    if duration - shortfall < duration - 1e-9:
+        with pytest.raises(SimulationError):
+            trace.idle_time(duration - shortfall)
+
+
+@given(
+    start=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    backward=st.floats(min_value=1e-3, max_value=5.0, allow_nan=False),
+)
+def test_out_of_order_exits_are_rejected(start, backward):
+    trace = RankTrace(rank=0)
+    trace.add(
+        TraceRecord(
+            rank=0,
+            op="compute",
+            category=CATEGORY_COMPUTE,
+            t_enter=start,
+            t_exit=start + 1.0,
+        )
+    )
+    with pytest.raises(SimulationError):
+        trace.add(
+            TraceRecord(
+                rank=0,
+                op="compute",
+                category=CATEGORY_COMPUTE,
+                t_enter=0.0,
+                t_exit=start + 1.0 - backward,
+            )
+        )
