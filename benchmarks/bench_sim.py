@@ -1,0 +1,270 @@
+"""SIM-1: simulation-kernel throughput and the perf-regression floor.
+
+Times the hot paths of the simulation kernel and writes a machine-
+readable report (``BENCH_sim.json``):
+
+- **engine** — raw event-loop throughput (events/second) on trivial
+  callbacks: heap push/pop, clock advance, callback dispatch;
+- **world** — full-runtime throughput (events/second) of one Jacobi run:
+  request dispatch, message matching, tracing, and power metering ride
+  on every event;
+- **suite** — wall time of the complete figure/table suite, serial and
+  with a no-op observer attached (the observed row must stay within
+  1.5x of serial: hooks are zero-cost when disabled);
+- **dispatch** — a parallel sweep timed with per-point worker dispatch
+  (``chunk_size=1``) and with auto-chunked dispatch, isolating the
+  pickling/IPC overhead that chunking amortizes.
+
+``--check-baseline`` compares throughput against the committed floor in
+``benchmarks/BENCH_baseline.json`` and exits non-zero on a >20 %
+regression; the floors are set well below a healthy run so the check
+trips on real kernel regressions, not on slower CI hardware.  Run
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py --quick --check-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster.machines import athlon_cluster
+from repro.exec import Executor, MeasurementTask
+from repro.exec.profile import ExecProfile
+from repro.exec.sweep import sweep
+from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
+from repro.mpi.world import World
+from repro.obs import RunObserver
+from repro.reporting import result_to_dict
+from repro.sim.engine import Simulator
+from repro.util.tables import TextTable
+from repro.workloads.jacobi import Jacobi
+from repro.workloads.nas import EP
+
+SUITE = (
+    ("figure1", figure1),
+    ("table1", table1),
+    ("figure2", figure2),
+    ("figure3", figure3),
+    ("figure4", figure4),
+    ("figure5", figure5),
+)
+
+#: Default location of the committed throughput floor.
+BASELINE_PATH = Path(__file__).parent / "BENCH_baseline.json"
+
+#: Throughput may drop to this fraction of the baseline before failing.
+REGRESSION_FLOOR = 0.8
+
+
+def bench_engine(events: int, chains: int = 64) -> float:
+    """Raw event-loop throughput: fire ``events`` trivial callbacks.
+
+    ``chains`` self-rescheduling callbacks keep the heap populated, so
+    the loop exercises push, pop, and sift — not just an empty drain.
+    """
+    sim = Simulator()
+    remaining = events
+    period = 1e-6
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(sim.now + period, tick)
+
+    for c in range(min(chains, events)):
+        sim.schedule(c * period, tick)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return sim.processed / wall
+
+
+def bench_world(scale: float, nodes: int = 8) -> float:
+    """Full-runtime throughput: one Jacobi run, events per second."""
+    cluster = athlon_cluster()
+    workload = Jacobi(scale)
+    world = World(cluster, workload.program, nodes=nodes, gear=1)
+    start = time.perf_counter()
+    world.run()
+    wall = time.perf_counter() - start
+    return world.engine.processed / wall
+
+
+def bench_suite(scale: float) -> dict[str, float]:
+    """Macro wall time of the whole paper suite, serial and observed.
+
+    Asserts the observed artifacts are byte-identical to serial before
+    reporting — a throughput number for a wrong answer is worthless.
+    """
+
+    def run_all(executor: Executor) -> dict[str, str]:
+        return {
+            name: json.dumps(
+                result_to_dict(fn(scale=scale, executor=executor)),
+                indent=2,
+                sort_keys=True,
+            )
+            for name, fn in SUITE
+        }
+
+    start = time.perf_counter()
+    baseline = run_all(Executor())
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    observed = run_all(Executor(observer=RunObserver()))
+    observed_s = time.perf_counter() - start
+    for name, text in baseline.items():
+        assert observed[name] == text, f"{name}: observed != serial"
+    return {"suite_serial_s": serial_s, "suite_observed_s": observed_s}
+
+
+def bench_dispatch(scale: float, jobs: int = 2) -> dict[str, float | int]:
+    """Sweep dispatch overhead: per-point vs chunked worker dispatch."""
+    cluster = athlon_cluster()
+    tasks = [
+        MeasurementTask(cluster, EP(scale), nodes=n, gear=g)
+        for n in (1, 2, 4, 8)
+        for g in (1, 2, 3)
+    ]
+    results = {}
+    for label, chunk_size in (("per_point_s", 1), ("chunked_s", None)):
+        profile = ExecProfile()
+        start = time.perf_counter()
+        sweep(tasks, jobs=jobs, chunk_size=chunk_size, profile=profile)
+        results[label] = time.perf_counter() - start
+    results["points"] = len(tasks)
+    results["jobs"] = jobs
+    return results
+
+
+def run_bench(scale: float, engine_events: int) -> dict:
+    """All four sections; returns the BENCH_sim.json payload."""
+    report: dict = {
+        "scale": scale,
+        "engine_events_per_sec": bench_engine(engine_events),
+        "world_events_per_sec": bench_world(scale),
+    }
+    report.update(bench_suite(scale))
+    report["observed_over_serial"] = (
+        report["suite_observed_s"] / report["suite_serial_s"]
+    )
+    report["dispatch"] = bench_dispatch(scale)
+    return report
+
+
+def render_report(report: dict) -> str:
+    """The human-readable side of the JSON payload."""
+    table = TextTable(
+        ["metric", "value"],
+        title=f"Simulation kernel benchmark (scale {report['scale']})",
+    )
+    table.add_row(
+        ["engine throughput", f"{report['engine_events_per_sec']:,.0f} events/s"]
+    )
+    table.add_row(
+        ["world throughput", f"{report['world_events_per_sec']:,.0f} events/s"]
+    )
+    table.add_row(["suite serial", f"{report['suite_serial_s']:.2f} s"])
+    table.add_row(
+        [
+            "suite observed",
+            f"{report['suite_observed_s']:.2f} s "
+            f"({report['observed_over_serial']:.2f}x serial)",
+        ]
+    )
+    dispatch = report["dispatch"]
+    table.add_row(
+        [
+            f"dispatch ({dispatch['points']} pts, {dispatch['jobs']} jobs)",
+            f"per-point {dispatch['per_point_s']:.2f} s, "
+            f"chunked {dispatch['chunked_s']:.2f} s",
+        ]
+    )
+    return table.render()
+
+
+def check_baseline(report: dict, path: Path) -> list[str]:
+    """Regression failures vs the committed floor (empty = healthy)."""
+    baseline = json.loads(path.read_text())
+    failures = []
+    for key in ("engine_events_per_sec", "world_events_per_sec"):
+        floor = baseline[key] * REGRESSION_FLOOR
+        if report[key] < floor:
+            failures.append(
+                f"{key}: {report[key]:,.0f} events/s is below "
+                f"{REGRESSION_FLOOR:.0%} of the baseline "
+                f"({baseline[key]:,.0f} events/s)"
+            )
+    if report["observed_over_serial"] > 1.5:
+        failures.append(
+            "observed-mode suite is "
+            f"{report['observed_over_serial']:.2f}x serial (limit 1.5x) — "
+            "observability hooks are no longer zero-cost when disabled"
+        )
+    return failures
+
+
+def test_sim_kernel(benchmark, bench_scale):
+    """Kernel throughput plus the zero-cost-observability bound."""
+    from conftest import run_once
+
+    report = run_once(benchmark, run_bench, bench_scale, 100_000)
+    print()
+    print(render_report(report))
+    assert report["observed_over_serial"] <= 1.5
+    assert not check_baseline(report, BASELINE_PATH)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload scale and event count (the CI smoke setting)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale (default 0.3, or 0.05 with --quick)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default="BENCH_sim.json",
+        help="where to write the JSON report (default: ./BENCH_sim.json)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        nargs="?",
+        const=str(BASELINE_PATH),
+        default=None,
+        metavar="FILE",
+        help="fail if throughput regresses >20%% vs this baseline "
+        "(default file: benchmarks/BENCH_baseline.json)",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else (0.05 if args.quick else 0.3)
+    engine_events = 100_000 if args.quick else 400_000
+    report = run_bench(scale, engine_events)
+    print(render_report(report))
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[report written to {args.output}]")
+    if args.check_baseline:
+        failures = check_baseline(report, Path(args.check_baseline))
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("[no regression vs baseline]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,12 +99,20 @@ class NetworkModel:
             raise ConfigurationError(f"message size must be non-negative, got {nbytes}")
         if same_node:
             return inject_time + nbytes / self.spec.memcpy_bandwidth
-        occupancy = self.wire_time(nbytes)
-        if not self._servers:
+        occupancy = nbytes / self.spec.bandwidth
+        servers = self._servers
+        if not servers:
             return inject_time + self.spec.latency + occupancy
-        soonest = min(range(len(self._servers)), key=self._servers.__getitem__)
-        start = max(inject_time, self._servers[soonest])
-        self._servers[soonest] = start + occupancy
+        # Earliest-free server, first index on ties (as min() would pick).
+        soonest = 0
+        free_at = servers[0]
+        for i in range(1, len(servers)):
+            t = servers[i]
+            if t < free_at:
+                soonest = i
+                free_at = t
+        start = inject_time if inject_time > free_at else free_at
+        servers[soonest] = start + occupancy
         return start + self.spec.latency + occupancy
 
     def transfer_time(self, nbytes: int, *, same_node: bool = False) -> float:

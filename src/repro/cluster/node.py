@@ -71,6 +71,9 @@ class NodeState:
         self._disk_speed: DiskSpeed | None = (
             spec.disk.fastest if spec.disk else None
         )
+        # Idle power is queried once per simulated event but only changes
+        # on gear or disk-speed shifts; cache it between shifts.
+        self._idle_power: float | None = None
 
     @property
     def gear(self) -> Gear:
@@ -80,6 +83,7 @@ class NodeState:
     def set_gear(self, gear_index: int) -> None:
         """Shift to another gear (validated against the gear table)."""
         self._gear = self.spec.gears[gear_index]
+        self._idle_power = None
 
     @property
     def disk_speed(self) -> DiskSpeed | None:
@@ -100,6 +104,7 @@ class NodeState:
         if self._disk_speed is not None and target.index == self._disk_speed.index:
             return 0.0
         self._disk_speed = target
+        self._idle_power = None
         return model.spec.transition_time
 
     def _disk_idle_power(self) -> float:
@@ -140,4 +145,8 @@ class NodeState:
 
     def idle_power(self) -> float:
         """System power while blocked/idle at the current gear."""
-        return self.power_model.idle_power(self._gear) + self._disk_idle_power()
+        power = self._idle_power
+        if power is None:
+            power = self.power_model.idle_power(self._gear) + self._disk_idle_power()
+            self._idle_power = power
+        return power

@@ -93,12 +93,25 @@ class PowerMeter:
       would report: power is read at a fixed period and integrated with
       the rectangle rule.  Tests and the metering ablation quantify the
       difference.
+
+    Per-event intervals at the same power level (a rank idling between
+    events at one gear) are accumulated lazily into one open segment and
+    flushed to the interval store only when the power level changes —
+    typically at a gear shift or compute transition — or when the
+    profile is queried.  Energy itself accumulates incrementally per
+    :meth:`record` call, so the integral is bit-identical to unmerged
+    recording; only the segmentation of :attr:`intervals` is coarser
+    (equal-power contiguous spans appear as one interval).
     """
 
     def __init__(self) -> None:
         self._starts: list[float] = []
         self._ends: list[float] = []
         self._watts: list[float] = []
+        # The open (not yet flushed) segment; None start means empty.
+        self._seg_start: float | None = None
+        self._seg_end = 0.0
+        self._seg_watts = 0.0
         self._energy = 0.0
         self._registry: "MetricsRegistry | None" = None
         self._metric_prefix = ""
@@ -124,15 +137,25 @@ class PowerMeter:
             raise SimulationError(f"interval ends before it starts: [{start}, {end})")
         if watts < 0:
             raise SimulationError(f"negative power recorded: {watts}")
-        if self._ends and start < self._ends[-1] - 1e-12:
+        seg_start = self._seg_start
+        last_end = self._seg_end if seg_start is not None else (
+            self._ends[-1] if self._ends else None
+        )
+        if last_end is not None and start < last_end - 1e-12:
             raise SimulationError(
-                f"interval [{start}, {end}) overlaps previous end {self._ends[-1]}"
+                f"interval [{start}, {end}) overlaps previous end {last_end}"
             )
         if end == start:
             return
-        self._starts.append(start)
-        self._ends.append(end)
-        self._watts.append(watts)
+        if seg_start is not None and watts == self._seg_watts and start == self._seg_end:
+            # Same power level, contiguous: extend the open segment.
+            self._seg_end = end
+        else:
+            if seg_start is not None:
+                self._flush_segment()
+            self._seg_start = start
+            self._seg_end = end
+            self._seg_watts = watts
         self._energy += watts * (end - start)
         if self._registry is not None:
             self._registry.observe(f"{self._metric_prefix}.power_w", start, watts)
@@ -140,14 +163,25 @@ class PowerMeter:
                 f"{self._metric_prefix}.energy_j", watts * (end - start)
             )
 
+    def _flush_segment(self) -> None:
+        """Move the open segment into the interval store."""
+        if self._seg_start is None:
+            return
+        self._starts.append(self._seg_start)
+        self._ends.append(self._seg_end)
+        self._watts.append(self._seg_watts)
+        self._seg_start = None
+
     @property
     def intervals(self) -> Sequence[tuple[float, float, float]]:
         """All recorded ``(start, end, watts)`` intervals."""
+        self._flush_segment()
         return list(zip(self._starts, self._ends, self._watts))
 
     @property
     def duration(self) -> float:
         """Span from first interval start to last interval end."""
+        self._flush_segment()
         if not self._starts:
             return 0.0
         return self._ends[-1] - self._starts[0]
@@ -158,6 +192,7 @@ class PowerMeter:
 
     def average_power(self) -> float:
         """Energy divided by covered (non-gap) time, watts."""
+        self._flush_segment()
         covered = sum(e - s for s, e in zip(self._starts, self._ends))
         if covered == 0:
             return 0.0
@@ -165,6 +200,7 @@ class PowerMeter:
 
     def power_at(self, t: float) -> float:
         """Instantaneous power at time ``t`` (0.0 inside gaps/outside)."""
+        self._flush_segment()
         idx = bisect.bisect_right(self._starts, t) - 1
         if idx < 0:
             return 0.0
@@ -176,6 +212,7 @@ class PowerMeter:
         """Read the profile at ``rate_hz``, like the paper's multimeter rig."""
         if rate_hz <= 0:
             raise ConfigurationError(f"sample rate must be positive, got {rate_hz}")
+        self._flush_segment()
         if not self._starts:
             return []
         period = 1.0 / rate_hz

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.core.metrics import (
     energy_time_slope,
     relative_delay,
@@ -58,6 +60,44 @@ class EnergyTimeCurve:
             if p.gear == gear:
                 return p
         raise ModelError(f"no point for gear {gear} on this curve")
+
+    def gear_array(self) -> np.ndarray:
+        """Gear indices as an int64 array, curve order."""
+        return np.array([p.gear for p in self.points], dtype=np.int64)
+
+    def time_array(self) -> np.ndarray:
+        """Execution times as a float64 array, curve order."""
+        return np.array([p.time for p in self.points], dtype=np.float64)
+
+    def energy_array(self) -> np.ndarray:
+        """Energies as a float64 array, curve order."""
+        return np.array([p.energy for p in self.points], dtype=np.float64)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        workload: str,
+        nodes: int,
+        gears: Sequence[int],
+        times: Sequence[float],
+        energies: Sequence[float],
+    ) -> "EnergyTimeCurve":
+        """Build a curve from parallel gear/time/energy sequences.
+
+        The inverse of the ``*_array`` accessors; accepts NumPy arrays
+        (values are converted to native Python scalars) and validates
+        matching lengths.
+        """
+        if not (len(gears) == len(times) == len(energies)):
+            raise ModelError(
+                f"mismatched curve arrays: {len(gears)} gears, "
+                f"{len(times)} times, {len(energies)} energies"
+            )
+        points = tuple(
+            CurvePoint(gear=int(g), time=float(t), energy=float(e))
+            for g, t, e in zip(gears, times, energies)
+        )
+        return cls(workload=workload, nodes=nodes, points=points)
 
     @property
     def fastest(self) -> CurvePoint:

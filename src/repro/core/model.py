@@ -173,19 +173,38 @@ class EnergyTimeModel:
     def predict_curve(
         self, *, nodes: int, gears: Sequence[int] | None = None
     ) -> EnergyTimeCurve:
-        """Predicted energy-time curve at one node count."""
+        """Predicted energy-time curve at one node count.
+
+        The whole gear grid is evaluated in one vectorized predictor
+        pass (T^A/T^I/T^R are gear-independent, so they are resolved
+        once); the numbers are bit-identical to per-gear :meth:`predict`
+        calls.
+        """
         indices = (
             list(gears)
             if gears is not None
             else list(self.inputs.calibration.gears)
         )
-        points = []
-        for g in indices:
-            p = self.predict(nodes=nodes, gear=g)
-            points.append(CurvePoint(gear=g, time=p.time, energy=p.energy))
-        return EnergyTimeCurve(
-            workload=self.workload, nodes=nodes, points=tuple(points)
+        active = self.active_time(nodes)
+        idle = self.idle_time(nodes)
+        if self.refined:
+            reducible = min(self.reducible_time(nodes), active)
+            predicted = self._refined.predict_gears(
+                nodes=nodes,
+                gears=indices,
+                active_time=active,
+                idle_time=idle,
+                reducible_time=reducible,
+            )
+        else:
+            predicted = self._naive.predict_gears(
+                nodes=nodes, gears=indices, active_time=active, idle_time=idle
+            )
+        points = tuple(
+            CurvePoint(gear=p.gear, time=p.time, energy=p.energy)
+            for p in predicted
         )
+        return EnergyTimeCurve(workload=self.workload, nodes=nodes, points=points)
 
     def predicted_speedup(self, nodes: int) -> float:
         """Fastest-gear speedup vs one node, per the model."""

@@ -26,7 +26,9 @@ paper's ``S_g(T^C + T^R) + T^I + T^R - S_g T^R``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.core.calibration import GearCalibration
 from repro.util.errors import ModelError
@@ -49,6 +51,23 @@ def _check_components(active: float, idle: float) -> None:
         raise ModelError(
             f"time components must be non-negative, got T^A={active}, T^I={idle}"
         )
+
+
+def _gear_arrays(
+    cal: GearCalibration, gears: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-gear (S_g, P_g, I_g) as float64 arrays, validated.
+
+    Elementwise float64 arithmetic on these arrays reproduces the scalar
+    predictors bit-for-bit as long as the operation order matches.
+    """
+    for g in gears:
+        if g not in cal.slowdown:
+            raise ModelError(f"gear {g} not calibrated")
+    slowdown = np.array([cal.slowdown[g] for g in gears], dtype=np.float64)
+    active_power = np.array([cal.active_power[g] for g in gears], dtype=np.float64)
+    idle_power = np.array([cal.idle_power[g] for g in gears], dtype=np.float64)
+    return slowdown, active_power, idle_power
 
 
 class NaivePredictor:
@@ -85,6 +104,39 @@ class NaivePredictor:
             active_time=stretched,
             idle_time=idle_time,
         )
+
+    def predict_gears(
+        self,
+        *,
+        nodes: int,
+        gears: Sequence[int],
+        active_time: float,
+        idle_time: float,
+    ) -> list[PredictedPoint]:
+        """Vectorized :meth:`predict` over a whole gear grid.
+
+        One NumPy pass over the calibration arrays; every float matches
+        the per-gear scalar path bit-for-bit (same float64 operations in
+        the same association order).
+        """
+        _check_components(active_time, idle_time)
+        gears = list(gears)
+        s, p, i = _gear_arrays(self.calibration, gears)
+        stretched = s * active_time
+        time = stretched + idle_time
+        per_node = p * stretched + i * idle_time
+        energy = nodes * per_node
+        return [
+            PredictedPoint(
+                nodes=nodes,
+                gear=g,
+                time=float(time[k]),
+                energy=float(energy[k]),
+                active_time=float(stretched[k]),
+                idle_time=idle_time,
+            )
+            for k, g in enumerate(gears)
+        ]
 
 
 class RefinedPredictor:
@@ -143,3 +195,52 @@ class RefinedPredictor:
             active_time=active_stretched,
             idle_time=idle_remaining,
         )
+
+    def predict_gears(
+        self,
+        *,
+        nodes: int,
+        gears: Sequence[int],
+        active_time: float,
+        idle_time: float,
+        reducible_time: float,
+    ) -> list[PredictedPoint]:
+        """Vectorized :meth:`predict` over a whole gear grid.
+
+        The slack inflection becomes an elementwise select; both branch
+        expressions keep the scalar path's float64 association order, so
+        every selected value is bit-identical to the scalar result.
+        """
+        _check_components(active_time, idle_time)
+        if not 0.0 <= reducible_time <= active_time + 1e-12:
+            raise ModelError(
+                f"T^R={reducible_time} must lie within [0, T^A={active_time}]"
+            )
+        gears = list(gears)
+        s, p, i = _gear_arrays(self.calibration, gears)
+        critical = active_time - reducible_time
+        active_stretched = s * active_time
+        slack_consumed = idle_time + reducible_time <= s * reducible_time
+        time = np.where(
+            slack_consumed,
+            active_stretched,
+            s * critical + reducible_time + idle_time,
+        )
+        idle_remaining = np.where(
+            slack_consumed,
+            0.0,
+            idle_time + reducible_time - s * reducible_time,
+        )
+        per_node = p * active_stretched + i * idle_remaining
+        energy = nodes * per_node
+        return [
+            PredictedPoint(
+                nodes=nodes,
+                gear=g,
+                time=float(time[k]),
+                energy=float(energy[k]),
+                active_time=float(active_stretched[k]),
+                idle_time=float(idle_remaining[k]),
+            )
+            for k, g in enumerate(gears)
+        ]

@@ -37,6 +37,10 @@ class Executor:
         profile: True to accumulate an :class:`ExecProfile` (per-task
             wall time, cache latencies, worker utilization) across every
             sweep this executor runs.
+        chunk_size: points dispatched per worker call in parallel
+            sweeps; ``None`` (the default) auto-sizes to about four
+            chunks per worker.  Chunking amortizes pickling/IPC and
+            never changes results.
     """
 
     def __init__(
@@ -46,6 +50,7 @@ class Executor:
         cache: ResultCache | bool | None = None,
         observer: "RunObserver | None" = None,
         profile: bool = False,
+        chunk_size: int | None = None,
     ):
         if cache is True:
             cache = ResultCache()
@@ -55,6 +60,7 @@ class Executor:
         self.cache: ResultCache | None = cache
         self.observer = observer
         self.profile: ExecProfile | None = ExecProfile() if profile else None
+        self.chunk_size = chunk_size
 
     def run(self, tasks: Iterable[SimTask]) -> list[Any]:
         """Sweep the points under this executor's policy."""
@@ -64,6 +70,7 @@ class Executor:
             cache=self.cache,
             observer=self.observer,
             profile=self.profile,
+            chunk_size=self.chunk_size,
         )
 
     @property

@@ -22,6 +22,7 @@ wall time per point and per cache interaction in every mode.
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
@@ -55,10 +56,55 @@ def _execute_timed(task: SimTask) -> tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
+class _ChunkPointError(Exception):
+    """One point of a chunk failed in a worker.
+
+    Carries the chunk-local index so the caller can name the exact
+    failing point, and the original exception as the cause to chain.
+    Built from plain ``args`` so it pickles across the process boundary.
+    """
+
+    def __init__(self, index: int, cause: BaseException):
+        super().__init__(index, cause)
+        self.index = index
+        self.cause = cause
+
+
+def _execute_chunk(tasks: Sequence[SimTask]) -> tuple[list[Any], list[float], float]:
+    """Run a chunk of tasks in one worker call.
+
+    Returns (results, per-point wall seconds, chunk wall seconds), all
+    measured inside the worker so IPC and worker startup are excluded.
+    """
+    chunk_start = time.perf_counter()
+    results: list[Any] = []
+    seconds: list[float] = []
+    for index, task in enumerate(tasks):
+        start = time.perf_counter()
+        try:
+            results.append(task.run())
+        except Exception as exc:
+            raise _ChunkPointError(index, exc) from exc
+        seconds.append(time.perf_counter() - start)
+    return results, seconds, time.perf_counter() - chunk_start
+
+
 def _point_error(task: SimTask, exc: BaseException) -> SimulationError:
     return SimulationError(
         f"sweep point {task.key!r} failed: {type(exc).__name__}: {exc}"
     )
+
+
+def _auto_chunk_size(points: int, jobs: int) -> int:
+    """Default chunk size: about four chunks per worker.
+
+    Large enough to amortize pickling/IPC per dispatch, small enough
+    that an uneven last wave cannot idle most of the pool.
+    """
+    workers = min(jobs, points)
+    if workers <= 0:
+        return 1
+    return max(1, math.ceil(points / (workers * 4)))
 
 
 def sweep(
@@ -68,6 +114,7 @@ def sweep(
     cache: ResultCache | None = None,
     observer: "RunObserver | None" = None,
     profile: ExecProfile | None = None,
+    chunk_size: int | None = None,
 ) -> list[Any]:
     """Execute simulation points, possibly in parallel, possibly cached.
 
@@ -84,19 +131,26 @@ def sweep(
             changes results (the simulator is deterministic).
         profile: optional profile accumulating per-point wall time and
             cache-latency accounting across this sweep.
+        chunk_size: points dispatched per worker call when ``jobs > 1``
+            (amortizes pickling/IPC).  ``None`` picks about four chunks
+            per worker.  Chunks are consecutive slices in task order, so
+            chunking never changes results or merge order.
 
     Returns:
         One result per task, in task order regardless of completion
         order or cache state.
 
     Raises:
-        ConfigurationError: duplicate task keys or ``jobs < 1``.
+        ConfigurationError: duplicate task keys, ``jobs < 1``, or
+            ``chunk_size < 1``.
         SimulationError: a point failed; the message names its key and
             the original exception is chained as ``__cause__``.
     """
     ordered: Sequence[SimTask] = list(tasks)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
     seen: set[tuple] = set()
     for task in ordered:
         if task.key in seen:
@@ -134,9 +188,11 @@ def sweep(
             pending.append((task, None))
 
     if jobs > 1 and len(pending) > 1 and observer is None:
-        computed = _run_pool(pending, jobs, profile)
+        size = chunk_size or _auto_chunk_size(len(pending), jobs)
+        nchunks = math.ceil(len(pending) / size)
+        computed = _run_pool(pending, jobs, profile, size)
         if profile is not None:
-            profile.workers = max(profile.workers, min(jobs, len(pending)))
+            profile.workers = max(profile.workers, min(jobs, nchunks))
     else:
         computed = _run_inline(pending, observer, profile)
 
@@ -198,24 +254,43 @@ def _run_pool(
     pending: Sequence[tuple[SimTask, str | None]],
     jobs: int,
     profile: ExecProfile | None = None,
+    chunk_size: int = 1,
 ) -> list[Any]:
-    workers = min(jobs, len(pending))
+    chunks = [
+        [task for task, _ in pending[i : i + chunk_size]]
+        for i in range(0, len(pending), chunk_size)
+    ]
+    workers = min(jobs, len(chunks))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_execute_timed, task) for task, _ in pending]
+        futures = [pool.submit(_execute_chunk, chunk) for chunk in chunks]
         wait(futures, return_when=FIRST_EXCEPTION)
         out = []
-        for (task, _), future in zip(pending, futures):
+        for chunk, future in zip(chunks, futures):
             try:
-                result, seconds = future.result()
-            except Exception as exc:
+                results, seconds, chunk_wall = future.result()
+            except _ChunkPointError as exc:
                 for other in futures:
                     other.cancel()
-                raise _point_error(task, exc) from exc
-            out.append(result)
+                raise _point_error(chunk[exc.index], exc.cause) from exc.cause
+            except Exception as exc:
+                # Infrastructure failure (e.g. a broken pool): no point
+                # index to blame, so name the chunk's first point.
+                for other in futures:
+                    other.cancel()
+                raise _point_error(chunk[0], exc) from exc
+            out.extend(results)
             if profile is not None:
-                profile.add(
-                    TaskTiming(
-                        key=str(task.key), source=SOURCE_RUN, seconds=seconds
+                # Attribute the chunk's residual (request unpickling,
+                # loop bookkeeping) evenly so the recorded per-point
+                # times sum to the in-worker chunk wall time — worker
+                # startup and IPC stay excluded.
+                residual = (chunk_wall - sum(seconds)) / len(seconds)
+                for task, point_s in zip(chunk, seconds):
+                    profile.add(
+                        TaskTiming(
+                            key=str(task.key),
+                            source=SOURCE_RUN,
+                            seconds=point_s + residual,
+                        )
                     )
-                )
     return out

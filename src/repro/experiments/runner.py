@@ -15,8 +15,9 @@ Usage::
 Simulation points are memoised in the on-disk result cache
 (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; see ``docs/EXECUTOR.md``),
 so a rerun whose code and configuration are unchanged replays from disk.
-``--jobs N`` fans cache misses out over N worker processes; the merged
-artifacts are byte-identical to a serial run.
+``--jobs N`` fans cache misses out over N worker processes and
+``--chunk-size K`` groups K points per worker dispatch (default: auto);
+the merged artifacts are byte-identical to a serial run.
 
 Observability (see ``docs/OBSERVABILITY.md``): ``--emit-trace DIR``
 writes one Chrome trace-event JSON per simulated run into DIR (open in
@@ -87,6 +88,14 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for independent simulation points",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="simulation points per worker dispatch when --jobs > 1 "
+        "(default: auto, about four chunks per worker)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the on-disk result cache",
@@ -127,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        parser.error(f"--chunk-size must be >= 1, got {args.chunk_size}")
     names = args.only or list(EXPERIMENTS)
     observer = _build_observer(args)
     executor = Executor(
@@ -134,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
         cache=None if args.no_cache else ResultCache(),
         observer=observer,
         profile=args.profile,
+        chunk_size=args.chunk_size,
     )
     failures = 0
     for name in names:

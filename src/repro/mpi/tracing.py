@@ -13,11 +13,18 @@ recovered.  The runtime produces the same records natively:
   ``active_time`` (T^A), ``idle_time`` (T^I, which includes communication
   time), and the conservative *reducible work* between the last send and
   a blocking point (the refined model's T^R).
+
+Performance: the runtime logs millions of records on large runs, so
+:class:`RankTrace` keeps a flat internal row store filled through
+:meth:`RankTrace.add_span` (plain scalars, no object construction on the
+simulation hot path) and materialises :class:`TraceRecord` objects
+lazily, the first time :attr:`RankTrace.records` (or any record-yielding
+view) is read.  All derived times are computed straight off the rows.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.util.errors import SimulationError
@@ -76,12 +83,54 @@ class TraceRecord:
         return self.t_exit - self.t_enter
 
 
-@dataclass
 class RankTrace:
-    """All trace records of one rank, in time order."""
+    """All trace records of one rank, in time order.
 
-    rank: int
-    records: list[TraceRecord] = field(default_factory=list)
+    Rows live in a flat tuple store (``op, category, t_enter, t_exit,
+    nbytes, peer, nested``); :class:`TraceRecord` objects are built
+    lazily on first access and cached.
+    """
+
+    __slots__ = ("rank", "_rows", "_materialized", "_last_exit")
+
+    def __init__(self, rank: int, records: list[TraceRecord] | None = None):
+        self.rank = rank
+        self._rows: list[tuple] = []
+        self._materialized: list[TraceRecord] = []
+        self._last_exit = float("-inf")
+        if records:
+            for record in records:
+                self.add(record)
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def add_span(
+        self,
+        op: str,
+        category: str,
+        t_enter: float,
+        t_exit: float,
+        nbytes: int = 0,
+        peer: int | None = None,
+        nested: bool = False,
+    ) -> None:
+        """Append one call span without constructing a record object.
+
+        This is the simulation hot path; it performs the same validation
+        as :meth:`add` on plain scalars.
+        """
+        if t_exit < t_enter:
+            raise SimulationError(
+                f"trace record exits before entering: {op} [{t_enter}, {t_exit}]"
+            )
+        if t_exit < self._last_exit - 1e-12:
+            raise SimulationError(
+                f"rank {self.rank}: out-of-order trace record {op} exiting "
+                f"at {t_exit} after {self._last_exit}"
+            )
+        self._last_exit = t_exit
+        self._rows.append((op, category, t_enter, t_exit, nbytes, peer, nested))
 
     def add(self, record: TraceRecord) -> None:
         """Append one record.
@@ -90,29 +139,76 @@ class RankTrace:
         bracket closes after its constituent messages), so monotonicity is
         enforced on exit times.
         """
-        if self.records and record.t_exit < self.records[-1].t_exit - 1e-12:
+        if record.t_exit < self._last_exit - 1e-12:
             raise SimulationError(
                 f"rank {self.rank}: out-of-order trace record {record.op} exiting "
-                f"at {record.t_exit} after {self.records[-1].t_exit}"
+                f"at {record.t_exit} after {self._last_exit}"
             )
-        self.records.append(record)
+        self._last_exit = record.t_exit
+        # Keep the caller's object if the cache is in sync, so adding
+        # pre-built records never pays a re-materialisation.
+        if len(self._materialized) == len(self._rows):
+            self._materialized.append(record)
+        self._rows.append(
+            (
+                record.op,
+                record.category,
+                record.t_enter,
+                record.t_exit,
+                record.nbytes,
+                record.peer,
+                record.nested,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All records, materialised lazily and cached."""
+        cache = self._materialized
+        rows = self._rows
+        if len(cache) != len(rows):
+            rank = self.rank
+            cache.extend(
+                TraceRecord(rank, op, cat, t0, t1, nbytes, peer, nested)
+                for op, cat, t0, t1, nbytes, peer, nested in rows[len(cache):]
+            )
+        return cache
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RankTrace):
+            return NotImplemented
+        return self.rank == other.rank and self._rows == other._rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RankTrace rank={self.rank} records={len(self._rows)}>"
 
     def top_level(self) -> Iterator[TraceRecord]:
         """Records as the paper's interposition would see them (no nested)."""
         return (r for r in self.records if not r.nested)
 
+    def _top_level_rows(self) -> Iterator[tuple]:
+        return (row for row in self._rows if not row[6])
+
     @property
     def active_time(self) -> float:
         """Total compute time (the paper's per-rank T^A contribution)."""
-        return sum(r.duration for r in self.records if r.category == CATEGORY_COMPUTE)
+        return sum(
+            row[3] - row[2] for row in self._rows if row[1] == CATEGORY_COMPUTE
+        )
 
     @property
     def mpi_time(self) -> float:
         """Total top-level time inside MPI calls (communication + blocking)."""
         return sum(
-            r.duration
-            for r in self.top_level()
-            if r.category in (CATEGORY_P2P, CATEGORY_WAIT, CATEGORY_COLLECTIVE)
+            row[3] - row[2]
+            for row in self._top_level_rows()
+            if row[1] in (CATEGORY_P2P, CATEGORY_WAIT, CATEGORY_COLLECTIVE)
         )
 
     def idle_time(self, finish_time: float) -> float:
@@ -141,14 +237,15 @@ class RankTrace:
         reducible = 0.0
         pending = 0.0  # compute since the last send, candidate-reducible
         seen_send = False
-        for record in self.top_level():
-            if record.op in SEND_OPS:
+        for row in self._top_level_rows():
+            op = row[0]
+            if op in SEND_OPS:
                 seen_send = True
                 pending = 0.0
-            elif record.category == CATEGORY_COMPUTE:
+            elif row[1] == CATEGORY_COMPUTE:
                 if seen_send:
-                    pending += record.duration
-            elif record.op in BLOCKING_OPS:
+                    pending += row[3] - row[2]
+            elif op in BLOCKING_OPS:
                 reducible += pending
                 pending = 0.0
                 seen_send = False
@@ -158,17 +255,17 @@ class RankTrace:
         """(message count, total bytes) of top-level sends on this rank."""
         count = 0
         total = 0
-        for record in self.top_level():
-            if record.op in SEND_OPS:
+        for row in self._top_level_rows():
+            if row[0] in SEND_OPS:
                 count += 1
-                total += record.nbytes
+                total += row[4]
         return count, total
 
     def call_counts(self) -> dict[str, int]:
         """Top-level call counts per op name (paper step 2's dynamic census)."""
         out: dict[str, int] = {}
-        for record in self.top_level():
-            if record.category == CATEGORY_COMPUTE:
+        for row in self._top_level_rows():
+            if row[1] == CATEGORY_COMPUTE:
                 continue
-            out[record.op] = out.get(record.op, 0) + 1
+            out[row[0]] = out.get(row[0], 0) + 1
         return out

@@ -26,6 +26,7 @@ would record.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -56,10 +57,9 @@ from repro.mpi.tracing import (
     CATEGORY_WAIT,
     CATEGORY_COLLECTIVE,
     RankTrace,
-    TraceRecord,
 )
 from repro.sim.engine import Simulator
-from repro.sim.process import STOP, RankProcess
+from repro.sim.process import ProcessState, RankProcess
 from repro.util.errors import ConfigurationError, DeadlockError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -69,7 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 ProgramFactory = Callable[[Comm], Any]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Message:
     """A message in flight (or buffered unexpected at the receiver)."""
 
@@ -203,11 +203,21 @@ class World:
         self._observer = observer
         self.engine = Simulator()
         self.network = cluster.network_model()
+        # The per-endpoint software overhead is a link constant; one
+        # attribute read per message instead of two calls per match.
+        self._endpoint_overhead = self.network.endpoint_overhead()
         self._max_events = max_events
         self._msg_seq = 0
-        # Per-destination queues.
-        self._unexpected: list[list[_Message]] = [[] for _ in range(nodes)]
-        self._posted: list[list[Handle]] = [[] for _ in range(nodes)]
+        # Per-destination matching indexes: (source, tag) -> FIFO queue.
+        # Wildcard receives are resolved by comparing queue heads, so
+        # matching is O(distinct pairs) instead of a linear scan over
+        # every buffered message/posted receive.
+        self._unexpected: list[dict[tuple[int, int], deque[_Message]]] = [
+            {} for _ in range(nodes)
+        ]
+        self._posted: list[dict[tuple[int, int], deque[Handle]]] = [
+            {} for _ in range(nodes)
+        ]
         self._runtimes: list[_RankRuntime] = []
         for rank in range(nodes):
             comm = Comm(rank=rank, size=nodes)
@@ -273,38 +283,67 @@ class World:
     # Interpreter
 
     def _advance(self, rt: _RankRuntime, value: Any) -> None:
-        """Resume a rank and dispatch its requests until it blocks/finishes."""
+        """Resume a rank and dispatch its requests until it blocks/finishes.
+
+        The generator protocol is driven directly (rather than through
+        :meth:`RankProcess.resume`) — this loop runs once per yielded
+        request and the wrapper call was measurable.  The process state
+        invariants are identical: DONE + result on return, FAILED on an
+        escaping exception, BLOCKED set by the handler that blocks.
+        """
+        handlers = self._HANDLERS
+        process = rt.process
+        send = process._gen.send
         while True:
-            request = rt.process.resume(value)
-            if request is STOP:
-                rt.finish_time = self.engine.now
+            try:
+                request = send(value)
+            except StopIteration as stop:
+                process.state = ProcessState.DONE
+                process.result = stop.value
+                process.blocked_on = None
+                rt.finish_time = self.engine._now
                 return
-            blocked, value = self._dispatch(rt, request)
+            except Exception:
+                process.state = ProcessState.FAILED
+                raise
+            handler = handlers.get(request.__class__)
+            if handler is None:
+                raise SimulationError(
+                    f"rank {rt.rank} yielded an unknown request: {request!r}"
+                )
+            blocked, value = handler(self, rt, request)
             if blocked:
                 return
 
     def _resume_later(self, rt: _RankRuntime, at: float, value: Any = None) -> None:
-        """Schedule a resume, closing any pending idle span on arrival."""
+        """Schedule a resume, closing any pending idle span on arrival.
+
+        The callback flushes the rank's deferred idle-energy span and
+        deferred wait-trace record inline; when it fires the simulated
+        clock is exactly ``at``, so the end timestamps are taken from the
+        closure instead of re-reading the engine.
+        """
 
         def callback() -> None:
-            self._close_idle(rt)
-            self._flush_wait_trace(rt)
+            if rt.pending_idle_from is not None:
+                rt.meter.record(rt.pending_idle_from, at, rt.node.idle_power())
+                rt.pending_idle_from = None
+            pending_wait = rt.pending_wait
+            if pending_wait is not None:
+                rt.pending_wait = None
+                op, t_enter, nbytes, peer = pending_wait
+                rt.trace.add_span(
+                    op,
+                    CATEGORY_WAIT,
+                    t_enter,
+                    at,
+                    nbytes,
+                    peer,
+                    bool(rt.collective_stack),
+                )
             self._advance(rt, value)
 
         self.engine.schedule(at, callback)
-
-    def _close_idle(self, rt: _RankRuntime) -> None:
-        if rt.pending_idle_from is not None:
-            rt.meter.record(
-                rt.pending_idle_from, self.engine.now, rt.node.idle_power()
-            )
-            rt.pending_idle_from = None
-
-    def _flush_wait_trace(self, rt: _RankRuntime) -> None:
-        if rt.pending_wait is not None:
-            op, t_enter, nbytes, peer = rt.pending_wait
-            rt.pending_wait = None
-            self._trace(rt, op, CATEGORY_WAIT, t_enter, self.engine.now, nbytes, peer)
 
     def _trace(
         self,
@@ -315,101 +354,106 @@ class World:
         t_exit: float,
         nbytes: int = 0,
         peer: int | None = None,
-        *,
-        force_top_level: bool = False,
     ) -> None:
-        rt.trace.add(
-            TraceRecord(
-                rank=rt.rank,
-                op=op,
-                category=category,
-                t_enter=t_enter,
-                t_exit=t_exit,
-                nbytes=nbytes,
-                peer=peer,
-                nested=(rt.depth > 0) and not force_top_level,
-            )
+        rt.trace.add_span(
+            op,
+            category,
+            t_enter,
+            t_exit,
+            nbytes,
+            peer,
+            bool(rt.collective_stack),
         )
 
     def _dispatch(self, rt: _RankRuntime, request: Any) -> tuple[bool, Any]:
         """Perform one request; returns (blocked, resume_value)."""
-        now = self.engine.now
-        if isinstance(request, Compute):
-            return self._do_compute(rt, request)
-        if isinstance(request, Isend):
-            return self._do_isend(rt, request)
-        if isinstance(request, Irecv):
-            return False, self._do_irecv(rt, request)
-        if isinstance(request, Wait):
-            return self._do_wait(rt, request)
-        if isinstance(request, Now):
-            return False, now
-        if isinstance(request, SetGear):
-            self.cluster.validate_run(self.nodes, request.gear_index)
-            if request.gear_index == rt.node.gear.index:
-                return False, None
-            switch = self.cluster.node.cpu.gear_switch_latency
-            old_gear = rt.node.gear.index
-            rt.node.set_gear(request.gear_index)
-            if self._observer is not None:
-                self._observer.gear_change(
-                    rt.rank, now, request.gear_index, old_gear
-                )
-            self._trace(rt, "set_gear", CATEGORY_OTHER, now, now + switch)
-            if switch == 0:
-                return False, None
-            # The core stalls through the PLL relock/voltage ramp,
-            # drawing idle power at the *new* operating point.
-            rt.meter.record(now, now + switch, rt.node.idle_power())
-            self._resume_later(rt, now + switch)
-            rt.process.block("gear switch")
-            return True, None
-        if isinstance(request, Elapse):
-            if request.seconds == 0:
-                return False, None
-            rt.meter.record(now, now + request.seconds, rt.node.idle_power())
-            self._trace(rt, "elapse", CATEGORY_OTHER, now, now + request.seconds)
-            self._resume_later(rt, now + request.seconds)
-            rt.process.block("elapse")
-            return True, None
-        if isinstance(request, DiskIO):
-            duration = rt.node.io_duration(request.nbytes)
-            rt.meter.record(now, now + duration, rt.node.io_power())
-            self._trace(
-                rt, "disk_io", CATEGORY_OTHER, now, now + duration, request.nbytes
+        handler = self._HANDLERS.get(request.__class__)
+        if handler is None:
+            raise SimulationError(
+                f"rank {rt.rank} yielded an unknown request: {request!r}"
             )
-            if duration == 0:
-                return False, None
-            self._resume_later(rt, now + duration)
-            rt.process.block("disk I/O")
-            return True, None
-        if isinstance(request, SetDiskSpeed):
-            transition = rt.node.set_disk_speed(request.speed_index)
-            self._trace(
-                rt, "set_disk_speed", CATEGORY_OTHER, now, now + transition
-            )
-            if transition == 0:
-                return False, None
-            rt.meter.record(now, now + transition, rt.node.idle_power())
-            self._resume_later(rt, now + transition)
-            rt.process.block("disk speed transition")
-            return True, None
-        if isinstance(request, TraceMark):
-            self._do_trace_mark(rt, request)
+        return handler(self, rt, request)
+
+    def _do_now(self, rt: _RankRuntime, request: Now) -> tuple[bool, Any]:
+        return False, self.engine._now
+
+    def _do_set_gear(self, rt: _RankRuntime, request: SetGear) -> tuple[bool, Any]:
+        now = self.engine._now
+        self.cluster.validate_run(self.nodes, request.gear_index)
+        if request.gear_index == rt.node.gear.index:
             return False, None
-        raise SimulationError(
-            f"rank {rt.rank} yielded an unknown request: {request!r}"
+        switch = self.cluster.node.cpu.gear_switch_latency
+        old_gear = rt.node.gear.index
+        rt.node.set_gear(request.gear_index)
+        if self._observer is not None:
+            self._observer.gear_change(
+                rt.rank, now, request.gear_index, old_gear
+            )
+        self._trace(rt, "set_gear", CATEGORY_OTHER, now, now + switch)
+        if switch == 0:
+            return False, None
+        # The core stalls through the PLL relock/voltage ramp,
+        # drawing idle power at the *new* operating point.
+        rt.meter.record(now, now + switch, rt.node.idle_power())
+        self._resume_later(rt, now + switch)
+        rt.process.block("gear switch")
+        return True, None
+
+    def _do_elapse(self, rt: _RankRuntime, request: Elapse) -> tuple[bool, Any]:
+        now = self.engine._now
+        if request.seconds == 0:
+            return False, None
+        rt.meter.record(now, now + request.seconds, rt.node.idle_power())
+        self._trace(rt, "elapse", CATEGORY_OTHER, now, now + request.seconds)
+        self._resume_later(rt, now + request.seconds)
+        rt.process.block("elapse")
+        return True, None
+
+    def _do_disk_io(self, rt: _RankRuntime, request: DiskIO) -> tuple[bool, Any]:
+        now = self.engine._now
+        duration = rt.node.io_duration(request.nbytes)
+        rt.meter.record(now, now + duration, rt.node.io_power())
+        self._trace(
+            rt, "disk_io", CATEGORY_OTHER, now, now + duration, request.nbytes
         )
+        if duration == 0:
+            return False, None
+        self._resume_later(rt, now + duration)
+        rt.process.block("disk I/O")
+        return True, None
+
+    def _do_set_disk_speed(
+        self, rt: _RankRuntime, request: SetDiskSpeed
+    ) -> tuple[bool, Any]:
+        now = self.engine._now
+        transition = rt.node.set_disk_speed(request.speed_index)
+        self._trace(
+            rt, "set_disk_speed", CATEGORY_OTHER, now, now + transition
+        )
+        if transition == 0:
+            return False, None
+        rt.meter.record(now, now + transition, rt.node.idle_power())
+        self._resume_later(rt, now + transition)
+        rt.process.block("disk speed transition")
+        return True, None
 
     def _do_compute(self, rt: _RankRuntime, request: Compute) -> tuple[bool, Any]:
-        now = self.engine.now
+        now = self.engine._now
         block = request.block
         duration = rt.node.compute_duration(block)
         power = rt.node.compute_power(block)
         rt.meter.record(now, now + duration, power)
         cycles = duration * rt.node.gear.frequency_hz
         rt.counters.charge(block.uops, block.l2_misses, cycles, duration)
-        self._trace(rt, "compute", CATEGORY_COMPUTE, now, now + duration)
+        rt.trace.add_span(
+            "compute",
+            CATEGORY_COMPUTE,
+            now,
+            now + duration,
+            0,
+            None,
+            bool(rt.collective_stack),
+        )
         if duration == 0:
             return False, None
         self._resume_later(rt, now + duration)
@@ -417,12 +461,12 @@ class World:
         return True, None
 
     def _do_isend(self, rt: _RankRuntime, request: Isend) -> tuple[bool, Any]:
-        now = self.engine.now
+        now = self.engine._now
         if not 0 <= request.dest < self.nodes:
             raise SimulationError(
                 f"rank {rt.rank} sends to invalid rank {request.dest}"
             )
-        overhead = self.network.endpoint_overhead()
+        overhead = self._endpoint_overhead
         inject = now + overhead
         arrival = self.network.schedule_transfer(
             inject, request.nbytes, same_node=(request.dest == rt.rank)
@@ -447,7 +491,15 @@ class World:
             post_time=now,
             complete_at=inject,
         )
-        self._trace(rt, "isend", CATEGORY_P2P, now, inject, request.nbytes, request.dest)
+        rt.trace.add_span(
+            "isend",
+            CATEGORY_P2P,
+            now,
+            inject,
+            request.nbytes,
+            request.dest,
+            bool(rt.collective_stack),
+        )
         if overhead == 0:
             return False, handle
         rt.pending_idle_from = now
@@ -455,8 +507,8 @@ class World:
         rt.process.block("isend overhead")
         return True, None
 
-    def _do_irecv(self, rt: _RankRuntime, request: Irecv) -> Handle:
-        now = self.engine.now
+    def _do_irecv(self, rt: _RankRuntime, request: Irecv) -> tuple[bool, Handle]:
+        now = self.engine._now
         if request.source != ANY_SOURCE and not 0 <= request.source < self.nodes:
             raise SimulationError(
                 f"rank {rt.rank} receives from invalid rank {request.source}"
@@ -468,16 +520,30 @@ class World:
             tag=request.tag,
             post_time=now,
         )
-        self._trace(rt, "irecv", CATEGORY_P2P, now, now, 0, request.source)
+        rt.trace.add_span(
+            "irecv",
+            CATEGORY_P2P,
+            now,
+            now,
+            0,
+            request.source,
+            bool(rt.collective_stack),
+        )
         message = self._match_unexpected(rt.rank, handle)
         if message is not None:
             self._complete_recv(handle, message)
         else:
-            self._posted[rt.rank].append(handle)
-        return handle
+            posted = self._posted[rt.rank]
+            key = (request.source, request.tag)
+            queue = posted.get(key)
+            if queue is None:
+                posted[key] = deque((handle,))
+            else:
+                queue.append(handle)
+        return False, handle
 
     def _do_wait(self, rt: _RankRuntime, request: Wait) -> tuple[bool, Any]:
-        now = self.engine.now
+        now = self.engine._now
         handle = request.handle
         if handle.rank != rt.rank:
             raise SimulationError(
@@ -485,7 +551,15 @@ class World:
             )
         op = "wait_recv" if handle.kind == "recv" else "wait_send"
         if handle.complete_at is not None and handle.complete_at <= now:
-            self._trace(rt, op, CATEGORY_WAIT, now, now, handle.nbytes, handle.peer)
+            rt.trace.add_span(
+                op,
+                CATEGORY_WAIT,
+                now,
+                now,
+                handle.nbytes,
+                handle.peer,
+                bool(rt.collective_stack),
+            )
             return False, handle.payload
         rt.pending_idle_from = now
         rt.pending_wait = (op, now, handle.nbytes, handle.peer)
@@ -498,11 +572,11 @@ class World:
         )
         return True, None
 
-    def _do_trace_mark(self, rt: _RankRuntime, request: TraceMark) -> None:
-        now = self.engine.now
+    def _do_trace_mark(self, rt: _RankRuntime, request: TraceMark) -> tuple[bool, Any]:
+        now = self.engine._now
         if request.phase == "begin":
             rt.collective_stack.append((request.op, now, request.nbytes))
-            return
+            return False, None
         if request.phase != "end":
             raise SimulationError(f"bad TraceMark phase {request.phase!r}")
         if not rt.collective_stack:
@@ -514,35 +588,98 @@ class World:
             raise SimulationError(
                 f"rank {rt.rank}: TraceMark mismatch: begin '{op}', end '{request.op}'"
             )
-        self._trace(
-            rt,
+        rt.trace.add_span(
             op,
             CATEGORY_COLLECTIVE,
             t_begin,
             now,
             nbytes or request.nbytes,
+            None,
+            bool(rt.collective_stack),
         )
+        return False, None
 
     # ------------------------------------------------------------------
     # Message routing
 
     def _route(self, message: _Message) -> None:
-        """Match a newly-sent message against posted receives, or buffer it."""
+        """Match a newly-sent message against posted receives, or buffer it.
+
+        Posted receives are indexed by ``(source, tag)``; an arriving
+        message can match at most four buckets (exact, wildcard source,
+        wildcard tag, both).  Each bucket is FIFO by posting order, so
+        the earliest-posted matching receive is the minimum handle uid
+        among the bucket heads — identical to the old linear scan.
+        """
         posted = self._posted[message.dest]
-        for i, handle in enumerate(posted):
-            if self._matches(handle, message):
-                del posted[i]
+        if posted:
+            source, tag = message.source, message.tag
+            best_key: tuple[int, int] | None = None
+            best_uid = -1
+            for key in (
+                (source, tag),
+                (ANY_SOURCE, tag),
+                (source, ANY_TAG),
+                (ANY_SOURCE, ANY_TAG),
+            ):
+                queue = posted.get(key)
+                if queue:
+                    uid = queue[0].uid
+                    if best_key is None or uid < best_uid:
+                        best_key, best_uid = key, uid
+            if best_key is not None:
+                queue = posted[best_key]
+                handle = queue.popleft()
+                if not queue:
+                    del posted[best_key]
                 self._complete_recv(handle, message)
                 return
-        self._unexpected[message.dest].append(message)
+        unexpected = self._unexpected[message.dest]
+        key = (message.source, message.tag)
+        queue = unexpected.get(key)
+        if queue is None:
+            unexpected[key] = deque((message,))
+        else:
+            queue.append(message)
 
     def _match_unexpected(self, rank: int, handle: Handle) -> _Message | None:
-        queue = self._unexpected[rank]
-        for i, message in enumerate(queue):
-            if self._matches(handle, message):
-                del queue[i]
-                return message
-        return None
+        """Earliest buffered message matching ``handle``, removed, or None.
+
+        The buffer is indexed by ``(source, tag)``; a fully-specified
+        receive is one dict lookup.  Wildcard receives compare the heads
+        of the matching buckets and take the minimum message sequence
+        number — send order, exactly as the old linear scan did.
+        """
+        unexpected = self._unexpected[rank]
+        if not unexpected:
+            return None
+        peer, tag = handle.peer, handle.tag
+        if peer != ANY_SOURCE and tag != ANY_TAG:
+            key = (peer, tag)
+            queue = unexpected.get(key)
+            if not queue:
+                return None
+            message = queue.popleft()
+            if not queue:
+                del unexpected[key]
+            return message
+        best_key: tuple[int, int] | None = None
+        best_seq = -1
+        for key, queue in unexpected.items():
+            if peer != ANY_SOURCE and key[0] != peer:
+                continue
+            if tag != ANY_TAG and key[1] != tag:
+                continue
+            seq = queue[0].seq
+            if best_key is None or seq < best_seq:
+                best_key, best_seq = key, seq
+        if best_key is None:
+            return None
+        queue = unexpected[best_key]
+        message = queue.popleft()
+        if not queue:
+            del unexpected[best_key]
+        return message
 
     @staticmethod
     def _matches(handle: Handle, message: _Message) -> bool:
@@ -553,8 +690,8 @@ class World:
         return True
 
     def _complete_recv(self, handle: Handle, message: _Message) -> None:
-        overhead = self.network.endpoint_overhead()
-        ready = max(handle.post_time, message.arrival, self.engine.now)
+        overhead = self._endpoint_overhead
+        ready = max(handle.post_time, message.arrival, self.engine._now)
         handle.complete_at = ready + overhead
         handle.nbytes = message.nbytes
         handle.payload = message.payload
@@ -567,3 +704,20 @@ class World:
                 op, t_enter, _, _ = waiter.pending_wait
                 waiter.pending_wait = (op, t_enter, message.nbytes, message.source)
             self._resume_later(waiter, handle.complete_at, handle.payload)
+
+
+#: Request-class dispatch table: one dict lookup per yielded request in
+#: place of a ten-way isinstance chain.  A class attribute so every World
+#: shares it; handlers are plain functions called as handler(self, rt, req).
+World._HANDLERS = {
+    Compute: World._do_compute,
+    Isend: World._do_isend,
+    Irecv: World._do_irecv,
+    Wait: World._do_wait,
+    Now: World._do_now,
+    SetGear: World._do_set_gear,
+    Elapse: World._do_elapse,
+    DiskIO: World._do_disk_io,
+    SetDiskSpeed: World._do_set_disk_speed,
+    TraceMark: World._do_trace_mark,
+}

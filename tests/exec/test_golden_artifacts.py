@@ -24,6 +24,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.exec import Executor
 from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
 from repro.reporting import result_to_dict
 
@@ -43,9 +44,10 @@ EXPERIMENTS = {
 }
 
 
-def render_artifact(name: str) -> str:
+def render_artifact(name: str, executor: Executor | None = None) -> str:
     """One experiment's exported JSON, exactly as ``write_result`` writes it."""
-    result = EXPERIMENTS[name](scale=GOLDEN_SCALE)
+    kwargs = {"executor": executor} if executor is not None else {}
+    result = EXPERIMENTS[name](scale=GOLDEN_SCALE, **kwargs)
     return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
 
 
@@ -74,6 +76,22 @@ def test_artifact_matches_golden(name, update_goldens):
     assert text == path.read_text(), (
         f"{name} artifact drifted from its golden; if intentional, rerun "
         "with --update-goldens and commit the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_chunked_parallel_artifact_matches_golden(name):
+    """``--jobs 4 --chunk-size 8`` reproduces the golden byte for byte.
+
+    Chunk boundaries must never leak into results or merge order: a
+    chunked parallel sweep is indistinguishable from a serial run.
+    """
+    path = GOLDEN_DIR / f"{name}.json"
+    if not path.exists():
+        pytest.skip(f"golden {path.name} not generated yet")
+    text = render_artifact(name, executor=Executor(jobs=4, chunk_size=8))
+    assert text == path.read_text(), (
+        f"{name}: chunked parallel artifact differs from the serial golden"
     )
 
 

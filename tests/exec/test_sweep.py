@@ -8,6 +8,7 @@ and the cache's hit/miss/invalidation accounting is exact.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Any
 
@@ -24,7 +25,13 @@ from repro.exec import (
     code_version_token,
     sweep,
 )
-from repro.exec.sweep import cache_key
+from repro.exec.profile import SOURCE_RUN, ExecProfile
+from repro.exec.sweep import (
+    _auto_chunk_size,
+    _ChunkPointError,
+    _execute_chunk,
+    cache_key,
+)
 from repro.util.errors import ConfigurationError, SimulationError
 from repro.workloads.jacobi import Jacobi
 from repro.workloads.nas import EP, MG
@@ -205,3 +212,73 @@ class TestExecutor:
     def test_code_version_token_is_stable(self):
         assert code_version_token() == code_version_token()
         assert len(code_version_token()) == 64
+
+
+class TestChunkedDispatch:
+    def test_chunked_sweep_matches_serial(self, tasks):
+        serial = sweep(tasks, jobs=1)
+        for size in (1, 2, len(tasks) + 5):
+            assert sweep(tasks, jobs=2, chunk_size=size) == serial
+
+    def test_chunk_size_must_be_positive(self, tasks):
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            sweep(tasks, jobs=2, chunk_size=0)
+
+    def test_auto_chunk_size_targets_four_chunks_per_worker(self):
+        assert _auto_chunk_size(32, 4) == 2
+        assert _auto_chunk_size(3, 8) == 1
+        assert _auto_chunk_size(0, 4) == 1
+
+    def test_chunk_failure_names_the_exact_point(self, cluster):
+        # The exploding point sits mid-chunk: the error must name *it*,
+        # not the chunk or the chunk's first point.
+        tasks = [
+            GearSweepTask(cluster, EP(SCALE), nodes=1),
+            ExplodingTask("mid-chunk"),
+            GearSweepTask(cluster, EP(SCALE), nodes=2),
+        ]
+        with pytest.raises(
+            SimulationError, match=r"'exploding', 'mid-chunk'"
+        ) as info:
+            sweep(tasks, jobs=2, chunk_size=3)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_chunk_point_error_survives_pickling(self):
+        exc = pickle.loads(pickle.dumps(_ChunkPointError(3, ValueError("boom"))))
+        assert exc.index == 3
+        assert isinstance(exc.cause, ValueError)
+
+    def test_warm_cache_chunked_sweep_replays_without_workers(
+        self, tasks, tmp_path
+    ):
+        cache = ResultCache(root=tmp_path)
+        cold = sweep(tasks, cache=cache)
+        warm = sweep(tasks, jobs=2, chunk_size=2, cache=cache)
+        assert warm == cold
+        assert cache.stats.hits == len(tasks)
+        assert cache.stats.stores == len(tasks)
+
+
+class TestChunkedProfile:
+    def test_per_point_seconds_sum_to_chunk_wall(self, cluster):
+        chunk = [GearSweepTask(cluster, EP(SCALE), nodes=n) for n in (1, 2)]
+        results, seconds, chunk_wall = _execute_chunk(chunk)
+        assert len(results) == len(seconds) == len(chunk)
+        assert all(s > 0 for s in seconds)
+        # Loop bookkeeping is the only residual, so the per-point times
+        # can never exceed the chunk's own wall time.
+        assert sum(seconds) <= chunk_wall
+
+    def test_chunked_sweep_profile_accounting(self, tasks):
+        profile = ExecProfile()
+        sweep(tasks, jobs=2, chunk_size=2, profile=profile)
+        assert profile.task_count == len(tasks)
+        # One SOURCE_RUN entry per point, merged back in task order.
+        assert [t.key for t in profile.timings] == [str(t.key) for t in tasks]
+        assert all(t.source == SOURCE_RUN for t in profile.timings)
+        assert all(t.seconds > 0 for t in profile.timings)
+        # Four points in chunks of two -> two chunks, both workers used.
+        assert profile.workers == 2
+        # Per-point times are in-worker walls (startup and IPC excluded),
+        # so busy time fits inside workers * host wall time.
+        assert profile.busy_s <= profile.wall_s * profile.workers

@@ -245,3 +245,116 @@ class TestDeterminism:
         b = run(w.program, nodes=4)
         assert a.end_time == b.end_time
         assert a.total_energy == b.total_energy
+
+
+class TestMatchingIndex:
+    """Edge cases of the (source, tag)-indexed message matching.
+
+    Matching is bucketed by (source, tag) with wildcard buckets resolved
+    by comparing queue heads; these tests pin the MPI-mandated global
+    orders — earliest-posted receive, earliest-sent message, FIFO per
+    pair — across bucket boundaries.
+    """
+
+    def test_earliest_posted_wildcard_beats_later_specific(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=8, tag=5, payload="first")
+                yield from comm.send(1, nbytes=8, tag=5, payload="second")
+            else:
+                h_any = yield from comm.irecv()  # posted first
+                h_exact = yield from comm.irecv(0, tag=5)  # posted second
+                got_any = yield from comm.wait(h_any)
+                got_exact = yield from comm.wait(h_exact)
+                return (got_any, got_exact)
+
+        res = run(program)
+        assert res.return_values()[1] == ("first", "second")
+
+    def test_earliest_posted_specific_beats_later_wildcard(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(uops=1e9)  # receives post first
+                yield from comm.send(1, nbytes=8, tag=5, payload="first")
+                yield from comm.send(1, nbytes=8, tag=5, payload="second")
+            else:
+                h_exact = yield from comm.irecv(0, tag=5)  # posted first
+                h_any = yield from comm.irecv()  # posted second
+                got_exact = yield from comm.wait(h_exact)
+                got_any = yield from comm.wait(h_any)
+                return (got_exact, got_any)
+
+        res = run(program)
+        assert res.return_values()[1] == ("first", "second")
+
+    def test_fifo_within_each_source_tag_pair(self):
+        def program(comm):
+            if comm.rank == 0:
+                for tag, payload in ((1, "a1"), (2, "b1"), (1, "a2"), (2, "b2")):
+                    yield from comm.send(1, nbytes=8, tag=tag, payload=payload)
+            else:
+                yield from comm.compute(uops=5e9)  # let everything buffer
+                first_b = yield from comm.recv(0, tag=2)
+                first_a = yield from comm.recv(0, tag=1)
+                second_b = yield from comm.recv(0, tag=2)
+                second_a = yield from comm.recv(0, tag=1)
+                return (first_a, first_b, second_a, second_b)
+
+        res = run(program)
+        assert res.return_values()[1] == ("a1", "b1", "a2", "b2")
+
+    def test_any_source_takes_earliest_sent_across_sources(self):
+        def program(comm):
+            if comm.rank == 1:
+                yield from comm.send(0, nbytes=8, tag=3, payload="from1")
+            elif comm.rank == 2:
+                yield from comm.compute(uops=1e8)  # sends strictly later
+                yield from comm.send(0, nbytes=8, tag=3, payload="from2")
+            else:
+                yield from comm.compute(uops=5e9)  # both messages buffer
+                first = yield from comm.recv(tag=3)
+                second = yield from comm.recv(tag=3)
+                return (first, second)
+
+        res = run(program, nodes=3)
+        assert res.return_values()[0] == ("from1", "from2")
+
+    def test_any_tag_takes_earliest_sent_across_tags(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=8, tag=7, payload="older")
+                yield from comm.send(1, nbytes=8, tag=3, payload="newer")
+            else:
+                yield from comm.compute(uops=5e9)  # both messages buffer
+                first = yield from comm.recv(0)
+                second = yield from comm.recv(0)
+                return (first, second)
+
+        res = run(program)
+        assert res.return_values()[1] == ("older", "newer")
+
+    def test_specific_source_skips_other_sources_buffered_messages(self):
+        def program(comm):
+            if comm.rank == 1:
+                yield from comm.send(0, nbytes=8, payload="from1")
+            elif comm.rank == 2:
+                yield from comm.compute(uops=2e9)
+                yield from comm.send(0, nbytes=8, payload="from2")
+            else:
+                got2 = yield from comm.recv(2)  # must not take rank 1's
+                got1 = yield from comm.recv(1)
+                return (got1, got2)
+
+        res = run(program, nodes=3)
+        assert res.return_values()[0] == ("from1", "from2")
+
+    def test_unmatched_tag_still_deadlocks(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.isend(1, nbytes=8, tag=1)
+            else:
+                yield from comm.recv(0, tag=2)
+
+        with pytest.raises(DeadlockError) as err:
+            run(program)
+        assert "rank 1" in str(err.value)

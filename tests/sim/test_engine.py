@@ -74,6 +74,56 @@ class TestGuards:
         with pytest.raises(SimulationError):
             sim.run(max_events=100)
 
+    def test_max_events_raises_after_exactly_n(self):
+        sim = Simulator()
+        fired = []
+
+        def rearm():
+            fired.append(sim.now)
+            sim.schedule_after(1.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+        # The guard trips once the Nth event has run, never on event N+1.
+        assert len(fired) == 5
+
+    def test_draining_in_exactly_max_events_succeeds(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=5)
+        assert sim.processed == 5
+
+    def test_max_events_zero_with_pending_events_raises(self):
+        sim = Simulator()
+        sim.schedule(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=0)
+        sim.run(max_events=None)  # the event is still there and runnable
+        assert sim.processed == 1
+
+    def test_max_events_exact_on_instrumented_loop(self):
+        from repro.obs.registry import MetricsRegistry
+
+        sim = Simulator(metrics=MetricsRegistry())
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=5)
+        assert sim.processed == 5
+
+        sim = Simulator(metrics=MetricsRegistry())
+        fired = []
+
+        def rearm():
+            fired.append(sim.now)
+            sim.schedule_after(1.0, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+        assert len(fired) == 5
+
     def test_step_returns_false_when_drained(self):
         sim = Simulator()
         assert sim.step() is False
