@@ -13,7 +13,11 @@ readable report (``BENCH_sim.json``):
   1.5x of serial: hooks are zero-cost when disabled);
 - **dispatch** — a parallel sweep timed with per-point worker dispatch
   (``chunk_size=1``) and with auto-chunked dispatch, isolating the
-  pickling/IPC overhead that chunking amortizes.
+  pickling/IPC overhead that chunking amortizes;
+- **fast_forward** — a 1000-iteration Jacobi gear sweep run fully
+  event-driven and again with steady-state macro-stepping; reports the
+  wall-clock speedup and the worst per-gear relative error, and writes
+  the per-gear equivalence detail to ``FF_equivalence.json``.
 
 ``--check-baseline`` compares throughput against the committed floor in
 ``benchmarks/BENCH_baseline.json`` and exits non-zero on a >20 %
@@ -143,6 +147,54 @@ def bench_dispatch(scale: float, jobs: int = 2) -> dict[str, float | int]:
     return results
 
 
+def bench_fast_forward(nodes: int = 4, iterations_scale: float = 10.0) -> dict:
+    """Full vs macro-stepped gear sweep of a long steady-state run.
+
+    Jacobi at 10x its base iteration count (1000 iterations) is the
+    fast-forward layer's home turf: a long, provably periodic steady
+    state with a short warmup and epilogue.  A small ``max_period``
+    makes the detector engage after a handful of iterations, so nearly
+    the whole run is extrapolated analytically.
+    """
+    from repro.core.run import gear_sweep
+    from repro.mpi.fastforward import FastForwardConfig
+
+    cluster = athlon_cluster()
+    workload = Jacobi(iterations_scale)
+    config = FastForwardConfig(max_period=4)
+
+    start = time.perf_counter()
+    full = gear_sweep(cluster, workload, nodes=nodes)
+    full_s = time.perf_counter() - start
+    start = time.perf_counter()
+    fast = gear_sweep(cluster, workload, nodes=nodes, fast_forward=config)
+    fast_s = time.perf_counter() - start
+
+    gears = []
+    for a, b in zip(full.points, fast.points):
+        gears.append(
+            {
+                "gear": a.gear,
+                "time_rel_err": abs(a.time - b.time) / a.time,
+                "energy_rel_err": abs(a.energy - b.energy) / a.energy,
+            }
+        )
+    return {
+        "workload": "Jacobi",
+        "iterations": workload.spec.iterations,
+        "nodes": nodes,
+        "full_s": full_s,
+        "fast_s": fast_s,
+        "speedup": full_s / fast_s,
+        "skipped_iterations": config.aggregate.skipped_iterations,
+        "jumps": config.aggregate.jumps,
+        "max_rel_err": max(
+            max(g["time_rel_err"], g["energy_rel_err"]) for g in gears
+        ),
+        "gears": gears,
+    }
+
+
 def run_bench(scale: float, engine_events: int) -> dict:
     """All four sections; returns the BENCH_sim.json payload."""
     report: dict = {
@@ -155,6 +207,7 @@ def run_bench(scale: float, engine_events: int) -> dict:
         report["suite_observed_s"] / report["suite_serial_s"]
     )
     report["dispatch"] = bench_dispatch(scale)
+    report["fast_forward"] = bench_fast_forward()
     return report
 
 
@@ -186,6 +239,14 @@ def render_report(report: dict) -> str:
             f"chunked {dispatch['chunked_s']:.2f} s",
         ]
     )
+    ff = report["fast_forward"]
+    table.add_row(
+        [
+            f"fast-forward ({ff['iterations']} iters, {ff['nodes']} nodes)",
+            f"full {ff['full_s']:.2f} s, macro-stepped {ff['fast_s']:.2f} s "
+            f"({ff['speedup']:.1f}x, max rel err {ff['max_rel_err']:.1e})",
+        ]
+    )
     return table.render()
 
 
@@ -206,6 +267,18 @@ def check_baseline(report: dict, path: Path) -> list[str]:
             "observed-mode suite is "
             f"{report['observed_over_serial']:.2f}x serial (limit 1.5x) — "
             "observability hooks are no longer zero-cost when disabled"
+        )
+    ff = report["fast_forward"]
+    floor = baseline.get("fast_forward_speedup")
+    if floor is not None and ff["speedup"] < floor:
+        failures.append(
+            f"fast-forward speedup {ff['speedup']:.1f}x is below the "
+            f"baseline floor ({floor:.1f}x)"
+        )
+    if ff["max_rel_err"] > 1e-9:
+        failures.append(
+            f"fast-forward equivalence error {ff['max_rel_err']:.2e} "
+            "exceeds 1e-9 — macro-stepping is no longer exact"
         )
     return failures
 
@@ -256,6 +329,11 @@ def main(argv: list[str] | None = None) -> int:
     print(render_report(report))
     Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[report written to {args.output}]")
+    equivalence = Path(args.output).parent / "FF_equivalence.json"
+    equivalence.write_text(
+        json.dumps(report["fast_forward"], indent=2, sort_keys=True) + "\n"
+    )
+    print(f"[fast-forward equivalence written to {equivalence}]")
     if args.check_baseline:
         failures = check_baseline(report, Path(args.check_baseline))
         for failure in failures:

@@ -163,6 +163,58 @@ class PowerMeter:
                 f"{self._metric_prefix}.energy_j", watts * (end - start)
             )
 
+    def replicate_window(
+        self, start: float, end: float, period: float, copies: int
+    ) -> None:
+        """Replay the intervals covering ``[start, end)`` ``copies`` times.
+
+        Copy ``k`` (1-based) is the window shifted by ``k * period``.
+        The steady-state fast-forward layer uses this to extrapolate one
+        stable iteration's power profile over the iterations it skips:
+        replicated intervals keep :meth:`energy`, :meth:`power_at`, and
+        :meth:`sampled_energy` consistent with having simulated them.
+
+        Appends are direct (no overlap re-validation): shifted copies of
+        a contiguous window stay ordered by construction, and re-deriving
+        ``k * period`` offsets would trip the exact-overlap check on
+        float-ulp noise long before any real inconsistency.
+        """
+        if copies < 1 or end <= start:
+            return
+        if period <= 0:
+            raise SimulationError(
+                f"replication period must be positive, got {period}"
+            )
+        self._flush_segment()
+        starts = self._starts
+        ends = self._ends
+        watts = self._watts
+        lo = bisect.bisect_left(starts, start)
+        hi = bisect.bisect_left(starts, end)
+        window = list(zip(starts[lo:hi], ends[lo:hi], watts[lo:hi]))
+        if lo > 0 and ends[lo - 1] > start:
+            # An equal-power span coalesced across the window start;
+            # include only its in-window portion.
+            window.insert(0, (start, min(ends[lo - 1], end), watts[lo - 1]))
+        if not window:
+            return
+        registry = self._registry
+        added = 0.0
+        for k in range(1, copies + 1):
+            shift = k * period
+            for s, e, w in window:
+                starts.append(s + shift)
+                ends.append(e + shift)
+                watts.append(w)
+                added += w * (e - s)
+                if registry is not None:
+                    self._registry.observe(
+                        f"{self._metric_prefix}.power_w", s + shift, w
+                    )
+        self._energy += added
+        if registry is not None:
+            registry.inc(f"{self._metric_prefix}.energy_j", added)
+
     def _flush_segment(self) -> None:
         """Move the open segment into the interval store."""
         if self._seg_start is None:

@@ -26,6 +26,7 @@ from repro.util.errors import ModelError
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.mpi.fastforward import FastForwardConfig
     from repro.obs.observer import RunObserver
 
 
@@ -94,6 +95,7 @@ def calibrate_gears(
     *,
     gears: Sequence[int] | None = None,
     observer: "RunObserver | None" = None,
+    fast_forward: "FastForwardConfig | None" = None,
 ) -> GearCalibration:
     """Run the workload on one node at every gear and extract S_g, P_g.
 
@@ -108,7 +110,12 @@ def calibrate_gears(
     powers: dict[int, float] = {}
     for g in indices:
         measurement = run_workload(
-            cluster, workload, nodes=1, gear=g, observer=observer
+            cluster,
+            workload,
+            nodes=1,
+            gear=g,
+            observer=observer,
+            fast_forward=fast_forward,
         )
         times[g] = measurement.time
         powers[g] = measurement.average_power

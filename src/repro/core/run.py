@@ -18,6 +18,7 @@ from repro.mpi.world import World, WorldResult
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.mpi.fastforward import FastForwardConfig
     from repro.obs.observer import RunObserver
 
 
@@ -74,12 +75,16 @@ def run_workload(
     nodes: int,
     gear: int = 1,
     observer: "RunObserver | None" = None,
+    fast_forward: "FastForwardConfig | None" = None,
 ) -> RunMeasurement:
     """Execute one workload configuration and measure it.
 
     With an ``observer`` the run is announced (started / gear changes /
     complete) so traces and metrics can be captured; ``None`` (the
-    default) runs the exact uninstrumented code path.
+    default) runs the exact uninstrumented code path.  With a
+    ``fast_forward`` config, steady-state iteration stretches of
+    mark-declaring workloads are macro-stepped analytically; ``None``
+    (the default) simulates every event.
     """
     workload.validate_nodes(nodes)
     cluster.validate_run(nodes, gear)
@@ -91,7 +96,12 @@ def run_workload(
         )
         observer.run_started(label)
     world = World(
-        cluster, workload.program, nodes=nodes, gear=gear, observer=observer
+        cluster,
+        workload.program,
+        nodes=nodes,
+        gear=gear,
+        observer=observer,
+        fast_forward=fast_forward,
     )
     result = world.run()
     if observer is not None:
@@ -118,11 +128,19 @@ def gear_sweep(
     nodes: int,
     gears: Sequence[int] | None = None,
     observer: "RunObserver | None" = None,
+    fast_forward: "FastForwardConfig | None" = None,
 ) -> EnergyTimeCurve:
     """Run a workload at every gear; returns one energy-time curve."""
     gear_indices = list(gears) if gears is not None else list(cluster.gears.indices)
     measurements = [
-        run_workload(cluster, workload, nodes=nodes, gear=g, observer=observer)
+        run_workload(
+            cluster,
+            workload,
+            nodes=nodes,
+            gear=g,
+            observer=observer,
+            fast_forward=fast_forward,
+        )
         for g in gear_indices
     ]
     return EnergyTimeCurve(
@@ -139,10 +157,18 @@ def node_sweep(
     node_counts: Sequence[int],
     gears: Sequence[int] | None = None,
     observer: "RunObserver | None" = None,
+    fast_forward: "FastForwardConfig | None" = None,
 ) -> CurveFamily:
     """Gear-sweep a workload at several node counts (one figure panel)."""
     curves = [
-        gear_sweep(cluster, workload, nodes=n, gears=gears, observer=observer)
+        gear_sweep(
+            cluster,
+            workload,
+            nodes=n,
+            gears=gears,
+            observer=observer,
+            fast_forward=fast_forward,
+        )
         for n in node_counts
     ]
     return CurveFamily(workload=workload.name, curves=tuple(curves))

@@ -13,9 +13,12 @@ where ``key`` is the 64-hex-char fingerprint of the simulation point
 The code-version token is *part of the key*, so entries written by older
 code are simply never hit again; :meth:`ResultCache.prune` deletes them
 (that is the "invalidation" the stats report, together with corrupt
-entries discarded on read).  Writes are atomic (tmp file + rename), so a
-killed run never leaves a half-written entry that a later run would
-trust.
+entries discarded on read).  :meth:`ResultCache.prune` also enforces a
+size bound — ``max_entries``/``max_bytes`` arguments or the
+``$REPRO_CACHE_MAX_MB`` environment knob — by evicting the
+least-recently-written entries first.  Writes are atomic (tmp file +
+rename), so a killed run never leaves a half-written entry that a later
+run would trust.
 """
 
 from __future__ import annotations
@@ -31,6 +34,11 @@ from repro.exec.fingerprint import code_version_token
 #: Environment variable overriding the cache root directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the cache size, in megabytes.  When
+#: set, :meth:`ResultCache.prune` (with no explicit bound) evicts the
+#: least-recently-used entries until the cache fits.
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
 
 def default_cache_dir() -> Path:
     """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
@@ -38,6 +46,24 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"
+
+
+def env_max_bytes() -> int | None:
+    """The ``$REPRO_CACHE_MAX_MB`` bound in bytes, or None when unset.
+
+    Unparseable or non-positive values are treated as unset rather than
+    raising — a bad environment knob must never break a run.
+    """
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
 
 
 @dataclass
@@ -48,6 +74,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalidated: int = 0
+    evicted: int = 0
 
     @property
     def lookups(self) -> int:
@@ -61,11 +88,14 @@ class CacheStats:
 
     def render(self) -> str:
         """One-line human-readable summary."""
-        return (
+        line = (
             f"cache: {self.hits} hits, {self.misses} misses "
             f"({self.hit_rate:.0%} hit rate), {self.stores} stored, "
             f"{self.invalidated} invalidated"
         )
+        if self.evicted:
+            line += f", {self.evicted} evicted"
+        return line
 
 
 @dataclass
@@ -148,17 +178,39 @@ class ResultCache:
             removed += 1
         return removed
 
-    def prune(self, *, current_version: str | None = None) -> int:
-        """Delete entries written by a different code version.
+    def prune(
+        self,
+        *,
+        current_version: str | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> int:
+        """Delete stale entries, then shrink to the configured bounds.
+
+        Two passes:
+
+        1. entries written by a different code version (or unreadable)
+           are deleted and counted as *invalidated*;
+        2. if the survivors exceed ``max_entries`` or ``max_bytes``, the
+           least-recently-used entries (oldest mtime first — ``load``
+           does not touch mtimes, so this is least-recently-*written*)
+           are deleted and counted as *evicted* until both bounds hold.
+
+        ``max_bytes`` defaults to ``$REPRO_CACHE_MAX_MB`` (converted to
+        bytes) when that variable is set.
 
         Args:
             current_version: token to keep (default: the running code's).
+            max_entries: keep at most this many entries (None = no bound).
+            max_bytes: keep at most this many payload bytes
+                (None = ``$REPRO_CACHE_MAX_MB`` or no bound).
 
         Returns:
-            How many stale or unreadable entries were removed.
+            How many entries were removed in total.
         """
         keep = current_version or code_version_token()
         removed = 0
+        survivors: list[tuple[float, int, Path]] = []
         for path in self._entry_paths():
             try:
                 entry = json.loads(path.read_text())
@@ -168,4 +220,28 @@ class ResultCache:
             if version != keep:
                 self._discard(path)
                 removed += 1
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            survivors.append((stat.st_mtime, stat.st_size, path))
+        if max_bytes is None:
+            max_bytes = env_max_bytes()
+        if max_entries is None and max_bytes is None:
+            return removed
+        survivors.sort()  # oldest first
+        total_bytes = sum(size for _, size, _ in survivors)
+        while survivors and (
+            (max_entries is not None and len(survivors) > max_entries)
+            or (max_bytes is not None and total_bytes > max_bytes)
+        ):
+            _, size, path = survivors.pop(0)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.evicted += 1
+            total_bytes -= size
+            removed += 1
         return removed

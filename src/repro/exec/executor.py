@@ -11,6 +11,7 @@ changes behind anyone's back.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.exec.cache import CacheStats, ResultCache
@@ -19,6 +20,7 @@ from repro.exec.sweep import sweep
 from repro.exec.tasks import SimTask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.mpi.fastforward import FastForwardConfig
     from repro.obs.observer import RunObserver
 
 
@@ -41,6 +43,12 @@ class Executor:
             sweeps; ``None`` (the default) auto-sizes to about four
             chunks per worker.  Chunking amortizes pickling/IPC and
             never changes results.
+        fast_forward: optional
+            :class:`repro.mpi.fastforward.FastForwardConfig` stamped
+            onto every task this executor runs (tasks that already carry
+            their own config keep it).  Fast-forwarded points cache
+            under distinct keys, so the same cache can hold both exact
+            and macro-stepped results.
     """
 
     def __init__(
@@ -51,6 +59,7 @@ class Executor:
         observer: "RunObserver | None" = None,
         profile: bool = False,
         chunk_size: int | None = None,
+        fast_forward: "FastForwardConfig | None" = None,
     ):
         if cache is True:
             cache = ResultCache()
@@ -61,11 +70,28 @@ class Executor:
         self.observer = observer
         self.profile: ExecProfile | None = ExecProfile() if profile else None
         self.chunk_size = chunk_size
+        self.fast_forward = fast_forward
+
+    def _with_fast_forward(self, task: SimTask) -> SimTask:
+        """Stamp this executor's fast-forward config onto a task.
+
+        Tasks that already carry a config, or kinds without a
+        ``fast_forward`` field, pass through unchanged.
+        """
+        if not dataclasses.is_dataclass(task):
+            return task
+        names = {f.name for f in dataclasses.fields(task)}
+        if "fast_forward" not in names or getattr(task, "fast_forward") is not None:
+            return task
+        return dataclasses.replace(task, fast_forward=self.fast_forward)
 
     def run(self, tasks: Iterable[SimTask]) -> list[Any]:
         """Sweep the points under this executor's policy."""
+        ordered = list(tasks)
+        if self.fast_forward is not None:
+            ordered = [self._with_fast_forward(task) for task in ordered]
         return sweep(
-            tasks,
+            ordered,
             jobs=self.jobs,
             cache=self.cache,
             observer=self.observer,

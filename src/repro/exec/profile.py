@@ -39,6 +39,9 @@ class TaskTiming:
         seconds: simulation wall time (0.0 for cache hits).
         lookup_s: cache lookup latency (0.0 when uncached).
         store_s: cache store latency (0.0 for hits / uncached).
+        ff_skipped: iterations the steady-state fast-forward layer
+            macro-stepped instead of simulating while running this
+            point (0 for cache hits / fast-forward disabled).
     """
 
     key: str
@@ -46,6 +49,7 @@ class TaskTiming:
     seconds: float
     lookup_s: float = 0.0
     store_s: float = 0.0
+    ff_skipped: int = 0
 
     @property
     def total_s(self) -> float:
@@ -106,6 +110,11 @@ class ExecProfile:
         """Points that had to simulate (with a cache attached)."""
         return sum(1 for t in self.by_source(SOURCE_RUN) if t.lookup_s > 0)
 
+    @property
+    def ff_skipped_total(self) -> int:
+        """Iterations macro-stepped by fast-forward across all points."""
+        return sum(t.ff_skipped for t in self.timings)
+
     def mean_latency(self, source: str) -> float:
         """Average total wall time per point from ``source`` (0 if none)."""
         timings = self.by_source(source)
@@ -136,6 +145,10 @@ class ExecProfile:
         summary.add_row(
             ["simulated points", f"{len(self.by_source(SOURCE_RUN))} (avg {self.mean_latency(SOURCE_RUN):.3f} s)"]
         )
+        if self.ff_skipped_total:
+            summary.add_row(
+                ["fast-forwarded iterations", str(self.ff_skipped_total)]
+            )
         lines = [summary.render()]
         if self.timings:
             top = TextTable(["point", "source", "total (s)"], title="Slowest points")

@@ -56,6 +56,21 @@ def _execute_timed(task: SimTask) -> tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
+def _ff_skipped(task: SimTask) -> int:
+    """Iterations fast-forward has skipped under this task's config so far.
+
+    Reads the config's cross-run ``aggregate`` ledger; sampling it
+    before and after a point runs attributes the delta to that point.
+    Works identically inline and inside a pool worker (the worker
+    mutates its own pickled copy of the config and the delta travels
+    back with the chunk's timings).
+    """
+    config = getattr(task, "fast_forward", None)
+    if config is None:
+        return 0
+    return config.aggregate.skipped_iterations
+
+
 class _ChunkPointError(Exception):
     """One point of a chunk failed in a worker.
 
@@ -70,23 +85,29 @@ class _ChunkPointError(Exception):
         self.cause = cause
 
 
-def _execute_chunk(tasks: Sequence[SimTask]) -> tuple[list[Any], list[float], float]:
+def _execute_chunk(
+    tasks: Sequence[SimTask],
+) -> tuple[list[Any], list[float], float, list[int]]:
     """Run a chunk of tasks in one worker call.
 
-    Returns (results, per-point wall seconds, chunk wall seconds), all
-    measured inside the worker so IPC and worker startup are excluded.
+    Returns (results, per-point wall seconds, chunk wall seconds,
+    per-point fast-forwarded iterations), all measured inside the worker
+    so IPC and worker startup are excluded.
     """
     chunk_start = time.perf_counter()
     results: list[Any] = []
     seconds: list[float] = []
+    ff_skips: list[int] = []
     for index, task in enumerate(tasks):
         start = time.perf_counter()
+        skipped_before = _ff_skipped(task)
         try:
             results.append(task.run())
         except Exception as exc:
             raise _ChunkPointError(index, exc) from exc
         seconds.append(time.perf_counter() - start)
-    return results, seconds, time.perf_counter() - chunk_start
+        ff_skips.append(_ff_skipped(task) - skipped_before)
+    return results, seconds, time.perf_counter() - chunk_start, ff_skips
 
 
 def _point_error(task: SimTask, exc: BaseException) -> SimulationError:
@@ -216,6 +237,7 @@ def sweep(
                 seconds=timing.seconds,
                 lookup_s=lookups.get(task.key, 0.0),
                 store_s=store_s,
+                ff_skipped=timing.ff_skipped,
             )
     if profile is not None:
         profile.wall_s += time.perf_counter() - sweep_start
@@ -230,6 +252,7 @@ def _run_inline(
     out = []
     for task, _ in pending:
         start = time.perf_counter()
+        skipped_before = _ff_skipped(task)
         try:
             # Only pass the observer when one is attached: tasks that
             # predate observability keep their plain run() signature.
@@ -245,6 +268,7 @@ def _run_inline(
                     key=str(task.key),
                     source=SOURCE_RUN,
                     seconds=time.perf_counter() - start,
+                    ff_skipped=_ff_skipped(task) - skipped_before,
                 )
             )
     return out
@@ -267,7 +291,7 @@ def _run_pool(
         out = []
         for chunk, future in zip(chunks, futures):
             try:
-                results, seconds, chunk_wall = future.result()
+                results, seconds, chunk_wall, ff_skips = future.result()
             except _ChunkPointError as exc:
                 for other in futures:
                     other.cancel()
@@ -279,18 +303,26 @@ def _run_pool(
                     other.cancel()
                 raise _point_error(chunk[0], exc) from exc
             out.extend(results)
+            for task, skipped in zip(chunk, ff_skips):
+                # Workers mutate their own pickled copy of the config;
+                # carry the headline counter back to the parent's ledger
+                # so pooled and inline sweeps report the same totals.
+                config = getattr(task, "fast_forward", None)
+                if config is not None and skipped:
+                    config.aggregate.skipped_iterations += skipped
             if profile is not None:
                 # Attribute the chunk's residual (request unpickling,
                 # loop bookkeeping) evenly so the recorded per-point
                 # times sum to the in-worker chunk wall time — worker
                 # startup and IPC stay excluded.
                 residual = (chunk_wall - sum(seconds)) / len(seconds)
-                for task, point_s in zip(chunk, seconds):
+                for task, point_s, skipped in zip(chunk, seconds, ff_skips):
                     profile.add(
                         TaskTiming(
                             key=str(task.key),
                             source=SOURCE_RUN,
                             seconds=point_s + residual,
+                            ff_skipped=skipped,
                         )
                     )
     return out

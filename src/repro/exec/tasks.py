@@ -36,12 +36,36 @@ from repro.reporting import curve_from_dict, curve_to_dict
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.mpi.fastforward import FastForwardConfig
     from repro.obs.observer import RunObserver
 
 
 def _describe_workload(workload: Workload) -> Any:
     """Canonical state of a workload instance (class + all attributes)."""
     return jsonable(workload)
+
+
+def _ff_key(config: "FastForwardConfig | None") -> tuple | None:
+    """Orderable identity of a fast-forward config (knobs only)."""
+    if config is None:
+        return None
+    return tuple(sorted(config.describe().items()))
+
+
+def _with_ff(describe: dict, config: "FastForwardConfig | None") -> dict:
+    """Add a fast-forward entry to a task description when configured.
+
+    Fast-forwarded results agree with full simulation only to the
+    configured tolerance, not bitwise, so the config participates in the
+    fingerprint: runs with different fast-forward settings never share
+    cache entries.  When no config is set the key is omitted entirely,
+    keeping fingerprints (and hence cached results) of plain tasks
+    identical to earlier releases.  The mutable ``aggregate`` ledger is
+    excluded either way.
+    """
+    if config is not None:
+        describe["fast_forward"] = config.describe()
+    return describe
 
 
 def _describe_cluster(cluster: ClusterSpec) -> Any:
@@ -89,6 +113,7 @@ class GearSweepTask(SimTask):
     workload: Workload
     nodes: int
     gears: tuple[int, ...] | None = None
+    fast_forward: "FastForwardConfig | None" = None
 
     @property
     def key(self) -> tuple:
@@ -99,16 +124,20 @@ class GearSweepTask(SimTask):
             self.workload.name,
             self.nodes,
             self.gears,
+            _ff_key(self.fast_forward),
         )
 
     def describe(self) -> Any:
-        return {
-            "kind": "gear_sweep",
-            "cluster": _describe_cluster(self.cluster),
-            "workload": _describe_workload(self.workload),
-            "nodes": self.nodes,
-            "gears": self.gears,
-        }
+        return _with_ff(
+            {
+                "kind": "gear_sweep",
+                "cluster": _describe_cluster(self.cluster),
+                "workload": _describe_workload(self.workload),
+                "nodes": self.nodes,
+                "gears": self.gears,
+            },
+            self.fast_forward,
+        )
 
     def run(self, observer: "RunObserver | None" = None) -> EnergyTimeCurve:
         """Simulate the sweep (optionally observed)."""
@@ -118,6 +147,7 @@ class GearSweepTask(SimTask):
             nodes=self.nodes,
             gears=self.gears,
             observer=observer,
+            fast_forward=self.fast_forward,
         )
 
     def encode(self, result: EnergyTimeCurve) -> Any:
@@ -135,6 +165,7 @@ class MeasurementTask(SimTask):
     workload: Workload
     nodes: int
     gear: int = 1
+    fast_forward: "FastForwardConfig | None" = None
 
     @property
     def key(self) -> tuple:
@@ -145,16 +176,20 @@ class MeasurementTask(SimTask):
             self.workload.name,
             self.nodes,
             self.gear,
+            _ff_key(self.fast_forward),
         )
 
     def describe(self) -> Any:
-        return {
-            "kind": "measurement",
-            "cluster": _describe_cluster(self.cluster),
-            "workload": _describe_workload(self.workload),
-            "nodes": self.nodes,
-            "gear": self.gear,
-        }
+        return _with_ff(
+            {
+                "kind": "measurement",
+                "cluster": _describe_cluster(self.cluster),
+                "workload": _describe_workload(self.workload),
+                "nodes": self.nodes,
+                "gear": self.gear,
+            },
+            self.fast_forward,
+        )
 
     def run(self, observer: "RunObserver | None" = None) -> RunMeasurement:
         """Simulate the measurement (optionally observed)."""
@@ -164,6 +199,7 @@ class MeasurementTask(SimTask):
             nodes=self.nodes,
             gear=self.gear,
             observer=observer,
+            fast_forward=self.fast_forward,
         )
 
     def encode(self, result: RunMeasurement) -> Any:
@@ -201,6 +237,7 @@ class CalibrationTask(SimTask):
 
     cluster: ClusterSpec
     workload: Workload
+    fast_forward: "FastForwardConfig | None" = None
 
     @property
     def key(self) -> tuple:
@@ -209,18 +246,27 @@ class CalibrationTask(SimTask):
             self.cluster.name,
             self.cluster.max_nodes,
             self.workload.name,
+            _ff_key(self.fast_forward),
         )
 
     def describe(self) -> Any:
-        return {
-            "kind": "calibration",
-            "cluster": _describe_cluster(self.cluster),
-            "workload": _describe_workload(self.workload),
-        }
+        return _with_ff(
+            {
+                "kind": "calibration",
+                "cluster": _describe_cluster(self.cluster),
+                "workload": _describe_workload(self.workload),
+            },
+            self.fast_forward,
+        )
 
     def run(self, observer: "RunObserver | None" = None) -> GearCalibration:
         """Run the calibration sweeps (optionally observed)."""
-        return calibrate_gears(self.cluster, self.workload, observer=observer)
+        return calibrate_gears(
+            self.cluster,
+            self.workload,
+            observer=observer,
+            fast_forward=self.fast_forward,
+        )
 
     def encode(self, result: GearCalibration) -> Any:
         # JSON object keys are strings; gear indices are rebuilt in decode.

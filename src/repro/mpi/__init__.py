@@ -24,11 +24,14 @@ from repro.mpi.requests import (
     TraceMark,
     Wait,
 )
+from repro.mpi.fastforward import FastForwardConfig, FastForwardStats
 from repro.mpi.tracing import TraceRecord, RankTrace
 from repro.mpi.comm import Comm
 from repro.mpi.world import World, WorldResult, RankResult
 
 __all__ = [
+    "FastForwardConfig",
+    "FastForwardStats",
     "ANY_SOURCE",
     "ANY_TAG",
     "Compute",

@@ -31,6 +31,7 @@ from repro.mpi.requests import (
     Handle,
     Irecv,
     Isend,
+    IterationMark,
     Now,
     SetDiskSpeed,
     SetGear,
@@ -101,6 +102,30 @@ class Comm:
     def now(self) -> Op:
         """Return the current simulated time."""
         return (yield Now())
+
+    def iteration_mark(self, index: int, total: int) -> Op:
+        """Declare an iteration boundary; returns iterations skipped.
+
+        Call at the top of the main loop.  Returns 0 normally; when the
+        steady-state fast-forward layer macro-steps, it returns the
+        number of iterations analytically skipped and the program must
+        advance its loop counter (and any per-iteration payload
+        recurrence) by that count::
+
+            while iteration < total:
+                skipped = yield from comm.iteration_mark(iteration, total)
+                if skipped:
+                    iteration += skipped
+                    continue
+                ... one iteration ...
+                iteration += 1
+
+        Only mark loops whose remaining iterations are structurally
+        uniform; wrap periodic sub-structure (checkpoints every C
+        iterations, a collective every P iterations) in macro-unit
+        marks instead.
+        """
+        return (yield IterationMark(index=index, total=total))
 
     def disk_write(self, nbytes: int) -> Op:
         """Blocking local disk write (checkpoint-style burst)."""

@@ -15,6 +15,7 @@ Isend         post an eager asynchronous send                Handle
 Irecv         post a receive                                 Handle
 Wait          block until a handle completes                 recv payload
 TraceMark     bracket a logical (collective) operation       None
+IterationMark declare an iteration boundary (fast-forward)   int skipped
 ============  =============================================  ==============
 
 Workload code normally goes through :class:`repro.mpi.comm.Comm` instead
@@ -165,6 +166,37 @@ class Wait:
     """Block until the handle completes; resumes with its payload."""
 
     handle: Handle
+
+
+@dataclass(frozen=True)
+class IterationMark:
+    """Declare an iteration boundary for steady-state fast-forward.
+
+    Emitted by iterative programs at the *top* of each main-loop
+    iteration (via :meth:`repro.mpi.comm.Comm.iteration_mark`).  The
+    runtime resumes the program with the number of iterations it
+    macro-stepped past (0 when fast-forward is off or no jump fired);
+    the program must advance its loop counter — and any per-iteration
+    payload recurrence — by that count.
+
+    Emitting a mark asserts the remaining ``total - index`` iterations
+    all share the event structure of the ones already observed; programs
+    with a periodic sub-structure (e.g. a checkpoint every C iterations)
+    must mark the enclosing uniform macro-unit instead.
+    """
+
+    index: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ConfigurationError(
+                f"iteration total must be >= 0, got {self.total}"
+            )
+        if not 0 <= self.index < max(self.total, 1):
+            raise ConfigurationError(
+                f"iteration index {self.index} out of range 0..{self.total - 1}"
+            )
 
 
 @dataclass(frozen=True)

@@ -161,6 +161,38 @@ class RankTrace:
             )
         )
 
+    def replicate_rows(self, start_row: int, period: float, copies: int) -> None:
+        """Replay the rows from ``start_row`` onward ``copies`` times.
+
+        Copy ``k`` (1-based) has every timestamp shifted by
+        ``k * period``.  The steady-state fast-forward layer uses this to
+        extrapolate one stable iteration's span pattern over the
+        iterations it skips, so :attr:`active_time`,
+        :meth:`reducible_time`, :meth:`message_stats`, and
+        :meth:`call_counts` all come out exactly as if the iterations had
+        been simulated.  Appends bypass :meth:`add_span` validation:
+        shifted copies of an in-order window stay in order by
+        construction.
+        """
+        if copies < 1:
+            return
+        if not 0 <= start_row <= len(self._rows):
+            raise SimulationError(
+                f"rank {self.rank}: replicate_rows start {start_row} out of "
+                f"range 0..{len(self._rows)}"
+            )
+        rows = self._rows
+        window = rows[start_row:]
+        if not window:
+            return
+        for k in range(1, copies + 1):
+            shift = k * period
+            rows.extend(
+                (op, cat, t0 + shift, t1 + shift, nbytes, peer, nested)
+                for op, cat, t0, t1, nbytes, peer, nested in window
+            )
+        self._last_exit = rows[-1][3]
+
     # ------------------------------------------------------------------
     # Reading
 

@@ -35,6 +35,7 @@ from repro.cluster.counters import CounterBank
 from repro.cluster.node import NodeState
 from repro.cluster.power import PowerMeter
 from repro.mpi.comm import Comm
+from repro.mpi.fastforward import FastForward, FastForwardConfig, FastForwardStats
 from repro.mpi.requests import (
     ANY_SOURCE,
     ANY_TAG,
@@ -44,6 +45,7 @@ from repro.mpi.requests import (
     Handle,
     Irecv,
     Isend,
+    IterationMark,
     Now,
     SetDiskSpeed,
     SetGear,
@@ -130,6 +132,8 @@ class WorldResult:
     nodes: int
     end_time: float
     ranks: list[RankResult]
+    #: Macro-stepping accounting; None when fast-forward was off.
+    fast_forward: FastForwardStats | None = None
 
     @property
     def total_energy(self) -> float:
@@ -186,6 +190,7 @@ class World:
         gear: int | Sequence[int] = 1,
         max_events: int | None = 50_000_000,
         observer: "RunObserver | None" = None,
+        fast_forward: FastForwardConfig | None = None,
     ):
         if isinstance(gear, int):
             gears = [gear] * nodes
@@ -201,6 +206,9 @@ class World:
         self.cluster = cluster
         self.nodes = nodes
         self._observer = observer
+        self._ff = (
+            FastForward(fast_forward, nodes) if fast_forward is not None else None
+        )
         self.engine = Simulator()
         self.network = cluster.network_model()
         # The per-endpoint software overhead is a link constant; one
@@ -275,8 +283,14 @@ class World:
                     final_gear=rt.node.gear.index,
                 )
             )
+        if self._ff is not None:
+            self._ff.config.aggregate.merge(self._ff.stats)
         return WorldResult(
-            cluster=self.cluster, nodes=self.nodes, end_time=end_time, ranks=results
+            cluster=self.cluster,
+            nodes=self.nodes,
+            end_time=end_time,
+            ranks=results,
+            fast_forward=self._ff.stats if self._ff is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -292,6 +306,7 @@ class World:
         escaping exception, BLOCKED set by the handler that blocks.
         """
         handlers = self._HANDLERS
+        ff = self._ff
         process = rt.process
         send = process._gen.send
         while True:
@@ -306,6 +321,8 @@ class World:
             except Exception:
                 process.state = ProcessState.FAILED
                 raise
+            if ff is not None:
+                ff.feed(rt, request)
             handler = handlers.get(request.__class__)
             if handler is None:
                 raise SimulationError(
@@ -572,6 +589,16 @@ class World:
         )
         return True, None
 
+    def _do_iteration_mark(
+        self, rt: _RankRuntime, request: IterationMark
+    ) -> tuple[bool, Any]:
+        ff = self._ff
+        if ff is None:
+            # Fast-forward off: marks are free and change nothing, so
+            # default runs stay byte-identical.
+            return False, 0
+        return ff.on_mark(self, rt, request)
+
     def _do_trace_mark(self, rt: _RankRuntime, request: TraceMark) -> tuple[bool, Any]:
         now = self.engine._now
         if request.phase == "begin":
@@ -720,4 +747,5 @@ World._HANDLERS = {
     DiskIO: World._do_disk_io,
     SetDiskSpeed: World._do_set_disk_speed,
     TraceMark: World._do_trace_mark,
+    IterationMark: World._do_iteration_mark,
 }

@@ -125,7 +125,10 @@ class MetricsObserver(RunObserver):
       ``.idle_s`` / ``.energy_j`` hold the MPI active/idle split;
     - timeseries ``run.<s>.rank<k>.gear`` holds the gear timeline, and
       (with ``sample_power_hz`` set) ``run.<s>.rank<k>.power_w`` holds
-      finite-rate power samples, like the paper's multimeter rig.
+      finite-rate power samples, like the paper's multimeter rig;
+    - runs that macro-stepped steady-state iterations additionally
+      bump ``fast_forward.jumps`` / ``fast_forward.skipped_iterations``
+      and gauge ``run.<s>.ff_skipped_iterations``.
     """
 
     def __init__(
@@ -169,6 +172,11 @@ class MetricsObserver(RunObserver):
             reg.observe(
                 f"run.{slug}.rank{change.rank}.gear", change.time, change.gear
             )
+        ff = result.fast_forward
+        if ff is not None and ff.jumps:
+            reg.inc("fast_forward.jumps", ff.jumps)
+            reg.inc("fast_forward.skipped_iterations", ff.skipped_iterations)
+            reg.set_gauge(f"run.{slug}.ff_skipped_iterations", ff.skipped_iterations)
         self._gear_changes = []
 
 

@@ -97,6 +97,28 @@ def trace_events(
                 "args": {"name": f"rank {rank_result.rank}"},
             }
         )
+    ff = result.fast_forward
+    if ff is not None and ff.jumps:
+        # Steady-state stretches were macro-stepped, so the timeline
+        # between a jump's bracketing marks holds replicated (not
+        # simulated) slices; flag that prominently in the viewer.
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": f"fast-forward: {ff.skipped_iterations} iterations "
+                f"macro-stepped in {ff.jumps} jump(s)",
+                "cat": "fast_forward",
+                "pid": 0,
+                "tid": 0,
+                "ts": 0.0,
+                "args": {
+                    "jumps": ff.jumps,
+                    "skipped_iterations": ff.skipped_iterations,
+                    "deviations": ff.deviations,
+                },
+            }
+        )
     for rank_result in result.ranks:
         for record in rank_result.trace.records:
             if record.nested and not include_nested:

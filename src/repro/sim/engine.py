@@ -90,6 +90,32 @@ class Simulator:
             raise SimulationError(f"delay must be non-negative, got {delay}")
         return self.schedule(self._now + delay, callback)
 
+    def jump_to(self, at: float) -> None:
+        """Advance the clock to ``at`` without executing any events.
+
+        The macro-stepping (fast-forward) layer uses this to skip over
+        analytically-extrapolated steady-state regions.  Jumping is pure
+        clock motion: no callbacks run, :attr:`processed` does not
+        change, and any ``max_events`` budget of a surrounding
+        :meth:`run` is unaffected.
+
+        Raises:
+            SimulationError: jumping backwards, or over a pending event
+                (an event scheduled strictly before ``at`` would be
+                executed at a time later than its own timestamp).
+        """
+        if at < self._now:
+            raise SimulationError(
+                f"cannot jump to {at}: clock is already at {self._now}"
+            )
+        if self._heap and self._heap[0].time < at:
+            raise SimulationError(
+                f"cannot jump to {at}: event pending at {self._heap[0].time}"
+            )
+        self._now = at
+        if self._metrics is not None:
+            self._metrics.set_gauge("sim.clock_s", at)
+
     def step(self) -> bool:
         """Execute the next event; returns False when the queue is empty."""
         if not self._heap:

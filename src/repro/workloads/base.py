@@ -16,6 +16,11 @@ fingerprint:
 Computation is split per iteration into a parallel share (divided across
 ranks) and a serial share executed by rank 0 only — which is what makes
 the fitted F_p/F_s of Section 4's model come out right.
+
+Iterative programs declare their loop boundaries with
+:meth:`repro.mpi.comm.Comm.iteration_mark` so the steady-state
+fast-forward layer (:mod:`repro.mpi.fastforward`) can macro-step
+uniform iterations; marks are free when fast-forward is off.
 """
 
 from __future__ import annotations
@@ -158,6 +163,23 @@ class Workload(ABC):
             serial = self.serial_block(share=share)
             if serial is not None:
                 yield from comm.compute_block(serial)
+
+    @staticmethod
+    def skip_recurrence(value: float, factor: float, skipped: int) -> float:
+        """Replay ``value *= factor`` over ``skipped`` iterations.
+
+        Programs whose per-iteration payload evolves multiplicatively
+        (Jacobi's residual, CG's rho, FT's checksum) use this after
+        :meth:`repro.mpi.comm.Comm.iteration_mark` reports a macro-step,
+        so the epilogue's collectives carry exactly the payloads the
+        full simulation would.  Deliberately a loop, not ``factor **
+        skipped``: repeated multiplication is what the skipped
+        iterations would have executed, so the result — including
+        rounding and overflow behaviour — is bit-identical.
+        """
+        for _ in range(skipped):
+            value = value * factor
+        return value
 
     def single_node_duration_hint(self, issue_rate: float, frequency_hz: float) -> float:
         """Analytic 1-node runtime at a frequency (sizing sanity checks)."""

@@ -62,7 +62,18 @@ class CG(Workload):
     def program(self, comm: Comm) -> Program:
         size, rank = comm.size, comm.rank
         rho = 1.0 + rank
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+        iteration = 0
+        while iteration < iterations:
+            skipped = yield from comm.iteration_mark(iteration, iterations)
+            if skipped:
+                # After the first iteration every rank holds the same
+                # rho, so each skipped allreduce multiplied it by the
+                # rank count; replay that recurrence exactly.
+                if size > 1:
+                    rho = self.skip_recurrence(rho, float(size), skipped)
+                iteration += skipped
+                continue
             yield from self.iteration_compute(comm)
             if size > 1:
                 # Post all receives first, then send to every peer: the
@@ -87,4 +98,5 @@ class CG(Workload):
                 yield from comm.waitall(sends)
                 rho = yield from comm.allreduce(rho, nbytes=8)
                 yield from comm.allreduce(rho * 0.5, nbytes=8)
+            iteration += 1
         return rho

@@ -51,8 +51,17 @@ class EP(Workload):
         partial_sx = 0.5 * (comm.rank + 1)
         partial_sy = 0.25 * (comm.rank + 1)
         counts = float(comm.rank)
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+        iteration = 0
+        while iteration < iterations:
+            # Compute-only iterations: each rank macro-steps on its own
+            # signature history (no cross-rank coordination needed).
+            skipped = yield from comm.iteration_mark(iteration, iterations)
+            if skipped:
+                iteration += skipped
+                continue
             yield from self.iteration_compute(comm)
+            iteration += 1
         if comm.size > 1:
             sx = yield from comm.allreduce(partial_sx, nbytes=8)
             sy = yield from comm.allreduce(partial_sy, nbytes=8)

@@ -56,7 +56,20 @@ class FT(Workload):
     def program(self, comm: Comm) -> Program:
         size = comm.size
         checksum = complex(comm.rank, 1.0)
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+        iteration = 0
+        while iteration < iterations:
+            skipped = yield from comm.iteration_mark(iteration, iterations)
+            if skipped:
+                # After the first iteration every rank holds the same
+                # checksum, so each skipped allreduce multiplied it by
+                # the rank count; replay that recurrence exactly.
+                if size > 1:
+                    checksum = self.skip_recurrence(
+                        checksum, float(size), skipped
+                    )
+                iteration += skipped
+                continue
             yield from self.iteration_compute(comm)
             if size > 1:
                 per_peer = max(1, self.transpose_bytes // size)
@@ -64,4 +77,5 @@ class FT(Workload):
                     [None] * size, nbytes=per_peer
                 )
                 checksum = yield from comm.allreduce(checksum, nbytes=16)
+            iteration += 1
         return checksum

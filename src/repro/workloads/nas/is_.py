@@ -80,7 +80,13 @@ class IS(Workload):
 
     def program(self, comm: Comm) -> Program:
         size = comm.size
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+        iteration = 0
+        while iteration < iterations:
+            skipped = yield from comm.iteration_mark(iteration, iterations)
+            if skipped:
+                iteration += skipped
+                continue
             yield from self.iteration_compute(comm)
             if size > 1:
                 per_peer = max(1, self.key_bytes // size)
@@ -88,4 +94,5 @@ class IS(Workload):
                 yield from comm.allreduce(
                     float(iteration), nbytes=HISTOGRAM_BYTES
                 )
+            iteration += 1
         return None

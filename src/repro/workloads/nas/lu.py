@@ -67,7 +67,9 @@ class LU(Workload):
         size, rank = comm.size, comm.rank
         succ = (rank + 1) % size
         pred = (rank - 1) % size
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+
+        def body(iteration: int) -> Program:
             if size == 1:
                 yield from self.iteration_compute(comm)
             else:
@@ -84,4 +86,21 @@ class LU(Workload):
                     yield from comm.wait(handle)
             if size > 1 and iteration % 5 == 4:
                 yield from comm.allreduce(float(iteration), nbytes=40)
+
+        # The residual allreduce fires every fifth iteration, so the
+        # uniform repeating unit is five iterations; marks go on the
+        # unit and the remainder runs event-by-event.
+        units = iterations // 5
+        unit = 0
+        while unit < units:
+            skipped = yield from comm.iteration_mark(unit, units)
+            if skipped:
+                unit += skipped
+                continue
+            base = unit * 5
+            for sub in range(5):
+                yield from body(base + sub)
+            unit += 1
+        for iteration in range(units * 5, iterations):
+            yield from body(iteration)
         return None

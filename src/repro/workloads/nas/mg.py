@@ -81,7 +81,13 @@ class MG(Workload):
     def program(self, comm: Comm) -> Program:
         size, rank = comm.size, comm.rank
         partners = exchange_partners(rank, size)
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+        iteration = 0
+        while iteration < iterations:
+            skipped = yield from comm.iteration_mark(iteration, iterations)
+            if skipped:
+                iteration += skipped
+                continue
             yield from self.iteration_compute(comm)
             if size > 1:
                 for peer in partners:
@@ -91,4 +97,5 @@ class MG(Workload):
                     )
                 for level in range(LEVELS):
                     yield from comm.allreduce(float(level), nbytes=8)
+            iteration += 1
         return None

@@ -70,7 +70,13 @@ class SP(Workload):
         schedule = square_grid_schedule(comm.rank, size)
         face = self.face_bytes(size)
         share = 1.0 / PHASES
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+        iteration = 0
+        while iteration < iterations:
+            skipped = yield from comm.iteration_mark(iteration, iterations)
+            if skipped:
+                iteration += skipped
+                continue
             for phase in range(PHASES):
                 yield from self.iteration_compute(comm, share=share)
                 for dest, source in schedule:
@@ -79,4 +85,5 @@ class SP(Workload):
                     )
             if size > 1:
                 yield from comm.allreduce(float(iteration), nbytes=40)
+            iteration += 1
         return None

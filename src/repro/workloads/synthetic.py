@@ -57,7 +57,13 @@ class SyntheticMemoryPressure(Workload):
 
     def program(self, comm: Comm) -> Program:
         size, rank = comm.size, comm.rank
-        for iteration in range(self.spec.iterations):
+        iterations = self.spec.iterations
+        iteration = 0
+        while iteration < iterations:
+            skipped = yield from comm.iteration_mark(iteration, iterations)
+            if skipped:
+                iteration += skipped
+                continue
             yield from self.iteration_compute(comm)
             if size > 1:
                 right = (rank + 1) % size
@@ -66,4 +72,5 @@ class SyntheticMemoryPressure(Workload):
                     right, left, send_bytes=HALO_BYTES, tag=3
                 )
                 yield from comm.allreduce(1.0, nbytes=8)
+            iteration += 1
         return None

@@ -1,0 +1,217 @@
+"""Fast-forward wiring through the execution stack, and cache bounds."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster
+from repro.exec import (
+    CacheStats,
+    ExecProfile,
+    Executor,
+    GearSweepTask,
+    MeasurementTask,
+    ResultCache,
+    sweep,
+)
+from repro.exec.cache import CACHE_MAX_MB_ENV, env_max_bytes
+from repro.exec.sweep import cache_key
+from repro.mpi import FastForwardConfig
+from repro.workloads import EP, Jacobi
+
+#: Engages within Jacobi's 100 iterations.
+FF = FastForwardConfig(max_period=8)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return athlon_cluster()
+
+
+class TestCacheKeys:
+    def test_fast_forward_changes_the_cache_key(self, cluster):
+        plain = MeasurementTask(cluster, Jacobi(), nodes=2)
+        fast = MeasurementTask(cluster, Jacobi(), nodes=2, fast_forward=FF)
+        assert cache_key(plain) != cache_key(fast)
+        assert plain.key != fast.key
+
+    def test_plain_task_fingerprint_unchanged_by_the_field(self, cluster):
+        # A task without a config must fingerprint exactly as before the
+        # field existed: no "fast_forward" entry in its description.
+        task = MeasurementTask(cluster, Jacobi(), nodes=2)
+        assert "fast_forward" not in task.describe()
+
+    def test_different_knobs_get_different_keys(self, cluster):
+        a = GearSweepTask(
+            cluster, Jacobi(), nodes=2, fast_forward=FastForwardConfig(max_period=4)
+        )
+        b = GearSweepTask(
+            cluster, Jacobi(), nodes=2, fast_forward=FastForwardConfig(max_period=8)
+        )
+        assert cache_key(a) != cache_key(b)
+
+
+class TestExecutorStamping:
+    def test_executor_stamps_config_onto_tasks(self, cluster):
+        executor = Executor(fast_forward=FF)
+        executor.run([MeasurementTask(cluster, Jacobi(), nodes=2)])
+        assert FF.aggregate.skipped_iterations > 0
+
+    def test_task_keeps_its_own_config(self, cluster):
+        own = FastForwardConfig(max_period=4)
+        executor = Executor(fast_forward=FF)
+        task = MeasurementTask(cluster, Jacobi(), nodes=2, fast_forward=own)
+        assert executor._with_fast_forward(task) is task
+
+    def test_results_match_full_simulation(self, cluster):
+        task = MeasurementTask(cluster, Jacobi(), nodes=4)
+        [full] = Executor().run([task])
+        [fast] = Executor(fast_forward=FastForwardConfig(max_period=8)).run([task])
+        assert abs(full.time - fast.time) <= 1e-9 * full.time
+        assert abs(full.energy - fast.energy) <= 1e-9 * full.energy
+
+
+class TestProfileAccounting:
+    def test_inline_profile_records_ff_skipped(self, cluster):
+        profile = ExecProfile()
+        task = MeasurementTask(
+            cluster, Jacobi(), nodes=2, fast_forward=FastForwardConfig(max_period=8)
+        )
+        sweep([task], profile=profile)
+        assert profile.timings[0].ff_skipped > 0
+        assert profile.ff_skipped_total == profile.timings[0].ff_skipped
+        assert "fast-forwarded iterations" in profile.render()
+
+    def test_chunked_profile_matches_inline_skips(self, cluster):
+        config = FastForwardConfig(max_period=8)
+        tasks = [
+            MeasurementTask(cluster, Jacobi(), nodes=n, fast_forward=config)
+            for n in (1, 2, 4)
+        ]
+        inline = ExecProfile()
+        sweep(tasks, profile=inline)
+        pooled = ExecProfile()
+        sweep(tasks, jobs=2, chunk_size=2, profile=pooled)
+        by_key_inline = {t.key: t.ff_skipped for t in inline.timings}
+        by_key_pooled = {t.key: t.ff_skipped for t in pooled.timings}
+        assert by_key_inline == by_key_pooled
+        assert pooled.ff_skipped_total > 0
+
+    def test_pooled_sweep_folds_skips_into_parent_ledger(self, cluster):
+        config = FastForwardConfig(max_period=8)
+        tasks = [
+            MeasurementTask(cluster, Jacobi(), nodes=n, fast_forward=config)
+            for n in (1, 2)
+        ]
+        sweep(tasks, jobs=2, chunk_size=1)
+        assert config.aggregate.skipped_iterations > 0
+
+    def test_unconfigured_tasks_report_zero_skips(self, cluster):
+        profile = ExecProfile()
+        sweep([MeasurementTask(cluster, EP(), nodes=2)], profile=profile)
+        assert profile.ff_skipped_total == 0
+        assert "fast-forwarded iterations" not in profile.render()
+
+    def test_cache_traffic_rewrite_preserves_ff_skipped(self, cluster, tmp_path):
+        profile = ExecProfile()
+        task = MeasurementTask(
+            cluster, Jacobi(), nodes=2, fast_forward=FastForwardConfig(max_period=8)
+        )
+        sweep([task], cache=ResultCache(root=tmp_path), profile=profile)
+        # The store-latency rewrite rebuilds the timing; the skip count
+        # must survive it.
+        assert profile.timings[0].store_s > 0
+        assert profile.timings[0].ff_skipped > 0
+
+
+def _fill(cache: ResultCache, n: int) -> list[str]:
+    keys = [f"{i:02d}" + "e" * 62 for i in range(n)]
+    for i, key in enumerate(keys):
+        cache.store(key, {"i": i, "pad": "x" * 512})
+        # Distinct mtimes so LRU order is deterministic.
+        path = cache._entry_path(key)
+        os.utime(path, (1000.0 + i, 1000.0 + i))
+    return keys
+
+
+class TestCacheEviction:
+    def test_prune_max_entries_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        keys = _fill(cache, 6)
+        removed = cache.prune(max_entries=2)
+        assert removed == 4
+        assert cache.stats.evicted == 4
+        assert len(cache) == 2
+        # The two newest survive.
+        assert cache.load(keys[-1]) is not None
+        assert cache.load(keys[-2]) is not None
+        assert cache.load(keys[0]) is None
+
+    def test_prune_max_bytes_bound(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        _fill(cache, 5)
+        entry_size = cache._entry_path(
+            next(iter(cache._entry_paths())).stem
+        ).stat().st_size
+        cache.prune(max_bytes=entry_size * 2)
+        assert len(cache) <= 2
+        assert cache.stats.evicted >= 3
+
+    def test_prune_without_bounds_keeps_current_entries(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        _fill(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+        assert cache.stats.evicted == 0
+
+    def test_env_knob_bounds_default_prune(self, tmp_path, monkeypatch):
+        cache = ResultCache(root=tmp_path)
+        _fill(cache, 5)
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, str(1 / 1024))  # 1 KiB
+        assert env_max_bytes() == 1024
+        cache.prune()
+        total = sum(p.stat().st_size for p in cache._entry_paths())
+        assert total <= 1024
+        assert cache.stats.evicted > 0
+
+    @pytest.mark.parametrize("raw", ["", "not-a-number", "-5", "0"])
+    def test_env_knob_ignores_bad_values(self, monkeypatch, raw):
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, raw)
+        assert env_max_bytes() is None
+
+    def test_stale_versions_count_as_invalidated_not_evicted(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = "ab" + "c" * 62
+        cache.store(key, {"x": 1})
+        path = cache._entry_path(key)
+        entry = json.loads(path.read_text())
+        entry["version"] = "stale"
+        path.write_text(json.dumps(entry))
+        removed = cache.prune(max_entries=10)
+        assert removed == 1
+        assert cache.stats.invalidated == 1
+        assert cache.stats.evicted == 0
+
+    def test_render_mentions_evictions_only_when_present(self):
+        assert "evicted" not in CacheStats().render()
+        assert "3 evicted" in CacheStats(evicted=3).render()
+
+
+class TestHitRate:
+    def test_hit_rate_is_zero_with_no_lookups(self):
+        # Regression pin: a fresh cache must report 0.0, not raise
+        # ZeroDivisionError.
+        stats = CacheStats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+    def test_hit_rate_after_traffic(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = "ab" + "c" * 62
+        assert cache.load(key) is None
+        cache.store(key, {"x": 1})
+        assert cache.load(key) == {"x": 1}
+        assert cache.stats.hit_rate == 0.5

@@ -262,8 +262,9 @@ class TestChunkedDispatch:
 class TestChunkedProfile:
     def test_per_point_seconds_sum_to_chunk_wall(self, cluster):
         chunk = [GearSweepTask(cluster, EP(SCALE), nodes=n) for n in (1, 2)]
-        results, seconds, chunk_wall = _execute_chunk(chunk)
+        results, seconds, chunk_wall, ff_skips = _execute_chunk(chunk)
         assert len(results) == len(seconds) == len(chunk)
+        assert ff_skips == [0, 0]
         assert all(s > 0 for s in seconds)
         # Loop bookkeeping is the only residual, so the per-point times
         # can never exceed the chunk's own wall time.

@@ -138,3 +138,64 @@ class TestBookkeeping:
         sim.run()
         assert sim.pending == 0
         assert sim.processed == 2
+
+
+class TestJumpTo:
+    def test_jump_advances_clock_without_events(self):
+        sim = Simulator()
+        sim.jump_to(5.0)
+        assert sim.now == 5.0
+        assert sim.processed == 0
+        assert sim.pending == 0
+
+    def test_jump_backwards_raises(self):
+        sim = Simulator()
+        sim.jump_to(2.0)
+        with pytest.raises(SimulationError):
+            sim.jump_to(1.0)
+
+    def test_jump_to_current_time_is_a_noop(self):
+        sim = Simulator()
+        sim.jump_to(3.0)
+        sim.jump_to(3.0)
+        assert sim.now == 3.0
+
+    def test_jump_over_pending_event_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.jump_to(2.0)
+
+    def test_jump_to_pending_event_time_is_allowed(self):
+        # An event exactly at the jump target still fires at its own
+        # timestamp, so the jump is legal.
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(sim.now))
+        sim.jump_to(2.0)
+        sim.run()
+        assert fired == [2.0]
+        assert sim.processed == 1
+
+    def test_jump_does_not_consume_max_events_budget(self):
+        sim = Simulator()
+        fired = []
+
+        def hop():
+            fired.append(sim.now)
+            sim.jump_to(sim.now + 10.0)
+            sim.schedule_after(1.0, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, hop)
+        # Two real events; the jump between them must not count.
+        sim.run(max_events=2)
+        assert fired == [1.0, 12.0]
+        assert sim.processed == 2
+
+    def test_events_scheduled_after_jump_fire_at_jumped_times(self):
+        sim = Simulator()
+        seen = []
+        sim.jump_to(100.0)
+        sim.schedule_after(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100.5]
