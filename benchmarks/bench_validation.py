@@ -1,0 +1,106 @@
+"""VAL-1: the 10k-point validation sweep through the cached executor.
+
+Composes the generated scenario packs (strong/weak scaling,
+heterogeneous gears, checkpoint-heavy, communication-pathological,
+fast-forward-eligible — :func:`repro.scenarios.packs.validation_pack`)
+into a sweep of at least ``REPRO_VALIDATION_POINTS`` simulation points
+(default 10000) and drives it through the cached chunked executor with
+the validation harness (:mod:`repro.scenarios.validation`), asserting:
+
+- **deterministic merge** — serial rechecks byte-match the cold
+  parallel chunked sweep's encoded payloads;
+- **cache-eviction correctness** — the cache is pruned to a small byte
+  bound between waves (``REPRO_VALIDATION_CACHE_MB``, default 1), so
+  evicted points recompute mid-sweep and must still agree;
+- **fast-forward equivalence** — macro-stepped twins agree with exact
+  simulation to 1e-9 relative, with skipping demonstrably engaged.
+
+Run standalone for the report (and the ``VALIDATION_sweep.json``
+artifact CI archives)::
+
+    PYTHONPATH=src python benchmarks/bench_validation.py \
+        --points 10000 --jobs 4 --report VALIDATION_sweep.json
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.exec import ResultCache
+from repro.scenarios import run_validation, validation_pack
+from repro.scenarios.validation import ValidationReport
+
+#: Minimum simulation points in the sweep.
+POINTS = int(os.environ.get("REPRO_VALIDATION_POINTS", "10000"))
+#: Worker processes for the cold sweep and the fast-forward twins.
+JOBS = int(os.environ.get("REPRO_VALIDATION_JOBS", "4"))
+#: Cache byte bound enforced between waves (forces mid-sweep evictions).
+CACHE_MB = float(os.environ.get("REPRO_VALIDATION_CACHE_MB", "1"))
+
+
+def run_sweep(
+    points: int = POINTS,
+    jobs: int = JOBS,
+    *,
+    report_path: str | None = None,
+    progress=None,
+) -> ValidationReport:
+    """Build the pack, run the harness in a throwaway cache, report."""
+    specs = validation_pack(min_points=points)
+    with tempfile.TemporaryDirectory(prefix="repro-validation-") as root:
+        report = run_validation(
+            specs,
+            jobs=jobs,
+            cache=ResultCache(root=Path(root)),
+            max_cache_bytes=int(CACHE_MB * 1024 * 1024),
+            waves=8,
+            recheck_stride=7,
+            progress=progress,
+        )
+    if report_path:
+        report.write(report_path)
+    return report
+
+
+def test_validation_sweep(benchmark):
+    """The full sweep: zero mismatches, evictions and skipping engaged."""
+    from conftest import run_once
+
+    report = run_once(benchmark, run_sweep)
+    print()
+    print(report.render())
+    assert report.points >= POINTS
+    assert not report.mismatches, report.render()
+    # The sweep must actually exercise what it validates: entries were
+    # evicted under the byte bound, rechecks saw both cache hits and
+    # post-eviction recomputations, and fast-forward really jumped.
+    assert report.cache_evicted > 0
+    assert report.recheck_hits > 0
+    assert report.recheck_recomputed > 0
+    assert report.ff_skipped_iterations > 0
+    assert report.ff_max_rel_err <= report.ff_rtol
+    assert report.ok
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=POINTS)
+    parser.add_argument("--jobs", type=int, default=JOBS)
+    parser.add_argument(
+        "--report", default="VALIDATION_sweep.json", metavar="FILE"
+    )
+    args = parser.parse_args()
+    result = run_sweep(
+        args.points,
+        args.jobs,
+        report_path=args.report,
+        progress=lambda text: print(f"[{text}]", file=sys.stderr),
+    )
+    print(result.render())
+    print(f"[report written to {args.report}]")
+    sys.exit(0 if result.ok else 1)

@@ -111,8 +111,17 @@ def _execute_chunk(
 
 
 def _point_error(task: SimTask, exc: BaseException) -> SimulationError:
+    """Name a failing point, by scenario when the task carries one.
+
+    The scenario name is resolved on the *caller's* task object, so the
+    report is identical whether the point failed inline or inside a
+    pool worker (the exception crosses the process boundary carrying
+    only the chunk-local index).
+    """
+    scenario = getattr(task, "scenario", None)
+    where = f" of scenario {scenario!r}" if scenario else ""
     return SimulationError(
-        f"sweep point {task.key!r} failed: {type(exc).__name__}: {exc}"
+        f"sweep point {task.key!r}{where} failed: {type(exc).__name__}: {exc}"
     )
 
 
@@ -222,11 +231,11 @@ def sweep(
         store_s = 0.0
         if cache is not None and key is not None:
             store_start = time.perf_counter()
-            cache.store(
-                key,
-                task.encode(result),
-                meta={"point": [str(part) for part in task.key]},
-            )
+            meta: dict[str, Any] = {"point": [str(part) for part in task.key]}
+            scenario = getattr(task, "scenario", None)
+            if scenario:
+                meta["scenario"] = scenario
+            cache.store(key, task.encode(result), meta=meta)
             store_s = time.perf_counter() - store_start
         if profile is not None and (store_s or task.key in lookups):
             # Fold cache traffic into the point's timing entry.

@@ -24,7 +24,7 @@ Each task is a frozen, picklable dataclass that knows how to
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.cluster.cluster import ClusterSpec
@@ -73,8 +73,33 @@ def _describe_cluster(cluster: ClusterSpec) -> Any:
     return jsonable(cluster)
 
 
+def _scenario_key(base: tuple, scenario: str | None) -> tuple:
+    """Qualify a task key with its scenario name, when one is set.
+
+    Scenario sweeps may legitimately contain the *same named point*
+    (say CG on 4 nodes at gear 2) from several scenarios whose workload
+    parameters differ — the bare key tuple does not see constructor
+    parameters, so without qualification such sweeps would trip the
+    duplicate-key guard.  Tasks without a scenario keep their original
+    keys, so nothing changes for hand-built sweeps.
+    """
+    if scenario is None:
+        return base
+    return base + (scenario,)
+
+
 class SimTask(ABC):
-    """One independent simulation point."""
+    """One independent simulation point.
+
+    Concrete tasks may carry a ``scenario`` attribute — the name of the
+    :class:`repro.scenarios.ScenarioSpec` that produced them.  It is
+    pure provenance: excluded from equality, from ``describe()`` and
+    hence from cache keys, but reported by sweep failures and stored in
+    cache-entry metadata so points stay attributable at scale.
+    """
+
+    #: Name of the scenario spec this point came from (provenance only).
+    scenario: str | None = None
 
     @property
     @abstractmethod
@@ -114,17 +139,21 @@ class GearSweepTask(SimTask):
     nodes: int
     gears: tuple[int, ...] | None = None
     fast_forward: "FastForwardConfig | None" = None
+    scenario: str | None = field(default=None, compare=False)
 
     @property
     def key(self) -> tuple:
-        return (
-            "gear_sweep",
-            self.cluster.name,
-            self.cluster.max_nodes,
-            self.workload.name,
-            self.nodes,
-            self.gears,
-            _ff_key(self.fast_forward),
+        return _scenario_key(
+            (
+                "gear_sweep",
+                self.cluster.name,
+                self.cluster.max_nodes,
+                self.workload.name,
+                self.nodes,
+                self.gears,
+                _ff_key(self.fast_forward),
+            ),
+            self.scenario,
         )
 
     def describe(self) -> Any:
@@ -166,17 +195,21 @@ class MeasurementTask(SimTask):
     nodes: int
     gear: int = 1
     fast_forward: "FastForwardConfig | None" = None
+    scenario: str | None = field(default=None, compare=False)
 
     @property
     def key(self) -> tuple:
-        return (
-            "measurement",
-            self.cluster.name,
-            self.cluster.max_nodes,
-            self.workload.name,
-            self.nodes,
-            self.gear,
-            _ff_key(self.fast_forward),
+        return _scenario_key(
+            (
+                "measurement",
+                self.cluster.name,
+                self.cluster.max_nodes,
+                self.workload.name,
+                self.nodes,
+                self.gear,
+                _ff_key(self.fast_forward),
+            ),
+            self.scenario,
         )
 
     def describe(self) -> Any:
@@ -238,15 +271,19 @@ class CalibrationTask(SimTask):
     cluster: ClusterSpec
     workload: Workload
     fast_forward: "FastForwardConfig | None" = None
+    scenario: str | None = field(default=None, compare=False)
 
     @property
     def key(self) -> tuple:
-        return (
-            "calibration",
-            self.cluster.name,
-            self.cluster.max_nodes,
-            self.workload.name,
-            _ff_key(self.fast_forward),
+        return _scenario_key(
+            (
+                "calibration",
+                self.cluster.name,
+                self.cluster.max_nodes,
+                self.workload.name,
+                _ff_key(self.fast_forward),
+            ),
+            self.scenario,
         )
 
     def describe(self) -> Any:

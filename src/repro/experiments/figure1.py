@@ -15,11 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.cluster import ClusterSpec
-from repro.cluster.machines import athlon_cluster
 from repro.core.curves import EnergyTimeCurve
-from repro.exec import Executor, GearSweepTask
+from repro.exec import Executor
 from repro.experiments.report import render_curve
-from repro.workloads.nas import nas_suite
+from repro.scenarios.paper import figure1_scenarios
+from repro.scenarios.spec import expand
 
 
 @dataclass(frozen=True)
@@ -58,12 +58,14 @@ def figure1(
         scale: workload scale (1.0 = full size).
         cluster: override the paper's Athlon cluster.
         executor: parallelism/cache policy (default: serial, uncached).
+
+    The experiment is declared by :func:`figure1_scenarios`
+    (``runner scenarios run figure1`` executes the same points).
     """
-    cluster = cluster or athlon_cluster()
     executor = executor or Executor()
-    suite = nas_suite(scale)
-    sweeps = executor.run(
-        GearSweepTask(cluster, workload, nodes=1) for workload in suite
-    )
-    curves = {workload.name: curve for workload, curve in zip(suite, sweeps)}
+    tasks = expand(figure1_scenarios(scale=scale), cluster=cluster)
+    sweeps = executor.run(tasks)
+    curves = {
+        task.workload.name: curve for task, curve in zip(tasks, sweeps)
+    }
     return Figure1Result(curves=curves)

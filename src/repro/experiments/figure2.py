@@ -16,23 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.cluster import ClusterSpec
-from repro.cluster.machines import athlon_cluster
 from repro.core.cases import CaseAnalysis, classify_family
 from repro.core.curves import CurveFamily
-from repro.exec import Executor, GearSweepTask
+from repro.exec import Executor
 from repro.experiments.report import render_cases, render_family
-from repro.workloads.nas import nas_suite
+from repro.scenarios.paper import FIGURE2_NODE_COUNTS, figure2_scenarios
+from repro.scenarios.spec import expand
 
 #: The paper's node counts per code (1-node curves are also plotted,
-#: mostly off-window to the right).
-PAPER_NODE_COUNTS: dict[str, tuple[int, ...]] = {
-    "EP": (1, 2, 4, 8),
-    "LU": (1, 2, 4, 8),
-    "MG": (1, 2, 4, 8),
-    "CG": (1, 2, 4, 8),
-    "BT": (1, 4, 9),
-    "SP": (1, 4, 9),
-}
+#: mostly off-window to the right).  Declared once, next to the
+#: scenario specs.
+PAPER_NODE_COUNTS: dict[str, tuple[int, ...]] = FIGURE2_NODE_COUNTS
 
 
 @dataclass(frozen=True)
@@ -76,36 +70,28 @@ def figure2(
     cluster: ClusterSpec | None = None,
     executor: Executor | None = None,
 ) -> Figure2Result:
-    """Run the Figure 2 experiment."""
-    cluster = cluster or athlon_cluster()
+    """Run the Figure 2 experiment.
+
+    The experiment is declared by :func:`figure2_scenarios`; every
+    (workload, node count) pair is an independent point, fanned out in
+    one sweep.
+    """
     executor = executor or Executor()
-    suite = nas_suite(scale)
-    # Every (workload, node count) pair is an independent point; fan them
-    # all out in one sweep.
-    pairs = [
-        (workload, nodes)
-        for workload in suite
-        for nodes in PAPER_NODE_COUNTS[workload.name]
-    ]
-    sweeps = executor.run(
-        GearSweepTask(cluster, workload, nodes=nodes) for workload, nodes in pairs
-    )
-    curves_by_workload: dict[str, list] = {w.name: [] for w in suite}
-    for (workload, _), curve in zip(pairs, sweeps):
-        curves_by_workload[workload.name].append(curve)
+    tasks = expand(figure2_scenarios(scale=scale), cluster=cluster)
+    sweeps = executor.run(tasks)
+    curves_by_workload: dict[str, list] = {}
+    for task, curve in zip(tasks, sweeps):
+        curves_by_workload.setdefault(task.workload.name, []).append(curve)
     families: dict[str, CurveFamily] = {}
     cases: dict[str, list[CaseAnalysis]] = {}
-    for workload in suite:
-        family = CurveFamily(
-            workload=workload.name,
-            curves=tuple(curves_by_workload[workload.name]),
-        )
-        families[workload.name] = family
+    for name, curves in curves_by_workload.items():
+        family = CurveFamily(workload=name, curves=tuple(curves))
+        families[name] = family
         # The paper classifies multi-node transitions; the 1-node curve
         # is a reference, not a comparison anchor.
         multi = CurveFamily(
             workload=family.workload,
             curves=tuple(c for c in family.curves if c.nodes > 1),
         )
-        cases[workload.name] = classify_family(multi)
+        cases[name] = classify_family(multi)
     return Figure2Result(families=families, cases=cases)

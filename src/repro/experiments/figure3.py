@@ -11,12 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.cluster import ClusterSpec
-from repro.cluster.machines import athlon_cluster
 from repro.core.cases import CaseAnalysis, classify_family
 from repro.core.curves import CurveFamily
-from repro.exec import Executor, GearSweepTask
+from repro.exec import Executor
 from repro.experiments.report import render_cases, render_family
-from repro.workloads.jacobi import Jacobi
+from repro.scenarios.paper import figure3_scenarios
+from repro.scenarios.spec import expand
 
 #: Node counts plotted by the paper.
 PAPER_NODE_COUNTS = (2, 4, 6, 8, 10)
@@ -57,16 +57,17 @@ def figure3(
     cluster: ClusterSpec | None = None,
     executor: Executor | None = None,
 ) -> Figure3Result:
-    """Run the Figure 3 experiment."""
-    cluster = cluster or athlon_cluster()
+    """Run the Figure 3 experiment.
+
+    The experiment is declared by :func:`figure3_scenarios`: node 1 is
+    measured too (the speedup reference), then 2..10 are plotted.
+    """
     executor = executor or Executor()
-    workload = Jacobi(scale)
-    # Measure node 1 too (the speedup reference), then plot 2..10.
-    counts = (1, *PAPER_NODE_COUNTS)
-    sweeps = executor.run(
-        GearSweepTask(cluster, workload, nodes=n) for n in counts
+    tasks = expand(figure3_scenarios(scale=scale), cluster=cluster)
+    sweeps = executor.run(tasks)
+    full = CurveFamily(
+        workload=tasks[0].workload.name, curves=tuple(sweeps)
     )
-    full = CurveFamily(workload=workload.name, curves=tuple(sweeps))
     speedups = {n: s for n, s in full.speedups().items() if n > 1}
     family = CurveFamily(
         workload=full.workload,

@@ -14,11 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.cluster import ClusterSpec
-from repro.cluster.machines import athlon_cluster
 from repro.core.curves import CurveFamily
-from repro.exec import Executor, GearSweepTask
+from repro.exec import Executor
 from repro.experiments.report import render_family
-from repro.workloads.synthetic import SyntheticMemoryPressure
+from repro.scenarios.paper import figure4_scenarios
+from repro.scenarios.spec import expand
 
 #: Node counts plotted.
 PAPER_NODE_COUNTS = (1, 2, 4, 8)
@@ -63,14 +63,16 @@ def figure4(
     cluster: ClusterSpec | None = None,
     executor: Executor | None = None,
 ) -> Figure4Result:
-    """Run the Figure 4 experiment."""
-    cluster = cluster or athlon_cluster()
+    """Run the Figure 4 experiment.
+
+    The experiment is declared by :func:`figure4_scenarios`.
+    """
     executor = executor or Executor()
-    workload = SyntheticMemoryPressure(scale)
-    sweeps = executor.run(
-        GearSweepTask(cluster, workload, nodes=n) for n in PAPER_NODE_COUNTS
+    tasks = expand(figure4_scenarios(scale=scale), cluster=cluster)
+    sweeps = executor.run(tasks)
+    family = CurveFamily(
+        workload=tasks[0].workload.name, curves=tuple(sweeps)
     )
-    family = CurveFamily(workload=workload.name, curves=tuple(sweeps))
     speedups = {n: s for n, s in family.speedups().items() if n > 1}
     one = family.curve(1)
     _, gear5_delay, gear5_energy = one.relative()[4]

@@ -28,27 +28,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.cluster import ClusterSpec
-from repro.cluster.machines import athlon_cluster
 from repro.core.commclass import PAPER_CLASSES
 from repro.core.curves import CurveFamily, EnergyTimeCurve
 from repro.core.model import EnergyTimeModel, ModelInputs
-from repro.exec import (
-    CalibrationTask,
-    Executor,
-    GearSweepTask,
-    MeasurementTask,
-    SimTask,
-)
+from repro.exec import Executor, SimTask
 from repro.experiments.report import render_curve
+from repro.scenarios.paper import (
+    FIGURE5_EXTRAPOLATED_COUNTS,
+    FIGURE5_MEASURED_COUNTS,
+    figure5_plans,
+)
 from repro.util.errors import ModelError
 from repro.util.fitting import ShapeFamily
-from repro.workloads.base import Workload
-from repro.workloads.nas import nas_suite
 
 #: Node counts measured directly (filtered per workload validity).
-MEASURED_COUNTS = (1, 2, 4, 8, 9)
+MEASURED_COUNTS = FIGURE5_MEASURED_COUNTS
 #: Node counts the model extrapolates to (filtered per validity).
-EXTRAPOLATED_COUNTS = (16, 25, 32)
+EXTRAPOLATED_COUNTS = FIGURE5_EXTRAPOLATED_COUNTS
 
 #: Codes whose shape is forced to the paper's class (too few samples).
 FORCED_CLASS_WORKLOADS = ("BT", "SP")
@@ -128,11 +124,6 @@ class Figure5Result:
         return "\n\n".join(blocks)
 
 
-def _valid(workload: Workload, counts: tuple[int, ...], limit: int) -> list[int]:
-    allowed = set(workload.valid_node_counts(limit))
-    return [n for n in counts if n in allowed]
-
-
 def figure5(
     *,
     scale: float = 1.0,
@@ -151,64 +142,61 @@ def figure5(
             attach the ground-truth curves (not available to the paper).
         refined: use the refined critical/reducible-work predictor.
         executor: parallelism/cache policy (default: serial, uncached).
+
+    The experiment is declared by
+    :func:`repro.scenarios.paper.figure5_plans`: per code, the
+    fastest-gear trace measurements, the calibration run, the measured
+    gear sweeps and (with ``validate``) the ground-truth sweeps at the
+    extrapolated sizes.  Every point is independent; flatten them into
+    one sweep and reassemble per workload afterwards.  Fitting and
+    prediction are cheap and stay in this process.
     """
-    measure_cluster = cluster or athlon_cluster(10)
-    # Ground-truth runs need a larger (simulated) installation.
-    truth_cluster = athlon_cluster(max(EXTRAPOLATED_COUNTS))
     executor = executor or Executor()
-    suite = nas_suite(scale)
-    # Every trace run, calibration run and gear sweep of every panel is
-    # an independent simulation point; flatten them into one sweep and
-    # reassemble per workload afterwards.  Fitting and prediction are
-    # cheap and stay in this process.
+    measure_max = cluster.max_nodes if cluster is not None else 10
+    plans = figure5_plans(
+        scale=scale, validate=validate, measure_max_nodes=measure_max
+    )
     tasks: list[SimTask] = []
-    plan: list[tuple[Workload, list[int], list[int], int]] = []
-    for workload in suite:
-        measured_counts = _valid(workload, MEASURED_COUNTS, measure_cluster.max_nodes)
-        if 1 not in measured_counts:
+    offsets: list[int] = []
+    for plan in plans:
+        if 1 not in plan.measured:
             raise ModelError("the model needs the 1-node measurement")
-        targets = _valid(workload, EXTRAPOLATED_COUNTS, truth_cluster.max_nodes)
-        plan.append((workload, measured_counts, targets, len(tasks)))
-        tasks.extend(
-            MeasurementTask(measure_cluster, workload, nodes=n, gear=1)
-            for n in measured_counts
-        )
-        tasks.append(CalibrationTask(measure_cluster, workload))
-        tasks.extend(
-            GearSweepTask(measure_cluster, workload, nodes=n)
-            for n in measured_counts
-        )
-        if validate:
-            tasks.extend(
-                GearSweepTask(truth_cluster, workload, nodes=n) for n in targets
-            )
+        offsets.append(len(tasks))
+        for spec in plan.specs:
+            # The caller's cluster override applies to the measurement
+            # machine only; ground truth always runs on the large
+            # (simulated) installation the spec declares.
+            override = None if "ground-truth" in spec.tags else cluster
+            tasks.extend(spec.tasks(cluster=override))
     results = executor.run(tasks)
 
     panels: dict[str, WorkloadFigure5] = {}
-    for workload, measured_counts, targets, start in plan:
-        count = len(measured_counts)
+    for plan, start in zip(plans, offsets):
+        count = len(plan.measured)
         traces = results[start : start + count]
         calibration = results[start + count]
         sweeps = results[start + count + 1 : start + 2 * count + 1]
         inputs = ModelInputs(
-            workload=workload.name,
-            measurements=dict(zip(measured_counts, traces)),
+            workload=plan.workload,
+            measurements=dict(zip(plan.measured, traces)),
             calibration=calibration,
         )
         forced: ShapeFamily | None = (
-            PAPER_CLASSES[workload.name]
-            if workload.name in FORCED_CLASS_WORKLOADS
+            PAPER_CLASSES[plan.workload]
+            if plan.workload in FORCED_CLASS_WORKLOADS
             else None
         )
         model = EnergyTimeModel(inputs, comm_family=forced, refined=refined)
-        measured = CurveFamily(workload=workload.name, curves=tuple(sweeps))
-        predicted = tuple(model.predict_curve(nodes=n) for n in targets)
+        measured = CurveFamily(workload=plan.workload, curves=tuple(sweeps))
+        predicted = tuple(model.predict_curve(nodes=n) for n in plan.targets)
         simulated: tuple[EnergyTimeCurve, ...] = ()
         if validate:
             truth_start = start + 2 * count + 1
-            simulated = tuple(results[truth_start : truth_start + len(targets)])
-        panels[workload.name] = WorkloadFigure5(
-            workload=workload.name,
+            simulated = tuple(
+                results[truth_start : truth_start + len(plan.targets)]
+            )
+        panels[plan.workload] = WorkloadFigure5(
+            workload=plan.workload,
             measured=measured,
             predicted=predicted,
             model=model,

@@ -12,6 +12,10 @@ Usage::
     python -m repro.experiments.runner --metrics metrics.jsonl
     python -m repro.experiments.runner --profile
     python -m repro.experiments.runner --fast-forward --scale 10
+    python -m repro.experiments.runner scenarios list --points
+    python -m repro.experiments.runner scenarios run figure2 --jobs 4
+    python -m repro.experiments.runner scenarios pack strong-scaling --out pack.json
+    python -m repro.experiments.runner scenarios validate --points 10000
 
 Simulation points are memoised in the on-disk result cache
 (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``; see ``docs/EXECUTOR.md``),
@@ -69,6 +73,14 @@ def _build_observer(args: argparse.Namespace):
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "scenarios":
+        # The declarative side of the harness lives under one namespace:
+        # ``runner scenarios list|run|pack|validate`` (see repro.scenarios.cli).
+        from repro.scenarios.cli import main as scenarios_main
+
+        return scenarios_main(argv[1:])
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--scale",

@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.cluster import ClusterSpec
-from repro.cluster.machines import athlon_cluster
-from repro.exec import Executor, GearSweepTask, MeasurementTask
+from repro.exec import Executor
+from repro.scenarios.paper import table1_scenarios
+from repro.scenarios.spec import expand
 from repro.util.tables import TextTable
-from repro.workloads.nas import nas_suite
 
 
 @dataclass(frozen=True)
@@ -63,23 +63,25 @@ def table1(
     cluster: ClusterSpec | None = None,
     executor: Executor | None = None,
 ) -> Table1Result:
-    """Run the Table 1 experiment (UPM + slopes on one node)."""
-    cluster = cluster or athlon_cluster()
+    """Run the Table 1 experiment (UPM + slopes on one node).
+
+    The experiment is declared by :func:`table1_scenarios`: per code, a
+    gears-1-3 sweep (the slope columns) and a gear-1 measurement (the
+    UPM column).
+    """
     executor = executor or Executor()
-    suite = nas_suite(scale)
-    tasks = [
-        GearSweepTask(cluster, w, nodes=1, gears=(1, 2, 3)) for w in suite
-    ] + [MeasurementTask(cluster, w, nodes=1, gear=1) for w in suite]
+    tasks = expand(table1_scenarios(scale=scale), cluster=cluster)
     results = executor.run(tasks)
-    curves, measurements = results[: len(suite)], results[len(suite) :]
+    half = len(tasks) // 2
+    curves, measurements = results[:half], results[half:]
     rows = [
         Table1Row(
-            workload=workload.name,
+            workload=task.workload.name,
             upm=measurement.upm,
             slope_1_2=curve.slope(1, 2),
             slope_2_3=curve.slope(2, 3),
         )
-        for workload, curve, measurement in zip(suite, curves, measurements)
+        for task, curve, measurement in zip(tasks[:half], curves, measurements)
     ]
     rows.sort(key=lambda r: r.upm, reverse=True)
     return Table1Result(rows=tuple(rows))

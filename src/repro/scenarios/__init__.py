@@ -1,0 +1,63 @@
+"""Declarative scenarios: specs, registry, generated packs, validation.
+
+Importing this package populates :data:`REGISTRY` with the paper's
+artifacts (:mod:`repro.scenarios.paper`) and the generated packs
+(:mod:`repro.scenarios.packs`).
+"""
+
+from repro.scenarios import packs as _packs  # noqa: F401  (registers packs)
+from repro.scenarios import paper as _paper  # noqa: F401  (registers paper sets)
+from repro.scenarios.packs import (
+    FF_ELIGIBLE_TAG,
+    FF_KNOBS,
+    total_points,
+    unique_specs,
+    validation_pack,
+)
+from repro.scenarios.paper import Figure5Plan, figure5_plans
+from repro.scenarios.registry import REGISTRY, RegistryEntry, ScenarioRegistry
+from repro.scenarios.spec import (
+    KIND_CALIBRATION,
+    KIND_GEAR_SWEEP,
+    KIND_MEASUREMENT,
+    SPEC_VERSION,
+    ClusterRef,
+    ScenarioSpec,
+    WorkloadRef,
+    dump_specs,
+    expand,
+    load_specs,
+)
+from repro.scenarios.validation import (
+    FF_RTOL,
+    Mismatch,
+    ValidationReport,
+    run_validation,
+)
+
+__all__ = [
+    "FF_ELIGIBLE_TAG",
+    "FF_KNOBS",
+    "FF_RTOL",
+    "KIND_CALIBRATION",
+    "KIND_GEAR_SWEEP",
+    "KIND_MEASUREMENT",
+    "Mismatch",
+    "REGISTRY",
+    "RegistryEntry",
+    "ScenarioRegistry",
+    "ClusterRef",
+    "Figure5Plan",
+    "SPEC_VERSION",
+    "ScenarioSpec",
+    "ValidationReport",
+    "WorkloadRef",
+    "dump_specs",
+    "expand",
+    "figure5_plans",
+    "load_specs",
+    "run_validation",
+    "total_points",
+    "unique_specs",
+    "validation_pack",
+]

@@ -1,0 +1,268 @@
+"""The paper's artifacts (figures 1-5, table 1) as scenario specs.
+
+Each factory returns exactly the simulation points the corresponding
+experiment module used to hand-construct, in the same order — the
+golden-artifact suite proves the port byte-identical.  The experiment
+modules in :mod:`repro.experiments` consume these factories; the
+registry entries make the same sets runnable from the CLI
+(``runner scenarios run figure2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scenarios.registry import REGISTRY
+from repro.scenarios.spec import (
+    KIND_CALIBRATION,
+    KIND_GEAR_SWEEP,
+    KIND_MEASUREMENT,
+    ClusterRef,
+    ScenarioSpec,
+    WorkloadRef,
+)
+from repro.workloads.nas import NAS_PAPER_SUITE
+
+#: Figure 2's node counts per code (paper layout; BT/SP need squares).
+FIGURE2_NODE_COUNTS: dict[str, tuple[int, ...]] = {
+    "EP": (1, 2, 4, 8),
+    "LU": (1, 2, 4, 8),
+    "MG": (1, 2, 4, 8),
+    "CG": (1, 2, 4, 8),
+    "BT": (1, 4, 9),
+    "SP": (1, 4, 9),
+}
+
+#: Figure 3's Jacobi node counts (1 is the speedup reference).
+FIGURE3_NODE_COUNTS = (1, 2, 4, 6, 8, 10)
+
+#: Figure 4's synthetic-benchmark node counts.
+FIGURE4_NODE_COUNTS = (1, 2, 4, 8)
+
+#: Figure 5: node counts measured directly / extrapolated to.
+FIGURE5_MEASURED_COUNTS = (1, 2, 4, 8, 9)
+FIGURE5_EXTRAPOLATED_COUNTS = (16, 25, 32)
+FIGURE5_TRUTH_MAX_NODES = max(FIGURE5_EXTRAPOLATED_COUNTS)
+
+
+def _nas(name: str, scale: float) -> WorkloadRef:
+    return WorkloadRef(name, (("scale", scale),))
+
+
+@REGISTRY.register("figure1", tags=("paper", "figure"))
+def figure1_scenarios(*, scale: float = 1.0) -> list[ScenarioSpec]:
+    """Six NAS codes on one node, all gears (Figure 1)."""
+    return [
+        ScenarioSpec(
+            name=f"figure1/{name}",
+            kind=KIND_GEAR_SWEEP,
+            cluster=ClusterRef(),
+            workload=_nas(name, scale),
+            nodes=(1,),
+            tags=("paper", "figure1"),
+            description=f"{name} single-node energy-time curve",
+        )
+        for name in NAS_PAPER_SUITE
+    ]
+
+
+@REGISTRY.register("figure2", tags=("paper", "figure"))
+def figure2_scenarios(*, scale: float = 1.0) -> list[ScenarioSpec]:
+    """Six NAS codes on multiple node counts (Figure 2)."""
+    return [
+        ScenarioSpec(
+            name=f"figure2/{name}",
+            kind=KIND_GEAR_SWEEP,
+            cluster=ClusterRef(),
+            workload=_nas(name, scale),
+            nodes=FIGURE2_NODE_COUNTS[name],
+            tags=("paper", "figure2"),
+            description=f"{name} curves on {FIGURE2_NODE_COUNTS[name]} nodes",
+        )
+        for name in NAS_PAPER_SUITE
+    ]
+
+
+@REGISTRY.register("figure3", tags=("paper", "figure"))
+def figure3_scenarios(*, scale: float = 1.0) -> list[ScenarioSpec]:
+    """Jacobi iteration on 1-10 nodes (Figure 3)."""
+    return [
+        ScenarioSpec(
+            name="figure3/Jacobi",
+            kind=KIND_GEAR_SWEEP,
+            cluster=ClusterRef(),
+            workload=WorkloadRef("Jacobi", (("scale", scale),)),
+            nodes=FIGURE3_NODE_COUNTS,
+            tags=("paper", "figure3"),
+            description="Jacobi curve family, 2-10 nodes plus reference",
+        )
+    ]
+
+
+@REGISTRY.register("figure4", tags=("paper", "figure"))
+def figure4_scenarios(*, scale: float = 1.0) -> list[ScenarioSpec]:
+    """The synthetic high-memory-pressure benchmark (Figure 4)."""
+    return [
+        ScenarioSpec(
+            name="figure4/Synthetic",
+            kind=KIND_GEAR_SWEEP,
+            cluster=ClusterRef(),
+            workload=WorkloadRef("Synthetic", (("scale", scale),)),
+            nodes=FIGURE4_NODE_COUNTS,
+            tags=("paper", "figure4"),
+            description="synthetic benchmark curve family",
+        )
+    ]
+
+
+@REGISTRY.register("table1", tags=("paper", "table"))
+def table1_scenarios(*, scale: float = 1.0) -> list[ScenarioSpec]:
+    """UPM and energy-time slopes on one node (Table 1)."""
+    sweeps = [
+        ScenarioSpec(
+            name=f"table1/{name}/slopes",
+            kind=KIND_GEAR_SWEEP,
+            cluster=ClusterRef(),
+            workload=_nas(name, scale),
+            nodes=(1,),
+            gears=(1, 2, 3),
+            tags=("paper", "table1"),
+            description=f"{name} gears 1-3 for the slope columns",
+        )
+        for name in NAS_PAPER_SUITE
+    ]
+    measurements = [
+        ScenarioSpec(
+            name=f"table1/{name}/upm",
+            kind=KIND_MEASUREMENT,
+            cluster=ClusterRef(),
+            workload=_nas(name, scale),
+            nodes=(1,),
+            tags=("paper", "table1"),
+            description=f"{name} gear-1 run for the UPM column",
+        )
+        for name in NAS_PAPER_SUITE
+    ]
+    return sweeps + measurements
+
+
+@dataclass(frozen=True)
+class Figure5Plan:
+    """One Figure 5 panel's scenario breakdown.
+
+    Attributes:
+        workload: benchmark name.
+        measured: node counts measured directly (validity-filtered).
+        targets: node counts the model extrapolates to.
+        measure: the fastest-gear trace-measurement scenario.
+        calibrate: the single-node calibration scenario.
+        sweep: the measured gear-sweep scenario.
+        truth: direct simulation at the extrapolated sizes, or ``None``
+            when ground-truth validation is off.
+    """
+
+    workload: str
+    measured: tuple[int, ...]
+    targets: tuple[int, ...]
+    measure: ScenarioSpec
+    calibrate: ScenarioSpec
+    sweep: ScenarioSpec
+    truth: ScenarioSpec | None
+
+    @property
+    def specs(self) -> list[ScenarioSpec]:
+        """The panel's scenarios in task-expansion order."""
+        out = [self.measure, self.calibrate, self.sweep]
+        if self.truth is not None:
+            out.append(self.truth)
+        return out
+
+
+def figure5_plans(
+    *,
+    scale: float = 1.0,
+    validate: bool = False,
+    measure_max_nodes: int = 10,
+) -> list[Figure5Plan]:
+    """Per-workload Figure 5 plans (specs plus the node-count grids).
+
+    Args:
+        scale: workload scale.
+        validate: also include ground-truth sweeps at the extrapolated
+            node counts (simulation can; the paper's cluster could not).
+        measure_max_nodes: size of the measurement cluster (matters when
+            the experiment overrides the paper's ten-node machine).
+    """
+    plans = []
+    for name in NAS_PAPER_SUITE:
+        ref = _nas(name, scale)
+        workload = ref.build()
+        measured = tuple(
+            n
+            for n in FIGURE5_MEASURED_COUNTS
+            if n in set(workload.valid_node_counts(measure_max_nodes))
+        )
+        targets = tuple(
+            n
+            for n in FIGURE5_EXTRAPOLATED_COUNTS
+            if n in set(workload.valid_node_counts(FIGURE5_TRUTH_MAX_NODES))
+        )
+        cluster = ClusterRef(max_nodes=measure_max_nodes)
+        truth = None
+        if validate:
+            truth = ScenarioSpec(
+                name=f"figure5/{name}/truth",
+                kind=KIND_GEAR_SWEEP,
+                cluster=ClusterRef(max_nodes=FIGURE5_TRUTH_MAX_NODES),
+                workload=ref,
+                nodes=targets,
+                tags=("paper", "figure5", "ground-truth"),
+                description=f"{name} simulated at the extrapolated sizes",
+            )
+        plans.append(
+            Figure5Plan(
+                workload=name,
+                measured=measured,
+                targets=targets,
+                measure=ScenarioSpec(
+                    name=f"figure5/{name}/measure",
+                    kind=KIND_MEASUREMENT,
+                    cluster=cluster,
+                    workload=ref,
+                    nodes=measured,
+                    tags=("paper", "figure5"),
+                    description=f"{name} fastest-gear traces (model step 1)",
+                ),
+                calibrate=ScenarioSpec(
+                    name=f"figure5/{name}/calibrate",
+                    kind=KIND_CALIBRATION,
+                    cluster=cluster,
+                    workload=ref,
+                    nodes=(),
+                    tags=("paper", "figure5"),
+                    description=f"{name} per-gear calibration (model step 4)",
+                ),
+                sweep=ScenarioSpec(
+                    name=f"figure5/{name}/sweep",
+                    kind=KIND_GEAR_SWEEP,
+                    cluster=cluster,
+                    workload=ref,
+                    nodes=measured,
+                    tags=("paper", "figure5"),
+                    description=f"{name} measured energy-time curves",
+                ),
+                truth=truth,
+            )
+        )
+    return plans
+
+
+@REGISTRY.register("figure5", tags=("paper", "figure"))
+def figure5_scenarios(
+    *, scale: float = 1.0, validate: bool = False
+) -> list[ScenarioSpec]:
+    """Model-extrapolated curves up to 32 nodes (Figure 5)."""
+    return [
+        spec for plan in figure5_plans(scale=scale, validate=validate)
+        for spec in plan.specs
+    ]

@@ -1,0 +1,126 @@
+"""The scenario registry: named factories producing spec lists.
+
+A registry entry maps a name (``"figure1"``, ``"weak-scaling"``) to a
+*factory* — a callable returning an ordered ``list[ScenarioSpec]`` —
+plus tags and a description.  Factories, not frozen lists, because
+nearly every scenario set is parameterized (workload ``scale``, pack
+sizes); the registry passes keyword arguments straight through.
+
+The module-level :data:`REGISTRY` is the default instance.  The paper
+artifacts (:mod:`repro.scenarios.paper`) and the generated packs
+(:mod:`repro.scenarios.packs`) register themselves on import of
+:mod:`repro.scenarios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Iterator
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.errors import ConfigurationError
+
+#: A scenario-set factory: keyword parameters -> ordered spec list.
+Factory = Callable[..., list[ScenarioSpec]]
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered scenario set."""
+
+    name: str
+    factory: Factory
+    tags: tuple[str, ...] = ()
+    description: str = ""
+
+    def build(self, **params: Any) -> list[ScenarioSpec]:
+        """Build the spec list (validates names are unique)."""
+        specs = self.factory(**params)
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.name in seen:
+                raise ConfigurationError(
+                    f"scenario set {self.name!r} produced duplicate "
+                    f"scenario name {spec.name!r}"
+                )
+            seen.add(spec.name)
+        return specs
+
+
+@dataclass
+class ScenarioRegistry:
+    """Name -> scenario-set factory mapping."""
+
+    _entries: dict[str, RegistryEntry] = dataclass_field(default_factory=dict)
+
+    def register(
+        self,
+        name: str,
+        factory: Factory | None = None,
+        *,
+        tags: tuple[str, ...] = (),
+        description: str = "",
+    ):
+        """Register a factory under ``name`` (usable as a decorator).
+
+        Raises:
+            ConfigurationError: the name is already taken.
+        """
+
+        def _add(fn: Factory) -> Factory:
+            if name in self._entries:
+                raise ConfigurationError(
+                    f"scenario set {name!r} is already registered"
+                )
+            desc = description
+            if not desc and fn.__doc__:
+                desc = fn.__doc__.strip().splitlines()[0]
+            self._entries[name] = RegistryEntry(
+                name=name, factory=fn, tags=tuple(tags), description=desc
+            )
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def names(self, *, tag: str | None = None) -> list[str]:
+        """Registered names, sorted; optionally filtered by tag."""
+        return sorted(
+            name
+            for name, entry in self._entries.items()
+            if tag is None or tag in entry.tags
+        )
+
+    def entry(self, name: str) -> RegistryEntry:
+        """The entry for ``name``.
+
+        Raises:
+            ConfigurationError: unknown name (the message lists what is
+                registered, so CLI typos are self-correcting).
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown scenario set {name!r}; registered: "
+                f"{', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def build(self, name: str, **params: Any) -> list[ScenarioSpec]:
+        """Build the named set's spec list."""
+        return self.entry(name).build(**params)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RegistryEntry]:
+        for name in self.names():
+            yield self._entries[name]
+
+
+#: The default registry the CLI and validation harness use.
+REGISTRY = ScenarioRegistry()

@@ -33,14 +33,31 @@ class SyntheticMemoryPressure(Workload):
     Args:
         scale: proportionally scales iterations and total work.
         miss_rate: per-reference L2 miss rate (default, the paper's 7 %).
+        halo_bytes: per-iteration ring-halo volume.  The paper's kernel
+            keeps it small so speedup stays near-ideal; cranking it up
+            turns the same kernel communication-bound — the
+            communication-pathological scenario packs' knob.
     """
 
     BASE_ITERATIONS = 50
     BASE_UOPS = 6.77e9
 
-    def __init__(self, scale: float = 1.0, *, miss_rate: float = MISS_RATE):
+    def __init__(
+        self,
+        scale: float = 1.0,
+        *,
+        miss_rate: float = MISS_RATE,
+        halo_bytes: int = HALO_BYTES,
+    ):
+        if halo_bytes < 1:
+            from repro.util.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"halo_bytes must be >= 1, got {halo_bytes}"
+            )
         iterations = max(3, round(self.BASE_ITERATIONS * scale))
         self.miss_rate = miss_rate
+        self.halo_bytes = halo_bytes
         self.spec = WorkloadSpec(
             name="Synthetic",
             iterations=iterations,
@@ -69,7 +86,7 @@ class SyntheticMemoryPressure(Workload):
                 right = (rank + 1) % size
                 left = (rank - 1) % size
                 yield from comm.sendrecv(
-                    right, left, send_bytes=HALO_BYTES, tag=3
+                    right, left, send_bytes=self.halo_bytes, tag=3
                 )
                 yield from comm.allreduce(1.0, nbytes=8)
             iteration += 1

@@ -1,0 +1,141 @@
+"""The ``runner scenarios`` command line surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import main as runner_main
+from repro.scenarios.cli import main as scenarios_main
+from repro.scenarios.spec import load_specs
+
+
+class TestList:
+    def test_lists_every_registered_set(self, capsys):
+        assert scenarios_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure1", "table1", "strong-scaling", "validation"):
+            assert name in out
+
+    def test_tag_filter(self, capsys):
+        assert scenarios_main(["list", "--tag", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+        assert "strong-scaling" not in out
+
+    def test_points_counts_scenarios(self, capsys):
+        assert scenarios_main(["list", "--tag", "paper"]) == 0
+        plain = capsys.readouterr().out
+        assert scenarios_main(["list", "--tag", "paper", "--points"]) == 0
+        counted = capsys.readouterr().out
+        assert "points)" in counted
+        assert "points)" not in plain
+
+
+class TestRun:
+    def test_runs_a_registered_set(self, capsys):
+        code = scenarios_main(
+            ["run", "figure1", "--param", "scale=0.05", "--no-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "figure1/EP" in out
+        assert "[6 point(s) across 6 scenario(s)]" in out
+
+    def test_runs_a_pack_file(self, tmp_path, capsys):
+        pack = tmp_path / "pack.json"
+        assert (
+            scenarios_main(
+                [
+                    "pack",
+                    "fast-forward-eligible",
+                    "--param",
+                    "iterations=[20]",
+                    "--out",
+                    str(pack),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = scenarios_main(
+            ["run", "--file", str(pack), "--jobs", "2", "--no-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ff/Jacobi-i20" in out
+
+    def test_name_and_file_are_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            scenarios_main(["run", "figure1", "--file", str(tmp_path / "p")])
+        with pytest.raises(SystemExit):
+            scenarios_main(["run"])
+
+    def test_unknown_set_exits_2(self, capsys):
+        assert scenarios_main(["run", "no-such-set"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-set" in err
+
+    def test_bad_param_exits_2(self, capsys):
+        assert scenarios_main(["run", "figure1", "--param", "oops"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+
+class TestPack:
+    def test_pack_round_trips_through_load_specs(self, tmp_path, capsys):
+        out_file = tmp_path / "figure1.json"
+        code = scenarios_main(
+            ["pack", "figure1", "--param", "scale=0.05", "--out", str(out_file)]
+        )
+        assert code == 0
+        specs = load_specs(out_file.read_text())
+        assert [s.name for s in specs] == [
+            f"figure1/{n}" for n in ("EP", "BT", "LU", "MG", "SP", "CG")
+        ]
+
+    def test_pack_to_stdout_is_json(self, capsys):
+        assert scenarios_main(["pack", "figure1", "--param", "scale=0.05"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec_version"] == 1
+        assert len(payload["scenarios"]) == 6
+
+
+class TestValidate:
+    def test_small_validate_passes_and_writes_report(
+        self, tmp_path, capsys
+    ):
+        report_file = tmp_path / "VALIDATION_sweep.json"
+        code = scenarios_main(
+            [
+                "validate",
+                "--points",
+                "60",
+                "--jobs",
+                "2",
+                "--chunk-size",
+                "8",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--max-cache-mb",
+                "0.01",
+                "--waves",
+                "2",
+                "--stride",
+                "5",
+                "--report",
+                str(report_file),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        data = json.loads(report_file.read_text())
+        assert data["ok"] is True
+        assert data["points"] >= 60
+        assert "all contracts held" in out
+
+
+class TestRunnerDispatch:
+    def test_runner_forwards_scenarios_subcommand(self, capsys):
+        assert runner_main(["scenarios", "list"]) == 0
+        assert "figure1" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""The generated scenario packs: determinism, dedup, sizing, shape."""
+
+from __future__ import annotations
+
+from repro.scenarios.packs import (
+    FF_ELIGIBLE_TAG,
+    checkpoint_heavy_pack,
+    communication_pathological_pack,
+    fastforward_pack,
+    heterogeneous_gear_pack,
+    scale_for_iterations,
+    strong_scaling_pack,
+    total_points,
+    unique_specs,
+    validation_pack,
+    weak_scaling_pack,
+)
+from repro.scenarios.spec import WORKLOADS
+
+ALL_PACKS = (
+    strong_scaling_pack,
+    weak_scaling_pack,
+    heterogeneous_gear_pack,
+    checkpoint_heavy_pack,
+    communication_pathological_pack,
+    fastforward_pack,
+)
+
+
+class TestGenerators:
+    def test_every_pack_is_deterministic(self):
+        for pack in ALL_PACKS:
+            assert pack() == pack(), pack.__name__
+
+    def test_every_pack_has_unique_fingerprints(self):
+        for pack in ALL_PACKS:
+            specs = pack()
+            assert unique_specs(specs) == specs, pack.__name__
+
+    def test_scale_for_iterations_is_exact(self):
+        for kind in ("EP", "Jacobi", "Synthetic", "CG"):
+            for iterations in (3, 7, 20):
+                scale = scale_for_iterations(kind, iterations)
+                workload = WORKLOADS[kind](scale=scale)
+                assert workload.spec.iterations == iterations
+
+    def test_weak_scaling_grows_work_with_nodes(self):
+        specs = weak_scaling_pack(node_counts=(2, 8), base_nodes=2)
+        by_nodes = {s.nodes[0]: dict(s.workload.params) for s in specs}
+        assert by_nodes[8]["work_multiplier"] == 4 * by_nodes[2]["work_multiplier"]
+
+    def test_heterogeneous_pack_varies_menus_and_latency(self):
+        specs = heterogeneous_gear_pack()
+        menus = {s.gears for s in specs}
+        latencies = {s.cluster.gear_switch_latency for s in specs}
+        assert len(menus) > 1
+        assert len(latencies) > 1
+
+    def test_checkpoint_pack_runs_on_the_drpm_disk(self):
+        specs = checkpoint_heavy_pack()
+        assert specs
+        assert all(s.cluster.disk == "drpm" for s in specs)
+        assert all(s.workload.kind == "CheckpointedStencil" for s in specs)
+
+    def test_communication_pack_cranks_the_halo(self):
+        specs = communication_pathological_pack()
+        halos = {
+            dict(s.workload.params).get("halo_bytes")
+            for s in specs
+            if s.workload.kind == "Synthetic"
+        }
+        assert max(halos) >= 1 << 20
+
+    def test_fastforward_pack_is_tagged_and_exact(self):
+        specs = fastforward_pack()
+        assert all(FF_ELIGIBLE_TAG in s.tags for s in specs)
+        # The twins get the fast-forward knobs; the pack itself is exact.
+        assert all(s.fast_forward is None for s in specs)
+
+
+class TestValidationPack:
+    def test_meets_the_point_target(self):
+        specs = validation_pack(min_points=200)
+        assert total_points(specs) >= 200
+
+    def test_trim_is_tight(self):
+        """Dropping the last spec falls below the target (no overshoot)."""
+        specs = validation_pack(min_points=200)
+        assert total_points(specs[:-1]) < 200
+
+    def test_is_deterministic(self):
+        assert validation_pack(min_points=150) == validation_pack(min_points=150)
+
+    def test_smaller_target_is_a_prefix_family(self):
+        """Smoke-sized packs sample the same families the big sweep runs."""
+        small = validation_pack(min_points=500)
+        assert any(FF_ELIGIBLE_TAG in s.tags for s in small)
+        assert len({s.name.split("/")[0] for s in small}) >= 3
+
+    def test_fingerprints_are_unique(self):
+        specs = validation_pack(min_points=500)
+        prints = [s.fingerprint() for s in specs]
+        assert len(prints) == len(set(prints))
+
+    def test_grows_toward_large_targets(self):
+        assert total_points(validation_pack(min_points=2_000)) >= 2_000

@@ -1,0 +1,129 @@
+"""The scenario registry: registration, lookup, build validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import REGISTRY
+from repro.scenarios.registry import ScenarioRegistry
+from repro.scenarios.spec import KIND_GEAR_SWEEP, ScenarioSpec, WorkloadRef
+from repro.util.errors import ConfigurationError
+
+
+def _spec(name: str, nodes=(1,)) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        kind=KIND_GEAR_SWEEP,
+        workload=WorkloadRef("EP", (("scale", 0.05),)),
+        nodes=nodes,
+    )
+
+
+class TestRegistration:
+    def test_register_as_decorator_with_docstring_description(self):
+        registry = ScenarioRegistry()
+
+        @registry.register("demo", tags=("t",))
+        def demo_factory():
+            """First line becomes the description.
+
+            Not this one.
+            """
+            return [_spec("demo/a")]
+
+        entry = registry.entry("demo")
+        assert entry.description == "First line becomes the description."
+        assert entry.tags == ("t",)
+        assert registry.build("demo") == [_spec("demo/a")]
+
+    def test_explicit_description_wins(self):
+        registry = ScenarioRegistry()
+        registry.register("demo", lambda: [], description="explicit")
+        assert registry.entry("demo").description == "explicit"
+
+    def test_duplicate_name_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("demo", lambda: [])
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("demo", lambda: [])
+
+    def test_container_protocol(self):
+        registry = ScenarioRegistry()
+        registry.register("demo", lambda: [])
+        assert "demo" in registry
+        assert "other" not in registry
+        assert len(registry) == 1
+        assert [e.name for e in registry] == ["demo"]
+
+
+class TestLookup:
+    def test_unknown_name_lists_what_is_registered(self):
+        registry = ScenarioRegistry()
+        registry.register("alpha", lambda: [])
+        registry.register("beta", lambda: [])
+        with pytest.raises(ConfigurationError, match="alpha, beta"):
+            registry.entry("gamma")
+
+    def test_names_filter_by_tag(self):
+        registry = ScenarioRegistry()
+        registry.register("alpha", lambda: [], tags=("paper",))
+        registry.register("beta", lambda: [], tags=("pack",))
+        assert registry.names(tag="paper") == ["alpha"]
+        assert registry.names() == ["alpha", "beta"]
+
+
+class TestBuild:
+    def test_build_passes_parameters_through(self):
+        registry = ScenarioRegistry()
+        registry.register(
+            "demo", lambda *, n=1: [_spec(f"demo/{i}") for i in range(n)]
+        )
+        assert len(registry.build("demo", n=3)) == 3
+
+    def test_duplicate_scenario_names_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register("demo", lambda: [_spec("same"), _spec("same", (2,))])
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            registry.build("demo")
+
+
+class TestDefaultRegistry:
+    def test_paper_artifacts_and_packs_are_registered(self):
+        names = set(REGISTRY.names())
+        assert {
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "table1",
+        } <= names
+        assert {
+            "strong-scaling",
+            "weak-scaling",
+            "heterogeneous-gear",
+            "checkpoint-heavy",
+            "communication-pathological",
+            "fast-forward-eligible",
+            "validation",
+        } <= names
+
+    def test_tag_split(self):
+        assert set(REGISTRY.names(tag="paper")) == {
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "table1",
+        }
+        assert "strong-scaling" in REGISTRY.names(tag="pack")
+
+    def test_every_registered_set_builds_unique_scenario_names(self):
+        for entry in REGISTRY:
+            params = (
+                {"min_points": 100} if entry.name == "validation" else {}
+            )
+            specs = entry.build(**params)
+            names = [s.name for s in specs]
+            assert len(names) == len(set(names)), entry.name

@@ -1,0 +1,307 @@
+"""Property suite for scenario specs (hypothesis).
+
+Three load-bearing properties:
+
+1. **Round-trip stability** — serialize -> deserialize reproduces the
+   spec exactly, fingerprint included, for any constructible spec.
+2. **Fingerprint sensitivity** — perturbing *any* identity field moves
+   the fingerprint; touching any metadata field never does.
+3. **Cache-key equivalence** — two specs share a fingerprint exactly
+   when their expanded tasks share executor cache keys (computed by
+   :func:`repro.exec.sweep.cache_key`, i.e. the same
+   :mod:`repro.exec.fingerprint` canonical encoding the result cache
+   uses).  This is the contract that lets the registry deduplicate by
+   spec fingerprint without ever expanding a task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.fingerprint import jsonable
+from repro.exec.sweep import cache_key
+from repro.scenarios.spec import (
+    KIND_CALIBRATION,
+    KIND_GEAR_SWEEP,
+    KIND_MEASUREMENT,
+    KINDS,
+    ClusterRef,
+    ScenarioSpec,
+    WorkloadRef,
+)
+
+# ---------------------------------------------------------------------------
+# Spec strategies.  Parameters are drawn from small curated pools: the
+# property layer exercises the identity/serialization machinery, not the
+# simulator, so specs only ever get *constructed* (cheap), never run.
+
+nas_kinds = st.sampled_from(("EP", "BT", "LU", "MG", "SP", "CG", "FT", "IS"))
+scales = st.sampled_from((0.03, 0.05, 0.08, 0.1, 0.25))
+
+
+@st.composite
+def workload_refs(draw) -> WorkloadRef:
+    choice = draw(st.integers(0, 3))
+    if choice == 0:
+        return WorkloadRef(
+            draw(nas_kinds),
+            (
+                ("problem_class", draw(st.sampled_from("SWABC"))),
+                ("scale", draw(scales)),
+            ),
+        )
+    if choice == 1:
+        return WorkloadRef(
+            "Jacobi",
+            (
+                ("scale", draw(scales)),
+                ("work_multiplier", draw(st.sampled_from((0.5, 1.0, 2.0)))),
+            ),
+        )
+    if choice == 2:
+        return WorkloadRef(
+            "Synthetic",
+            (
+                ("halo_bytes", draw(st.sampled_from((8192, 1 << 20)))),
+                ("scale", draw(scales)),
+            ),
+        )
+    return WorkloadRef(
+        "CheckpointedStencil",
+        (("checkpoint_every", draw(st.sampled_from((2, 5)))), ("scale", 0.2)),
+    )
+
+
+@st.composite
+def cluster_refs(draw) -> ClusterRef:
+    if draw(st.booleans()):
+        return ClusterRef(
+            machine="athlon",
+            max_nodes=draw(st.integers(1, 32)),
+            gear_switch_latency=draw(st.sampled_from((0.0, 1e-4))),
+            disk=draw(st.sampled_from((None, "drpm"))),
+        )
+    return ClusterRef(machine="reference", max_nodes=draw(st.integers(1, 32)))
+
+
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    kind = draw(st.sampled_from(KINDS))
+    nodes = (
+        ()
+        if kind == KIND_CALIBRATION
+        else tuple(
+            draw(
+                st.lists(
+                    st.integers(1, 10), min_size=1, max_size=4, unique=True
+                )
+            )
+        )
+    )
+    gears = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(1, 6), min_size=1, max_size=6, unique=True
+            ).map(tuple),
+        )
+    )
+    fast_forward = draw(
+        st.one_of(
+            st.none(),
+            st.fixed_dictionaries(
+                {},
+                optional={
+                    "max_period": st.sampled_from((2, 4, 16)),
+                    "k": st.sampled_from((2, 3)),
+                    "min_jump": st.sampled_from((2, 8)),
+                },
+            ).map(lambda d: tuple(sorted(d.items()))),
+        )
+    )
+    return ScenarioSpec(
+        name=draw(st.text(min_size=1, max_size=12)),
+        kind=kind,
+        cluster=draw(cluster_refs()),
+        workload=draw(workload_refs()),
+        nodes=nodes,
+        gears=gears,
+        fast_forward=fast_forward,
+        tags=tuple(draw(st.lists(st.text(max_size=6), max_size=3))),
+        description=draw(st.text(max_size=20)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Round-trip stability
+
+
+@given(scenario_specs())
+@settings(max_examples=120)
+def test_serialize_deserialize_is_exact(spec):
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    assert rebuilt.fingerprint() == spec.fingerprint()
+
+
+@given(scenario_specs())
+@settings(max_examples=60)
+def test_fingerprint_is_stable_across_round_trips(spec):
+    """Repeated round-trips and repeated hashing never drift."""
+    once = ScenarioSpec.from_json(spec.to_json())
+    twice = ScenarioSpec.from_json(once.to_json())
+    assert spec.fingerprint() == once.fingerprint() == twice.fingerprint()
+    assert spec.fingerprint() == spec.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# 2. Fingerprint sensitivity: every identity field separates, no
+# metadata field does.  Each perturbation keeps the spec constructible.
+
+
+def _bump_cluster(spec):
+    return replace(
+        spec, cluster=replace(spec.cluster, max_nodes=spec.cluster.max_nodes + 1)
+    )
+
+
+def _switch_machine(spec):
+    if spec.cluster.machine == "reference":
+        cluster = ClusterRef(machine="athlon", max_nodes=spec.cluster.max_nodes)
+    else:
+        cluster = ClusterRef(
+            machine="reference", max_nodes=spec.cluster.max_nodes
+        )
+    return replace(spec, cluster=cluster)
+
+
+def _switch_latency(spec):
+    cluster = ClusterRef(
+        machine="athlon",
+        max_nodes=spec.cluster.max_nodes,
+        gear_switch_latency=spec.cluster.gear_switch_latency + 5e-4,
+        disk=spec.cluster.disk if spec.cluster.machine == "athlon" else None,
+    )
+    return replace(spec, cluster=cluster)
+
+
+def _switch_disk(spec):
+    cluster = ClusterRef(
+        machine="athlon",
+        max_nodes=spec.cluster.max_nodes,
+        disk=None if spec.cluster.disk else "drpm",
+    )
+    return replace(spec, cluster=cluster)
+
+
+def _switch_workload(spec):
+    kind = "Jacobi" if spec.workload.kind != "Jacobi" else "EP"
+    return replace(spec, workload=WorkloadRef(kind, (("scale", 0.05),)))
+
+
+def _bump_workload_param(spec):
+    # Workload constructors quantize continuous knobs (iteration counts
+    # floor at 3), so a small scale bump can build the *same* workload.
+    # Grow the scale until the built workload actually changes.
+    base = jsonable(spec.workload.build())
+    params = dict(spec.workload.params)
+    scale = params.get("scale", 1.0)
+    while True:
+        scale *= 4
+        params["scale"] = scale
+        ref = WorkloadRef(spec.workload.kind, tuple(params.items()))
+        if jsonable(ref.build()) != base:
+            return replace(spec, workload=ref)
+
+
+def _switch_kind(spec):
+    if spec.kind == KIND_CALIBRATION:
+        return replace(spec, kind=KIND_GEAR_SWEEP, nodes=(1,))
+    other = (
+        KIND_MEASUREMENT if spec.kind == KIND_GEAR_SWEEP else KIND_GEAR_SWEEP
+    )
+    return replace(spec, kind=other)
+
+
+def _grow_nodes(spec):
+    if spec.kind == KIND_CALIBRATION:
+        return replace(spec, kind=KIND_GEAR_SWEEP, nodes=(1,))
+    return replace(spec, nodes=spec.nodes + (max(spec.nodes) + 1,))
+
+
+def _switch_gears(spec):
+    if spec.kind == KIND_CALIBRATION:
+        # Calibrations canonicalise gears away; move to a kind that
+        # keeps them before perturbing.
+        spec = replace(spec, kind=KIND_MEASUREMENT, nodes=(1,))
+    return replace(spec, gears=(1, 2) if spec.gears != (1, 2) else (1, 3))
+
+
+def _switch_fast_forward(spec):
+    if spec.fast_forward is None:
+        return replace(spec, fast_forward=(("max_period", 2),))
+    return replace(spec, fast_forward=None)
+
+
+IDENTITY_PERTURBATIONS = (
+    _bump_cluster,
+    _switch_machine,
+    _switch_latency,
+    _switch_disk,
+    _switch_workload,
+    _bump_workload_param,
+    _switch_kind,
+    _grow_nodes,
+    _switch_gears,
+    _switch_fast_forward,
+)
+
+
+@given(scenario_specs(), st.sampled_from(IDENTITY_PERTURBATIONS))
+@settings(max_examples=200)
+def test_every_identity_field_moves_the_fingerprint(spec, perturb):
+    mutated = perturb(spec)
+    assert mutated.identity() != spec.identity()
+    assert mutated.fingerprint() != spec.fingerprint()
+
+
+@given(scenario_specs(), st.text(min_size=1, max_size=12))
+@settings(max_examples=60)
+def test_no_metadata_field_moves_the_fingerprint(spec, name):
+    mutated = replace(
+        spec, name=name, tags=spec.tags + ("extra",), description="changed"
+    )
+    assert mutated.fingerprint() == spec.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# 3. Spec-fingerprint equality <=> executor cache-key equality
+
+
+def _keys(spec):
+    return [cache_key(task) for task in spec.tasks()]
+
+
+@given(scenario_specs(), st.text(min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_equal_fingerprints_give_equal_cache_keys(spec, name):
+    """Metadata-only twins expand to identically-keyed tasks."""
+    twin = replace(spec, name=name, tags=("t",), description="d")
+    assert twin.fingerprint() == spec.fingerprint()
+    assert _keys(twin) == _keys(spec)
+
+
+@given(scenario_specs(), st.sampled_from(IDENTITY_PERTURBATIONS))
+@settings(max_examples=40, deadline=None)
+def test_distinct_fingerprints_give_distinct_cache_keys(spec, perturb):
+    """Any identity perturbation separates at least one task cache key.
+
+    (The lists can differ in length too — e.g. a grown node grid; the
+    point is they are never element-for-element equal.)
+    """
+    mutated = perturb(spec)
+    assert mutated.fingerprint() != spec.fingerprint()
+    assert _keys(mutated) != _keys(spec)
