@@ -22,6 +22,7 @@ from repro.exec.tasks import (
     CalibrationTask,
     GearSweepTask,
     MeasurementTask,
+    PolicyMeasurementTask,
     SimTask,
 )
 
@@ -32,6 +33,7 @@ __all__ = [
     "Executor",
     "GearSweepTask",
     "MeasurementTask",
+    "PolicyMeasurementTask",
     "ResultCache",
     "SimTask",
     "TaskTiming",

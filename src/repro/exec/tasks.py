@@ -8,6 +8,8 @@ paper artifact:
 - :class:`GearSweepTask` — one energy-time curve (one line in a figure);
 - :class:`MeasurementTask` — one fastest-gear trace run (model step 1,
   Table 1's UPM column);
+- :class:`PolicyMeasurementTask` — one run under a gear policy from the
+  zoo (the policy's knobs are part of the cache key);
 - :class:`CalibrationTask` — the single-node per-gear S_g/P_g/I_g table
   (model step 4).
 
@@ -38,6 +40,7 @@ from repro.workloads.base import Workload
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.mpi.fastforward import FastForwardConfig
     from repro.obs.observer import RunObserver
+    from repro.policy.base import GearPolicy
 
 
 def _describe_workload(workload: Workload) -> Any:
@@ -241,6 +244,97 @@ class MeasurementTask(SimTask):
             "cluster": result.cluster,
             "nodes": result.nodes,
             "gear": result.gear,
+            "time_s": result.time,
+            "energy_j": result.energy,
+            "active_time_s": result.active_time,
+            "idle_time_s": result.idle_time,
+            "reducible_time_s": result.reducible_time,
+            "upm": result.upm,
+        }
+
+    def decode(self, payload: Any) -> RunMeasurement:
+        return RunMeasurement(
+            workload=payload["workload"],
+            cluster=payload["cluster"],
+            nodes=payload["nodes"],
+            gear=payload["gear"],
+            time=payload["time_s"],
+            energy=payload["energy_j"],
+            active_time=payload["active_time_s"],
+            idle_time=payload["idle_time_s"],
+            reducible_time=payload["reducible_time_s"],
+            upm=payload["upm"],
+        )
+
+
+@dataclass(frozen=True)
+class PolicyMeasurementTask(SimTask):
+    """Run one (workload, nodes) configuration under a gear policy.
+
+    The policy field holds the *template* — :meth:`run` attaches it via
+    :meth:`repro.policy.base.GearPolicy.prepare`, which clones fresh
+    per-rank instances (or builds the shared arbiter for coordinated
+    families), so one task object can be run repeatedly and its template
+    never accumulates state.  The policy's canonical knobs
+    (:meth:`~repro.policy.base.GearPolicy.describe`) are folded into
+    both ``key`` and ``describe()``: two tasks share a cache entry iff
+    every policy knob matches.
+    """
+
+    cluster: ClusterSpec
+    workload: Workload
+    nodes: int
+    policy: "GearPolicy"
+    fast_forward: "FastForwardConfig | None" = None
+    scenario: str | None = field(default=None, compare=False)
+
+    @property
+    def key(self) -> tuple:
+        return _scenario_key(
+            (
+                "policy_measurement",
+                self.cluster.name,
+                self.cluster.max_nodes,
+                self.workload.name,
+                self.nodes,
+                tuple(sorted(self.policy.describe().items())),
+                _ff_key(self.fast_forward),
+            ),
+            self.scenario,
+        )
+
+    def describe(self) -> Any:
+        return _with_ff(
+            {
+                "kind": "policy_measurement",
+                "cluster": _describe_cluster(self.cluster),
+                "workload": _describe_workload(self.workload),
+                "nodes": self.nodes,
+                "policy": self.policy.describe(),
+            },
+            self.fast_forward,
+        )
+
+    def run(self, observer: "RunObserver | None" = None) -> RunMeasurement:
+        """Simulate the policy-managed run (optionally observed)."""
+        from repro.policy.comm import run_with_policy
+
+        return run_with_policy(
+            self.cluster,
+            self.workload,
+            nodes=self.nodes,
+            policy=self.policy,
+            observer=observer,
+            fast_forward=self.fast_forward,
+        )
+
+    def encode(self, result: RunMeasurement) -> Any:
+        return {
+            "workload": result.workload,
+            "cluster": result.cluster,
+            "nodes": result.nodes,
+            "gear": result.gear,  # always 0: policy-managed
+            "policy": self.policy.describe(),
             "time_s": result.time,
             "energy_j": result.energy,
             "active_time_s": result.active_time,

@@ -12,6 +12,7 @@ module         paper artifact
 ``figure3``    Fig. 3 — Jacobi on 2/4/6/8/10 nodes
 ``figure4``    Fig. 4 — synthetic high-memory-pressure benchmark
 ``figure5``    Fig. 5 — model-extrapolated curves to 16/25/32 nodes
+``policies``   policy zoo — gear-policy x workload x nodes grid
 =============  ======================================================
 
 All experiments accept a ``scale`` parameter that shrinks every
@@ -27,6 +28,7 @@ from repro.experiments.figure2 import Figure2Result, figure2
 from repro.experiments.figure3 import Figure3Result, figure3
 from repro.experiments.figure4 import Figure4Result, figure4
 from repro.experiments.figure5 import Figure5Result, figure5
+from repro.experiments.policies import PolicyCell, PolicyZooResult, policies
 
 __all__ = [
     "Figure1Result",
@@ -42,4 +44,7 @@ __all__ = [
     "figure4",
     "Figure5Result",
     "figure5",
+    "PolicyCell",
+    "PolicyZooResult",
+    "policies",
 ]

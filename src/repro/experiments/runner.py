@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.runner            # everything, full scale
     python -m repro.experiments.runner --scale 0.3
     python -m repro.experiments.runner --only figure1 table1
+    python -m repro.experiments.runner --only policies --policy slack-threshold
     python -m repro.experiments.runner --jobs 4   # parallel simulation
     python -m repro.experiments.runner --no-cache # force re-simulation
     python -m repro.experiments.runner --cache-stats
@@ -42,7 +43,15 @@ from typing import Callable
 
 from repro.exec import Executor, ResultCache
 from repro.exec.cache import env_max_bytes
-from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    policies,
+    table1,
+)
 from repro.reporting import emit_cache_stats, emit_profile, write_result
 
 EXPERIMENTS: dict[str, Callable[..., object]] = {
@@ -52,6 +61,7 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "figure3": figure3,
     "figure4": figure4,
     "figure5": figure5,
+    "policies": policies,
 }
 
 
@@ -149,6 +159,15 @@ def main(argv: list[str] | None = None) -> int:
         "of history, so smaller values engage earlier)",
     )
     parser.add_argument(
+        "--policy",
+        nargs="*",
+        metavar="NAME",
+        help="restrict the 'policies' experiment to these gear policies "
+        "(registry names like slack-threshold/power-budget, or exact "
+        "menu labels like power-budget-tight); the static gear-1 "
+        "baseline always runs",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print executor profiling: per-task wall time, cache "
@@ -172,6 +191,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.ff_max_period is not None and not args.fast_forward:
         parser.error("--ff-max-period requires --fast-forward")
     names = args.only or list(EXPERIMENTS)
+    if args.policy is not None and "policies" not in names:
+        parser.error("--policy only applies to the 'policies' experiment")
     observer = _build_observer(args)
     fast_forward = None
     if args.fast_forward:
@@ -192,8 +213,11 @@ def main(argv: list[str] | None = None) -> int:
     failures = 0
     for name in names:
         start = time.perf_counter()
+        kwargs = {"scale": args.scale, "executor": executor}
+        if name == "policies" and args.policy is not None:
+            kwargs["only"] = tuple(args.policy)
         try:
-            result = EXPERIMENTS[name](scale=args.scale, executor=executor)
+            result = EXPERIMENTS[name](**kwargs)
         except Exception as exc:
             failures += 1
             print(

@@ -12,27 +12,49 @@ Section 5 of the paper sketches two follow-ons this package provides:
   communicator that consults a :class:`GearPolicy` around blocking
   operations and shifts gears on the program's behalf.
 
-Policies:
+The policy zoo (see ``docs/POLICIES.md``):
 
-=================  =====================================================
-StaticPolicy       fixed gear (the baseline the paper measures)
-IdleLowPolicy      drop to a low gear while blocked in MPI, restore for
-                   compute (saves idle power during communication)
-SlackPolicy        IdleLowPolicy plus per-window monitoring of blocking
-                   slack: ranks with persistent slack run their *compute*
-                   at lower gears too (the node-bottleneck fix)
-=================  =====================================================
+====================  ==================================================
+StaticPolicy          fixed gear (the baseline the paper measures)
+IdleLowPolicy         drop to a low gear while blocked in MPI, restore
+                      for compute (saves idle power during communication)
+SlackPolicy           IdleLowPolicy plus per-window trial-and-revert
+                      monitoring: ranks with persistent *compute* slack
+                      run their compute at lower gears too (the
+                      node-bottleneck fix)
+SlackThresholdPolicy  COUNTDOWN-style: compute at full speed, downshift
+                      only inside MPI waits predicted longer than a
+                      threshold, with timer-based hysteresis
+PowerBudgetPolicy     cluster-wide power cap redistributed each round by
+                      a shared BudgetArbiter: watts flow to the critical
+                      path, clawed back from chronically-early ranks
+====================  ==================================================
+
+``POLICIES`` maps registry names (``static``, ``idle-low``,
+``trial-slack``, ``slack-threshold``, ``power-budget``) to these
+classes for scenario specs and the ``--policy`` CLI flags.
 """
 
+from repro.policy.audit import PowerAudit, audit_cluster_power
 from repro.policy.base import GearPolicy, StaticPolicy
 from repro.policy.adaptive import IdleLowPolicy, SlackPolicy
+from repro.policy.budget import BudgetArbiter, PowerBudgetPolicy
 from repro.policy.comm import PolicyComm, run_with_policy
+from repro.policy.countdown import SlackThresholdPolicy
+from repro.policy.registry import POLICIES, build_policy
 
 __all__ = [
     "GearPolicy",
     "StaticPolicy",
     "IdleLowPolicy",
     "SlackPolicy",
+    "SlackThresholdPolicy",
+    "PowerBudgetPolicy",
+    "BudgetArbiter",
     "PolicyComm",
+    "PowerAudit",
+    "audit_cluster_power",
     "run_with_policy",
+    "POLICIES",
+    "build_policy",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.policy.base import GearPolicy
+from repro.policy.base import GearPolicy, _check_gear_range
 from repro.util.errors import ConfigurationError
 
 
@@ -26,6 +26,17 @@ class IdleLowPolicy(GearPolicy):
 
     def blocked_gear(self) -> int:
         return self._idle_gear
+
+    def describe(self) -> dict:
+        return {
+            "policy": "idle-low",
+            "compute_gear": self._compute_gear,
+            "idle_gear": self._idle_gear,
+        }
+
+    def validate_gears(self, gear_count: int) -> None:
+        _check_gear_range("compute gear", self._compute_gear, gear_count)
+        _check_gear_range("idle gear", self._idle_gear, gear_count)
 
     def clone(self) -> "IdleLowPolicy":
         return IdleLowPolicy(self._compute_gear, self._idle_gear)
@@ -181,6 +192,24 @@ class SlackPolicy(GearPolicy):
             self._confirming = True
         elif slack < self.low_water and self._gear > 1:
             self._shift(self._gear - 1)
+
+    def describe(self) -> dict:
+        return {
+            "policy": "trial-slack",
+            "max_gear": self.max_gear,
+            "window": self.window,
+            "high_water": self.high_water,
+            "low_water": self.low_water,
+            "idle_gear": self._idle_gear,
+            "step_ratio": self.step_ratio,
+            "confirm_fraction": self.confirm_fraction,
+            "initial_backoff": self.initial_backoff,
+            "max_failed_trials": self.max_failed_trials,
+        }
+
+    def validate_gears(self, gear_count: int) -> None:
+        _check_gear_range("max gear", self.max_gear, gear_count)
+        _check_gear_range("idle gear", self._idle_gear, gear_count)
 
     def clone(self) -> "SlackPolicy":
         return SlackPolicy(

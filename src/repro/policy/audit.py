@@ -1,0 +1,66 @@
+"""Cluster-power audit: check a run's total draw window by window.
+
+The power-budget conformance contract is "never exceeds the cap in any
+coalesced power-meter window".  :func:`audit_cluster_power` replays a
+finished run's per-rank power profiles against the union of all
+interval boundaries — the finest segmentation any meter recorded — and
+reports the worst window.  Because every profile is piecewise constant,
+checking one probe point inside each window is exact, not a sampling
+approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.world import WorldResult
+
+
+@dataclass(frozen=True)
+class PowerAudit:
+    """Worst-case cluster power over a run, by coalesced meter windows.
+
+    Attributes:
+        peak_watts: largest total cluster power seen in any window.
+        peak_start: start of that window, seconds.
+        peak_end: end of that window, seconds.
+        windows: how many distinct windows were checked.
+    """
+
+    peak_watts: float
+    peak_start: float
+    peak_end: float
+    windows: int
+
+    def within(self, cap_w: float, *, tolerance: float = 1e-9) -> bool:
+        """True when the worst window stays at or under ``cap_w``."""
+        return self.peak_watts <= cap_w + tolerance
+
+
+def audit_cluster_power(result: WorldResult) -> PowerAudit:
+    """Audit one run: total cluster power in every coalesced window.
+
+    Window boundaries are the union of every rank meter's interval
+    edges, so any instant where any node's power level changes starts a
+    new window; within a window every profile is constant.
+    """
+    edges: set[float] = set()
+    for rank in result.ranks:
+        for start, end, _ in rank.meter.intervals:
+            edges.add(start)
+            edges.add(end)
+    ordered = sorted(edges)
+    peak = 0.0
+    peak_lo = peak_hi = 0.0
+    for lo, hi in zip(ordered, ordered[1:]):
+        probe = (lo + hi) / 2.0
+        total = sum(r.meter.power_at(probe) for r in result.ranks)
+        if total > peak:
+            peak = total
+            peak_lo, peak_hi = lo, hi
+    return PowerAudit(
+        peak_watts=peak,
+        peak_start=peak_lo,
+        peak_end=peak_hi,
+        windows=max(0, len(ordered) - 1),
+    )

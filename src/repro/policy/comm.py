@@ -27,6 +27,7 @@ from repro.policy.base import GearPolicy
 from repro.workloads.base import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.mpi.fastforward import FastForwardConfig
     from repro.obs.observer import RunObserver
     from repro.obs.registry import MetricsRegistry
 
@@ -120,21 +121,29 @@ def run_with_policy(
     policy: GearPolicy,
     observer: "RunObserver | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    fast_forward: "FastForwardConfig | None" = None,
 ) -> RunMeasurement:
     """Run a workload under a gear policy and measure it.
 
-    Each rank receives its own :meth:`GearPolicy.clone`, so per-rank
-    adaptive state (slack windows) stays independent — the policies run
-    exactly as a per-node runtime daemon would.
+    The run attaches the policy via :meth:`GearPolicy.prepare`, which
+    validates the configured gears against the cluster and hands each
+    rank its own instance — independent clones for per-node policies
+    (exactly as a per-node runtime daemon would run), or instances woven
+    through shared per-run state for coordinated families like
+    :class:`repro.policy.budget.PowerBudgetPolicy`.
 
     Args:
         observer: optional run observer (trace/metrics capture); the run
             is labelled with gear 0, marking "policy-managed".
         metrics: optional registry the per-rank :class:`PolicyComm`
             instances publish blocking spans into.
+        fast_forward: optional steady-state fast-forward config.  Only
+            sound once the policy's decisions have settled into the
+            periodic pattern the detector keys on; the policy-zoo
+            conformance tests pin the 1e-9 equivalence.
     """
     workload.validate_nodes(nodes)
-    policies = [policy.clone() for _ in range(nodes)]
+    policies = policy.prepare(cluster, nodes)
 
     def program(comm: Comm):
         managed = PolicyComm(
@@ -149,7 +158,14 @@ def run_with_policy(
             workload=workload.name, cluster=cluster.name, nodes=nodes, gear=0
         )
         observer.run_started(label)
-    world = World(cluster, program, nodes=nodes, gear=1, observer=observer)
+    world = World(
+        cluster,
+        program,
+        nodes=nodes,
+        gear=1,
+        observer=observer,
+        fast_forward=fast_forward,
+    )
     result = world.run()
     if observer is not None:
         observer.run_complete(label, result)

@@ -1,0 +1,47 @@
+"""Name -> policy-class registry, the zoo's single source of truth.
+
+Scenario specs (``repro.scenarios.spec.PolicyRef``), the experiment
+runner's ``--policy`` flag, and the conformance harness all resolve
+policies through this table, so adding a policy family here is enough
+to expose it everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.policy.adaptive import IdleLowPolicy, SlackPolicy
+from repro.policy.base import GearPolicy, StaticPolicy
+from repro.policy.budget import PowerBudgetPolicy
+from repro.policy.countdown import SlackThresholdPolicy
+from repro.util.errors import ConfigurationError
+
+POLICIES: dict[str, type[GearPolicy]] = {
+    "static": StaticPolicy,
+    "idle-low": IdleLowPolicy,
+    "trial-slack": SlackPolicy,
+    "slack-threshold": SlackThresholdPolicy,
+    "power-budget": PowerBudgetPolicy,
+}
+
+
+def build_policy(kind: str, **params: Any) -> GearPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises:
+        ConfigurationError: unknown name, or parameters the policy's
+            constructor rejects.
+    """
+    try:
+        cls = POLICIES[kind]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ConfigurationError(
+            f"unknown policy {kind!r}; registered: {known}"
+        ) from None
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for policy {kind!r}: {exc}"
+        ) from None

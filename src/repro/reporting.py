@@ -121,6 +121,18 @@ def result_to_dict(result: Any) -> dict[str, Any]:
             }
             for name, panel in result.panels.items()
         }
+    if hasattr(result, "grid"):  # policy zoo
+        out["grid"] = [
+            {
+                "workload": c.workload,
+                "policy": c.policy,
+                "nodes": c.nodes,
+                "time_s": c.time,
+                "energy_j": c.energy,
+                "edp": c.edp,
+            }
+            for c in result.grid
+        ]
     if hasattr(result, "outcomes"):  # adaptive policies
         out["outcomes"] = {
             name: [

@@ -22,6 +22,7 @@ from repro.scenarios.spec import (
     KIND_MEASUREMENT,
     SPEC_VERSION,
     ClusterRef,
+    PolicyRef,
     ScenarioSpec,
     WorkloadRef,
     dump_specs,
@@ -48,6 +49,7 @@ __all__ = [
     "ScenarioRegistry",
     "ClusterRef",
     "Figure5Plan",
+    "PolicyRef",
     "SPEC_VERSION",
     "ScenarioSpec",
     "ValidationReport",

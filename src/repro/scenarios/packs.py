@@ -24,6 +24,7 @@ from repro.scenarios.spec import (
     KIND_MEASUREMENT,
     WORKLOADS,
     ClusterRef,
+    PolicyRef,
     ScenarioSpec,
     WorkloadRef,
 )
@@ -372,6 +373,77 @@ def fastforward_pack(
     return specs
 
 
+@REGISTRY.register("policy-zoo", tags=("pack", "policy"))
+def policy_zoo_pack(
+    *,
+    iterations: Sequence[int] = (5,),
+    node_counts: Sequence[int] = (2, 4),
+) -> list[ScenarioSpec]:
+    """Policy-managed measurement scenarios: one per zoo family.
+
+    Covers every registered policy family at least once — the static
+    baseline through :class:`~repro.policy.base.StaticPolicy` (a
+    distinct cache key from a plain gear-1 measurement: the run goes
+    through :class:`~repro.policy.comm.PolicyComm`), the idle-harvesting
+    pair, the trial-slack adaptive policy, a hysteretic slack-threshold
+    variant, and two power-budget caps (one generous, one that forces
+    the arbiter to ration upgrades on the larger node count).
+    """
+    policies: list[tuple[str, PolicyRef, tuple[int, ...]]] = [
+        ("static-g2", PolicyRef("static", (("gear", 2),)), tuple(node_counts)),
+        ("idle-low", PolicyRef("idle-low"), tuple(node_counts)),
+        ("trial-slack", PolicyRef("trial-slack"), tuple(node_counts)),
+        (
+            "slack-threshold",
+            PolicyRef("slack-threshold", (("threshold_s", 1e-4),)),
+            tuple(node_counts),
+        ),
+        (
+            "slack-threshold-hyst",
+            PolicyRef(
+                "slack-threshold",
+                (("hysteresis", 3), ("threshold_s", 1e-4)),
+            ),
+            tuple(node_counts),
+        ),
+        (
+            "power-budget-wide",
+            PolicyRef("power-budget", (("cap_w", 620.0),)),
+            tuple(node_counts),
+        ),
+        (
+            "power-budget-tight",
+            PolicyRef("power-budget", (("cap_w", 450.0),)),
+            tuple(n for n in node_counts if n >= 4) or (max(node_counts),),
+        ),
+    ]
+    specs = []
+    for name in ("Jacobi", "CG"):
+        for iters in iterations:
+            scale = scale_for_iterations(name, iters)
+            ref = WorkloadRef(name, (("scale", scale),))
+            for label, policy, nodes in policies:
+                nodes = _valid_nodes(ref, nodes, 10)
+                if not nodes:
+                    continue
+                specs.append(
+                    ScenarioSpec(
+                        name=f"zoo/{name}-{label}-i{iters}",
+                        kind=KIND_MEASUREMENT,
+                        cluster=ClusterRef(),
+                        workload=ref,
+                        nodes=nodes,
+                        policy=policy,
+                        tags=("pack", "policy"),
+                        description=(
+                            f"{name} under {policy.kind} "
+                            f"{dict(policy.params)}, {iters} iterations"
+                        ),
+                    )
+                )
+    return specs
+
+
 @REGISTRY.register("validation", tags=("pack", "validation"))
 def validation_pack(
     *, min_points: int = 10_000, max_level: int = 10
@@ -395,6 +467,7 @@ def validation_pack(
         classes = classes_by_level[: min(1 + level // 2, len(classes_by_level))]
         specs = unique_specs(
             fastforward_pack()
+            + policy_zoo_pack(iterations=iteration_grid[:1])
             + strong_scaling_pack(iterations=iteration_grid, classes=classes)
             + weak_scaling_pack(iterations=iteration_grid[:2])
             + heterogeneous_gear_pack(iterations=iteration_grid[:3])

@@ -33,8 +33,11 @@ from repro.exec.tasks import (
     CalibrationTask,
     GearSweepTask,
     MeasurementTask,
+    PolicyMeasurementTask,
     SimTask,
 )
+from repro.policy.base import GearPolicy
+from repro.policy.registry import POLICIES, build_policy
 from repro.util.errors import ConfigurationError
 from repro.workloads.base import Workload
 from repro.workloads.checkpointed import CheckpointedStencil
@@ -198,6 +201,43 @@ class WorkloadRef:
 
 
 @dataclass(frozen=True)
+class PolicyRef:
+    """A declarative gear policy: registered name plus constructor params.
+
+    Attributes:
+        kind: a key of :data:`repro.policy.registry.POLICIES`
+            (``"static"``, ``"idle-low"``, ``"trial-slack"``,
+            ``"slack-threshold"``, ``"power-budget"``).
+        params: constructor keyword arguments as a key-sorted tuple of
+            ``(name, value)`` pairs (scalar JSON values only).
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {self.kind!r}; expected one of "
+                f"{sorted(POLICIES)}"
+            )
+        object.__setattr__(self, "params", _pairs(dict(self.params)))
+
+    def build(self) -> GearPolicy:
+        """Instantiate the policy (raises on bad parameters)."""
+        return build_policy(self.kind, **dict(self.params))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicyRef":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(kind=data["kind"], params=_pairs(data.get("params")))
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One declarative experiment: cluster x workload x grids x kind.
 
@@ -219,6 +259,11 @@ class ScenarioSpec:
         fast_forward: steady-state fast-forward knobs as a key-sorted
             pair tuple (:class:`repro.mpi.fastforward.FastForwardConfig`
             keywords), or ``None`` for exact event-by-event simulation.
+        policy: optional declarative gear policy.  Only measurement
+            scenarios accept one; each node-grid point then expands to a
+            :class:`~repro.exec.tasks.PolicyMeasurementTask` (the policy
+            manages gears, so the gear grid must be left unset and is
+            canonicalised to ``None``).
         tags: free-form labels for registry filtering (metadata).
         description: one-line summary (metadata).
 
@@ -236,6 +281,7 @@ class ScenarioSpec:
     nodes: tuple[int, ...] = (1,)
     gears: tuple[int, ...] | None = None
     fast_forward: tuple[tuple[str, Any], ...] | None = None
+    policy: PolicyRef | None = None
     tags: tuple[str, ...] = ()
     description: str = ""
 
@@ -263,11 +309,26 @@ class ScenarioSpec:
         # not be able to change the fingerprint either.  Calibrations
         # ignore grids entirely; measurements default a missing gear
         # grid to gear 1.
+        if self.policy is not None:
+            if self.kind != KIND_MEASUREMENT:
+                raise ConfigurationError(
+                    f"only {KIND_MEASUREMENT} scenarios accept a policy, "
+                    f"got kind {self.kind!r}"
+                )
+            if self.gears is not None:
+                raise ConfigurationError(
+                    "policy-managed measurements have no gear grid; "
+                    "leave gears unset"
+                )
+            self.policy.build()  # validate the knobs eagerly
         if self.kind == KIND_CALIBRATION:
             object.__setattr__(self, "nodes", ())
             object.__setattr__(self, "gears", None)
         elif self.kind == KIND_MEASUREMENT and self.gears is None:
-            object.__setattr__(self, "gears", (1,))
+            # Policy-managed measurements keep gears=None: the policy,
+            # not a grid, decides the gears.
+            if self.policy is None:
+                object.__setattr__(self, "gears", (1,))
         if self.fast_forward is not None:
             object.__setattr__(
                 self, "fast_forward", _pairs(dict(self.fast_forward))
@@ -318,6 +379,19 @@ class ScenarioSpec:
                 )
                 for n in self.nodes
             ]
+        if self.policy is not None:
+            policy = self.policy.build()
+            return [
+                PolicyMeasurementTask(
+                    built,
+                    workload,
+                    nodes=n,
+                    policy=policy,
+                    fast_forward=ff,
+                    scenario=self.name,
+                )
+                for n in self.nodes
+            ]
         gears = self.gears or (1,)
         return [
             MeasurementTask(
@@ -337,7 +411,7 @@ class ScenarioSpec:
         """How many simulation points the spec expands to (cheap)."""
         if self.kind == KIND_CALIBRATION:
             return 1
-        if self.kind == KIND_GEAR_SWEEP:
+        if self.kind == KIND_GEAR_SWEEP or self.policy is not None:
             return len(self.nodes)
         return len(self.nodes) * len(self.gears or (1,))
 
@@ -356,7 +430,7 @@ class ScenarioSpec:
         fingerprint ⇔ cache-key equivalence exact in both directions.
         """
         ff = self.fast_forward_config()
-        return {
+        identity = {
             "spec_version": SPEC_VERSION,
             "kind": self.kind,
             "cluster": jsonable(self.cluster.build()),
@@ -365,6 +439,13 @@ class ScenarioSpec:
             "gears": self.gears,
             "fast_forward": None if ff is None else ff.describe(),
         }
+        # Hashed from the *built* policy's canonical knobs — the same
+        # structure PolicyMeasurementTask.describe() folds into its
+        # cache key — and omitted entirely when unset, so fingerprints
+        # of policy-free specs are unchanged from earlier releases.
+        if self.policy is not None:
+            identity["policy"] = self.policy.build().describe()
+        return identity
 
     def fingerprint(self) -> str:
         """Content fingerprint of the identity (cache-key compatible).
@@ -393,6 +474,7 @@ class ScenarioSpec:
             "fast_forward": (
                 None if self.fast_forward is None else dict(self.fast_forward)
             ),
+            "policy": None if self.policy is None else self.policy.to_dict(),
             "tags": list(self.tags),
             "description": self.description,
         }
@@ -408,6 +490,7 @@ class ScenarioSpec:
             )
         gears = data.get("gears")
         ff = data.get("fast_forward")
+        policy = data.get("policy")
         return cls(
             name=data["name"],
             kind=data["kind"],
@@ -416,6 +499,7 @@ class ScenarioSpec:
             nodes=tuple(data["nodes"]),
             gears=None if gears is None else tuple(gears),
             fast_forward=None if ff is None else _pairs(ff),
+            policy=None if policy is None else PolicyRef.from_dict(policy),
             tags=tuple(data.get("tags", ())),
             description=data.get("description", ""),
         )

@@ -25,7 +25,15 @@ from pathlib import Path
 import pytest
 
 from repro.exec import Executor
-from repro.experiments import figure1, figure2, figure3, figure4, figure5, table1
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    policies,
+    table1,
+)
 from repro.reporting import result_to_dict
 
 #: Scale the goldens are generated at — small enough to run in seconds,
@@ -41,6 +49,7 @@ EXPERIMENTS = {
     "figure3": figure3,
     "figure4": figure4,
     "figure5": figure5,
+    "policies": policies,
 }
 
 

@@ -24,6 +24,7 @@ class TestRegistry:
             "figure3",
             "figure4",
             "figure5",
+            "policies",
         }
 
 
@@ -42,6 +43,19 @@ class TestCLI:
     def test_rejects_non_positive_jobs(self):
         with pytest.raises(SystemExit):
             main(["--jobs", "0", "--only", "table1"])
+
+    def test_policy_flag_requires_policies_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "table1", "--policy", "idle-low"])
+
+    def test_unknown_policy_filter_fails_loudly(self, capsys):
+        code = main(
+            ["--scale", "0.1", "--only", "policies", "--policy", "bogus"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "policies FAILED" in err
+        assert "unknown policy filter bogus" in err
 
     def test_plots_flag(self, capsys):
         code = main(["--scale", "0.1", "--only", "figure3", "--plots"])

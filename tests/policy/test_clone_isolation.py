@@ -1,0 +1,130 @@
+"""Clone isolation, property-tested over random wait sequences.
+
+``GearPolicy.clone`` is how one configured policy template becomes N
+independent per-rank instances.  The contract:
+
+- a clone carries the template's *knobs* but none of its *state*: fed
+  any observation sequence, it decides exactly like a factory-fresh
+  policy with the same knobs;
+- mutating the original never leaks into a clone, and vice versa;
+- the coordinated family (power-budget) enforces the opposite contract:
+  rank members share one arbiter by construction and refuse to clone,
+  while separately prepared families never observe each other.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machines import athlon_cluster
+from repro.policy import POLICIES, PowerBudgetPolicy, build_policy
+
+CLUSTER = athlon_cluster()
+
+#: Template constructor arguments per clonable registry family: knobs
+#: chosen so random traffic actually exercises state transitions.
+CLONABLE = {
+    "static": {"gear": 3},
+    "idle-low": {"compute_gear": 1, "idle_gear": 6},
+    "trial-slack": {"window": 3, "high_water": 0.1, "low_water": 0.02},
+    "slack-threshold": {"threshold_s": 0.05, "hysteresis": 1},
+}
+
+#: One simulated blocking observation: (waited, elapsed) with
+#: 0 <= waited <= elapsed.
+observations = st.tuples(
+    st.floats(0.0, 1.0, allow_nan=False),
+    st.floats(0.01, 2.0, allow_nan=False),
+).map(lambda pair: (min(pair[0] * pair[1], pair[1]), pair[1]))
+
+sequences = st.lists(observations, max_size=30)
+
+families = st.sampled_from(sorted(CLONABLE))
+
+
+def trace(policy, sequence):
+    """The policy's full decision trace over one observation sequence."""
+    decisions = [(policy.compute_gear(), policy.blocked_gear())]
+    for waited, elapsed in sequence:
+        policy.observe_wait(waited, elapsed)
+        decisions.append((policy.compute_gear(), policy.blocked_gear()))
+    return decisions
+
+
+@given(families, sequences, sequences)
+@settings(max_examples=150)
+def test_clone_decides_like_a_fresh_policy(family, warmup, sequence):
+    """However much state the template accumulated, its clone's decision
+    trace is identical to a factory-fresh policy's."""
+    template = build_policy(family, **CLONABLE[family])
+    trace(template, warmup)  # accumulate arbitrary state
+    fresh = build_policy(family, **CLONABLE[family])
+    assert trace(template.clone(), sequence) == trace(fresh, sequence)
+
+
+@given(families, sequences, sequences)
+@settings(max_examples=150)
+def test_sibling_clones_never_share_state(family, left, right):
+    """Two clones fed different sequences behave as if alone: each
+    matches a fresh policy fed only its own sequence."""
+    template = build_policy(family, **CLONABLE[family])
+    a, b = template.clone(), template.clone()
+    interleaved_a = trace(a, left)
+    interleaved_b = trace(b, right)
+    assert interleaved_a == trace(
+        build_policy(family, **CLONABLE[family]), left
+    )
+    assert interleaved_b == trace(
+        build_policy(family, **CLONABLE[family]), right
+    )
+
+
+@given(families, sequences)
+@settings(max_examples=60)
+def test_clone_preserves_knobs(family, warmup):
+    template = build_policy(family, **CLONABLE[family])
+    trace(template, warmup)
+    assert template.clone().describe() == template.describe()
+
+
+def test_every_registered_family_is_covered():
+    """The property suite covers the whole registry: every policy is
+    either in the clonable pool or the coordinated (power-budget) one."""
+    assert set(CLONABLE) | {"power-budget"} == set(POLICIES)
+
+
+@given(sequences)
+@settings(max_examples=60)
+def test_budget_families_prepared_separately_are_isolated(traffic):
+    """Random traffic into one prepared power-budget family never moves
+    another family's arbiter."""
+    template = PowerBudgetPolicy(cap_w=500.0)
+    family_a = template.prepare(CLUSTER, 4)
+    family_b = template.prepare(CLUSTER, 4)
+    baseline = family_b[0].arbiter.granted_gears()
+    for i, (waited, elapsed) in enumerate(traffic):
+        rank = i % 4
+        family_a[rank].observe_wait(waited, elapsed)
+        family_a[rank].compute_gear()
+    assert family_b[0].arbiter.granted_gears() == baseline
+    assert family_b[0].arbiter.rebalances == 0
+
+
+@given(sequences)
+@settings(max_examples=30)
+def test_budget_template_clone_is_stateless(traffic):
+    """Cloning the power-budget *template* yields an equivalent template
+    whose freshly prepared family matches one from the original."""
+    template = PowerBudgetPolicy(cap_w=500.0)
+    family = template.prepare(CLUSTER, 4)
+    for i, (waited, elapsed) in enumerate(traffic):
+        family[i % 4].observe_wait(waited, elapsed)
+    cloned = template.clone()
+    assert cloned.describe() == template.describe()
+    assert (
+        cloned.prepare(CLUSTER, 4)[0].arbiter.granted_gears()
+        == PowerBudgetPolicy(cap_w=500.0)
+        .prepare(CLUSTER, 4)[0]
+        .arbiter.granted_gears()
+    )

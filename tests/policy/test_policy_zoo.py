@@ -1,0 +1,252 @@
+"""Unit behaviour of the zoo's new families: slack-threshold and budget."""
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster, reference_cluster
+from repro.policy import (
+    POLICIES,
+    BudgetArbiter,
+    PowerBudgetPolicy,
+    SlackThresholdPolicy,
+    build_policy,
+)
+from repro.policy.budget import gear_power_envelope
+from repro.util.errors import ConfigurationError
+
+CLUSTER = athlon_cluster()
+
+
+class TestSlackThresholdPolicy:
+    def test_compute_stays_full_speed(self):
+        p = SlackThresholdPolicy(threshold_s=1e-3)
+        p.observe_wait(10.0, 20.0)
+        assert p.compute_gear() == 1
+
+    def test_short_waits_never_downshift(self):
+        p = SlackThresholdPolicy(threshold_s=1e-3)
+        for _ in range(100):
+            p.observe_wait(1e-5, 1e-2)
+            assert p.blocked_gear() == 1
+        assert p.downshifts == 0
+
+    def test_long_predicted_wait_downshifts(self):
+        p = SlackThresholdPolicy(threshold_s=1e-3)
+        p.observe_wait(5e-3, 1e-2)
+        assert p.blocked_gear() == 6
+        assert p.downshifts == 1
+
+    def test_first_observation_seeds_the_predictor(self):
+        p = SlackThresholdPolicy(threshold_s=1e-3, ewma=0.25)
+        p.observe_wait(8e-3, 1e-2)
+        assert p.predicted_wait == pytest.approx(8e-3)
+
+    def test_ewma_smooths_later_observations(self):
+        p = SlackThresholdPolicy(threshold_s=1e-3, ewma=0.5)
+        p.observe_wait(4e-3, 1e-2)
+        p.observe_wait(8e-3, 1e-2)
+        assert p.predicted_wait == pytest.approx(6e-3)
+
+    def test_hysteresis_demands_a_streak(self):
+        p = SlackThresholdPolicy(threshold_s=1e-3, hysteresis=3)
+        for _ in range(2):
+            p.observe_wait(5e-3, 1e-2)
+            assert p.blocked_gear() == 1  # streak not yet long enough
+        p.observe_wait(5e-3, 1e-2)
+        assert p.blocked_gear() == 6
+
+    def test_one_short_wait_rearms_the_timer(self):
+        p = SlackThresholdPolicy(threshold_s=1e-3, hysteresis=2)
+        for _ in range(3):
+            p.observe_wait(5e-3, 1e-2)
+        assert p.blocked_gear() == 6
+        p.observe_wait(1e-5, 1e-2)  # short: timer re-armed...
+        p.observe_wait(1.0, 1.0)  # ...one long wait is not enough again
+        assert p.blocked_gear() == 1
+
+    def test_validate_gears_catches_deep_idle_gear(self):
+        p = SlackThresholdPolicy(idle_gear=9)
+        with pytest.raises(ConfigurationError, match="idle gear 9"):
+            p.validate_gears(6)
+
+    def test_rejects_bad_knobs(self):
+        for kwargs in (
+            {"threshold_s": -1.0},
+            {"compute_gear": 0},
+            {"ewma": 0.0},
+            {"ewma": 1.5},
+            {"hysteresis": -1},
+        ):
+            with pytest.raises(ConfigurationError):
+                SlackThresholdPolicy(**kwargs)
+
+    def test_clone_copies_knobs_not_state(self):
+        p = SlackThresholdPolicy(threshold_s=2e-3, hysteresis=1, ewma=0.25)
+        p.observe_wait(1.0, 2.0)
+        fresh = p.clone()
+        assert fresh.describe() == p.describe()
+        assert fresh.predicted_wait == 0.0
+        assert fresh.observations == 0
+
+
+class TestGearPowerEnvelope:
+    def test_monotone_decreasing_with_gear(self):
+        env = gear_power_envelope(CLUSTER)
+        watts = [env[g] for g in sorted(env)]
+        assert watts == sorted(watts, reverse=True)
+
+    def test_bounds_idle_power_at_every_gear(self):
+        """The cap argument needs idle draw under the slowest envelope."""
+        env = gear_power_envelope(CLUSTER)
+        model = CLUSTER.node.power_model()
+        floor = min(env.values())
+        for gear in CLUSTER.gears:
+            assert model.idle_power(gear) <= floor
+
+
+class TestBudgetArbiter:
+    def make(self, nodes=4, cap_w=500.0, **kw):
+        return BudgetArbiter(
+            CLUSTER, nodes, cap_w=cap_w, idle_gear=6, **kw
+        )
+
+    def test_infeasible_cap_raises(self):
+        env = gear_power_envelope(CLUSTER)
+        floor = 4 * env[6]
+        with pytest.raises(ConfigurationError, match="infeasible"):
+            self.make(cap_w=floor - 1.0)
+
+    def test_initial_grants_fill_the_cap(self):
+        arb = self.make(cap_w=620.0)
+        assert arb.total_charge() <= 620.0
+        # Headroom is distributed: at least one rank got an upgrade.
+        assert min(arb.granted_gears()) < 6
+
+    def test_ledger_never_exceeds_cap_under_random_traffic(self):
+        import random
+
+        rng = random.Random(7)
+        arb = self.make(cap_w=480.0)
+        for _ in range(500):
+            rank = rng.randrange(4)
+            if rng.random() < 0.5:
+                arb.fetch_gear(rank)
+            else:
+                arb.report(rank, rng.random(), rng.random() + 1.0)
+            assert arb.total_charge() <= 480.0
+
+    def test_upgrades_flow_to_longest_compute_span(self):
+        arb = self.make(cap_w=470.0)
+        # Rank 2 computes longest; everyone else is mostly blocked.
+        for _ in range(6):
+            for rank in range(4):
+                waited = 0.1 if rank == 2 else 0.9
+                arb.report(rank, waited, 1.0)
+                arb.fetch_gear(rank)
+        grants = arb.granted_gears()
+        assert grants[2] == min(grants)
+
+    def test_clawback_releases_watts_only_at_fetch(self):
+        arb = self.make(cap_w=620.0)
+        fast_rank = arb.granted_gears().index(min(arb.granted_gears()))
+        arb.fetch_gear(fast_rank)
+        charge_before = arb.total_charge()
+        # Make that rank chronically early until it is downgraded.
+        while arb.granted_gears()[fast_rank] == min(arb.granted_gears()):
+            for rank in range(4):
+                arb.report(rank, 0.9 if rank == fast_rank else 0.1, 1.0)
+        assert arb.total_charge() == charge_before  # still charged fast
+        arb.fetch_gear(fast_rank)
+        assert arb.total_charge() < charge_before  # released at apply
+
+    def test_counters_track_rounds(self):
+        arb = self.make()
+        for _ in range(8):
+            arb.report(0, 0.5, 1.0)
+        assert arb.rebalances == 2
+
+
+class TestPowerBudgetPolicy:
+    def test_template_cannot_decide_gears(self):
+        p = PowerBudgetPolicy(cap_w=500.0)
+        with pytest.raises(ConfigurationError, match="template"):
+            p.compute_gear()
+        with pytest.raises(ConfigurationError, match="template"):
+            p.blocked_gear()
+
+    def test_prepare_shares_one_arbiter(self):
+        ranks = PowerBudgetPolicy(cap_w=500.0).prepare(CLUSTER, 4)
+        assert len(ranks) == 4
+        assert len({id(r.arbiter) for r in ranks}) == 1
+
+    def test_two_prepares_are_isolated(self):
+        template = PowerBudgetPolicy(cap_w=500.0)
+        a = template.prepare(CLUSTER, 4)
+        b = template.prepare(CLUSTER, 4)
+        a[0].observe_wait(0.9, 1.0)
+        assert b[0].arbiter.rebalances == 0
+        assert a[0].arbiter is not b[0].arbiter
+
+    def test_rank_policies_cannot_be_cloned(self):
+        (rank0, *_) = PowerBudgetPolicy(cap_w=500.0).prepare(CLUSTER, 4)
+        with pytest.raises(ConfigurationError, match="cannot be cloned"):
+            rank0.clone()
+
+    def test_idle_gear_defaults_to_slowest(self):
+        ranks = PowerBudgetPolicy(cap_w=500.0).prepare(CLUSTER, 2)
+        assert ranks[0].blocked_gear() == 6
+
+    def test_explicit_idle_gear_validated(self):
+        p = PowerBudgetPolicy(cap_w=500.0, idle_gear=9)
+        with pytest.raises(ConfigurationError, match="idle gear 9"):
+            p.prepare(CLUSTER, 2)
+
+    def test_single_gear_cluster_needs_no_gear_checks(self):
+        sun = reference_cluster(4)
+        env = gear_power_envelope(sun)
+        ranks = PowerBudgetPolicy(cap_w=4 * env[1] + 1).prepare(sun, 4)
+        assert ranks[0].compute_gear() == 1
+
+    def test_rejects_bad_knobs(self):
+        for kwargs in (
+            {"cap_w": 0.0},
+            {"cap_w": 500.0, "ewma": 0.0},
+            {"cap_w": 500.0, "claw_threshold": 1.5},
+            {"cap_w": 500.0, "idle_gear": 0},
+        ):
+            with pytest.raises(ConfigurationError):
+                PowerBudgetPolicy(**kwargs)
+
+
+class TestRegistry:
+    def test_every_family_is_registered(self):
+        assert set(POLICIES) == {
+            "static",
+            "idle-low",
+            "trial-slack",
+            "slack-threshold",
+            "power-budget",
+        }
+
+    def test_build_by_name(self):
+        p = build_policy("slack-threshold", threshold_s=0.5)
+        assert p.describe()["threshold_s"] == 0.5
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            build_policy("overclock")
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ConfigurationError, match="bad parameters"):
+            build_policy("static", spin=11)
+
+    def test_describe_names_match_registry(self):
+        """Each registered policy self-describes under its registry name."""
+        samples = {
+            "static": build_policy("static"),
+            "idle-low": build_policy("idle-low"),
+            "trial-slack": build_policy("trial-slack"),
+            "slack-threshold": build_policy("slack-threshold"),
+            "power-budget": build_policy("power-budget", cap_w=500.0),
+        }
+        for name, policy in samples.items():
+            assert policy.describe()["policy"] == name

@@ -29,6 +29,7 @@ from repro.scenarios.spec import (
     KIND_MEASUREMENT,
     KINDS,
     ClusterRef,
+    PolicyRef,
     ScenarioSpec,
     WorkloadRef,
 )
@@ -305,3 +306,120 @@ def test_distinct_fingerprints_give_distinct_cache_keys(spec, perturb):
     mutated = perturb(spec)
     assert mutated.fingerprint() != spec.fingerprint()
     assert _keys(mutated) != _keys(spec)
+
+
+# ---------------------------------------------------------------------------
+# 4. Policy blocks: the same three properties hold for policy-managed
+# measurements, and the fingerprint moves exactly when a policy knob does.
+
+
+@st.composite
+def policy_refs(draw) -> PolicyRef:
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return PolicyRef("static", (("gear", draw(st.integers(1, 6))),))
+    if choice == 1:
+        return PolicyRef("idle-low", ())
+    if choice == 2:
+        return PolicyRef("trial-slack", ())
+    if choice == 3:
+        return PolicyRef(
+            "slack-threshold",
+            (
+                ("ewma", draw(st.sampled_from((0.25, 0.5)))),
+                ("hysteresis", draw(st.sampled_from((0, 3)))),
+                ("threshold_s", draw(st.sampled_from((1e-4, 1e-3)))),
+            ),
+        )
+    return PolicyRef(
+        "power-budget",
+        (
+            ("cap_w", draw(st.sampled_from((450.0, 620.0)))),
+            ("claw_threshold", draw(st.sampled_from((0.5, 0.7)))),
+        ),
+    )
+
+
+@st.composite
+def policy_scenario_specs(draw) -> ScenarioSpec:
+    base = draw(scenario_specs())
+    return replace(
+        base,
+        kind=KIND_MEASUREMENT,
+        nodes=base.nodes or (1,),
+        gears=None,
+        policy=draw(policy_refs()),
+    )
+
+
+def _bump_policy_knob(spec):
+    """Perturb exactly one knob of the attached policy."""
+    params = dict(spec.policy.params)
+    bumps = {
+        "static": lambda p: {"gear": p.get("gear", 1) % 6 + 1},
+        "idle-low": lambda p: {"idle_gear": 5},
+        "trial-slack": lambda p: {"window": 7},
+        "slack-threshold": lambda p: {
+            **p, "threshold_s": p["threshold_s"] * 2
+        },
+        "power-budget": lambda p: {**p, "cap_w": p["cap_w"] + 10.0},
+    }
+    mutated = bumps[spec.policy.kind](params)
+    return replace(
+        spec,
+        policy=PolicyRef(spec.policy.kind, tuple(sorted(mutated.items()))),
+    )
+
+
+def _switch_policy_family(spec):
+    kind = "idle-low" if spec.policy.kind != "idle-low" else "trial-slack"
+    return replace(spec, policy=PolicyRef(kind, ()))
+
+
+def _detach_policy(spec):
+    return replace(spec, policy=None, gears=(1,))
+
+
+POLICY_PERTURBATIONS = (
+    _bump_policy_knob,
+    _switch_policy_family,
+    _detach_policy,
+)
+
+
+@given(policy_scenario_specs())
+@settings(max_examples=80)
+def test_policy_spec_round_trips_exactly(spec):
+    rebuilt = ScenarioSpec.from_json(spec.to_json())
+    assert rebuilt == spec
+    assert rebuilt.fingerprint() == spec.fingerprint()
+
+
+@given(policy_scenario_specs(), st.sampled_from(POLICY_PERTURBATIONS))
+@settings(max_examples=80, deadline=None)
+def test_policy_knob_moves_fingerprint_and_cache_keys(spec, perturb):
+    """Fingerprints (and executor cache keys) change iff a policy knob,
+    the policy family, or the policy's presence changes."""
+    mutated = perturb(spec)
+    assert mutated.fingerprint() != spec.fingerprint()
+    assert _keys(mutated) != _keys(spec)
+
+
+@given(policy_scenario_specs(), st.text(min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_policy_spec_metadata_never_moves_fingerprint(spec, name):
+    twin = replace(spec, name=name, tags=("t",), description="d")
+    assert twin.fingerprint() == spec.fingerprint()
+    assert _keys(twin) == _keys(spec)
+
+
+@given(policy_scenario_specs())
+@settings(max_examples=40)
+def test_policy_spec_has_no_gear_grid(spec):
+    """Policy-managed measurements expand one task per node count, all
+    policy-managed (gear 0), never a gear grid."""
+    tasks = list(spec.tasks())
+    assert len(tasks) == len(spec.nodes) == spec.points
+    assert spec.gears is None
+    for task in tasks:
+        assert task.describe()["policy"] == spec.policy.build().describe()
