@@ -13,6 +13,7 @@ experiment whose inputs have not changed costs one JSON read per point.
 the experiment harness (``repro.experiments``) passes around.
 """
 
+from repro.exec.batch_sweep import BatchFallback, BatchReport, batch_sweep
 from repro.exec.cache import CacheStats, ResultCache, default_cache_dir
 from repro.exec.executor import Executor
 from repro.exec.fingerprint import code_version_token, fingerprint, jsonable
@@ -27,6 +28,8 @@ from repro.exec.tasks import (
 )
 
 __all__ = [
+    "BatchFallback",
+    "BatchReport",
     "CacheStats",
     "CalibrationTask",
     "ExecProfile",
@@ -37,6 +40,7 @@ __all__ = [
     "ResultCache",
     "SimTask",
     "TaskTiming",
+    "batch_sweep",
     "code_version_token",
     "default_cache_dir",
     "fingerprint",

@@ -1,0 +1,465 @@
+"""Batch-backend sweeps: group points, record once, replay the grid.
+
+The event-engine :func:`repro.exec.sweep.sweep` treats every point as an
+independent simulation.  This module is its batch twin: points that
+share a recording — a :class:`~repro.exec.tasks.GearSweepTask` (one
+recording covers its whole gear grid) or several
+:class:`~repro.exec.tasks.MeasurementTask` points differing only in
+gear — are folded into one *batch group* and executed through
+:mod:`repro.sim.batch`: one recording run plus a cheap replay per gear.
+
+The sweep contract is unchanged:
+
+- **Deterministic merge** — results return in task order; groups are
+  formed by first occurrence and their results are scattered back to
+  the original positions, so a batch sweep's output lines up 1:1 with
+  an event sweep's.
+- **Cache transparency** — every point is looked up/stored under a key
+  whose fingerprint carries a ``"backend": "batch"`` token, so batch
+  results (1e-9-equivalent, not bitwise) never share cache entries with
+  event results.  Partial hits shrink a group to its misses; the
+  recording is still shared across them.
+- **Failure naming** — exceptions name the failing point's key exactly
+  like the event path.
+- **Exact fallback** — any :class:`~repro.sim.batch.BatchUnsupported`
+  (uncertifiable structure, self-check miss) reruns the group's points
+  on the event engine, bitwise what a plain run produces, and logs the
+  group in the :class:`BatchReport` so truncated batch coverage is
+  never silent.
+
+Group-aware dispatch: with ``jobs > 1`` the pool chunks over *groups*,
+not points — :func:`repro.exec.sweep._auto_chunk_size` is applied to the
+group count, so one recording is never split across workers and a sweep
+of few large groups still fans out group-per-worker.
+
+Tasks that cannot batch (calibration, policy runs — their structure is
+gear-dependent by design) pass through on the event engine with their
+normal cache keys, inside the same deterministic merge.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import code_version_token, fingerprint
+from repro.exec.profile import SOURCE_CACHE, SOURCE_RUN, ExecProfile, TaskTiming
+from repro.exec.sweep import _auto_chunk_size, _ff_skipped, _point_error, cache_key
+from repro.exec.tasks import GearSweepTask, MeasurementTask, SimTask
+from repro.util.errors import ConfigurationError
+
+#: Fingerprint token that keys batch-computed results apart from event
+#: results (they agree to ~1e-9, not bitwise — same precedent as the
+#: fast-forward config entering the fingerprint).
+BACKEND_TOKEN = "batch"
+
+#: Backends :func:`repro.exec.sweep.sweep` accepts.
+BACKENDS = ("event", "batch")
+
+
+def batch_cache_key(task: SimTask) -> str:
+    """Cache key of a point executed through the batch backend."""
+    return fingerprint(
+        {
+            "task": task.describe(),
+            "code_version": code_version_token(),
+            "backend": BACKEND_TOKEN,
+        }
+    )
+
+
+@dataclass
+class BatchFallback:
+    """One group that fell back to the exact event engine."""
+
+    #: ``str(key)`` of the group's first point.
+    point: str
+    #: Points the group covered.
+    points: int
+    #: The :class:`~repro.sim.batch.BatchUnsupported` message.
+    reason: str
+
+
+@dataclass
+class BatchReport:
+    """What the batch backend did across one or more sweeps.
+
+    Attributes:
+        groups: batch groups formed (after cache hits shrank them).
+        grouped_points: points covered by those groups.
+        passthrough_points: non-batchable points run on the event engine.
+        fallbacks: groups whose recording could not be certified and were
+            re-run point-by-point on the event engine.
+    """
+
+    groups: int = 0
+    grouped_points: int = 0
+    passthrough_points: int = 0
+    fallbacks: list[BatchFallback] = field(default_factory=list)
+
+    @property
+    def fallback_points(self) -> int:
+        """Points that ended up on the event engine via fallback."""
+        return sum(f.points for f in self.fallbacks)
+
+    def summary(self) -> str:
+        """One human-readable line for CLI/bench reporting."""
+        line = (
+            f"batch backend: {self.grouped_points} point(s) in "
+            f"{self.groups} group(s)"
+        )
+        if self.passthrough_points:
+            line += f", {self.passthrough_points} passthrough"
+        if self.fallbacks:
+            line += f", {self.fallback_points} fell back to event engine:"
+            for fb in self.fallbacks:
+                line += f"\n  {fb.point}: {fb.reason}"
+        return line
+
+
+@dataclass
+class _Unit:
+    """One execution unit: a batch group or a single passthrough task."""
+
+    tasks: list[SimTask]
+    #: Positions of each task in the pending list (for the merge).
+    indices: list[int]
+    batch: bool
+
+
+def _group_token(task: SimTask) -> tuple | None:
+    """Identity under which a task may share a recording, or None.
+
+    A :class:`MeasurementTask`'s token is the fingerprint of its
+    description *minus the gear*: two points group iff everything else
+    about them — cluster, workload state, node count, fast-forward
+    config — is identical, which is exactly the condition for a shared
+    gear-invariant tape.  :class:`GearSweepTask` returns None (it is a
+    whole grid already and always forms its own group), as does any
+    non-batchable kind.
+    """
+    if type(task) is MeasurementTask:
+        desc = dict(task.describe())
+        desc.pop("gear")
+        return ("measurement", fingerprint(desc))
+    return None
+
+
+def _form_units(pending: Sequence[tuple[SimTask, str | None]]) -> list[_Unit]:
+    """Partition pending points into execution units, in first-seen order."""
+    units: list[_Unit] = []
+    by_token: dict[tuple, _Unit] = {}
+    for index, (task, _) in enumerate(pending):
+        if type(task) is GearSweepTask:
+            units.append(_Unit([task], [index], batch=True))
+            continue
+        token = _group_token(task)
+        if token is None:
+            units.append(_Unit([task], [index], batch=False))
+            continue
+        unit = by_token.get(token)
+        if unit is None:
+            unit = _Unit([], [], batch=True)
+            by_token[token] = unit
+            units.append(unit)
+        unit.tasks.append(task)
+        unit.indices.append(index)
+    return units
+
+
+def _run_unit(
+    tasks: Sequence[SimTask], batch: bool
+) -> tuple[list[Any], str | None]:
+    """Execute one unit; returns (results in task order, fallback reason).
+
+    Any :class:`~repro.sim.batch.BatchUnsupported` — from certification
+    or from the recording-gear self-check — downgrades the whole unit to
+    per-point event-engine runs, which are exact by definition.
+    """
+    from repro.sim.batch import BatchUnsupported, batch_gear_grid, batch_gear_sweep
+
+    if batch:
+        try:
+            first = tasks[0]
+            if type(first) is GearSweepTask:
+                return [
+                    batch_gear_sweep(
+                        first.cluster,
+                        first.workload,
+                        nodes=first.nodes,
+                        gears=first.gears,
+                        fast_forward=first.fast_forward,
+                    )
+                ], None
+            measurements = batch_gear_grid(
+                first.cluster,
+                first.workload,
+                nodes=first.nodes,
+                gears=[t.gear for t in tasks],  # type: ignore[union-attr]
+                fast_forward=first.fast_forward,
+            )
+            return list(measurements), None
+        except BatchUnsupported as exc:
+            return [task.run() for task in tasks], str(exc)
+    return [task.run() for task in tasks], None
+
+
+class _UnitPointError(Exception):
+    """A unit failed in a worker; carries chunk-local coordinates.
+
+    Built from plain ``args`` so it pickles across the process boundary.
+    """
+
+    def __init__(self, unit_index: int, cause: BaseException):
+        super().__init__(unit_index, cause)
+        self.unit_index = unit_index
+        self.cause = cause
+
+
+def _execute_unit_chunk(
+    chunk: Sequence[tuple[list[SimTask], bool]],
+) -> list[tuple[list[Any], str | None, float, int]]:
+    """Run a chunk of units in one worker call.
+
+    Per unit: (results, fallback reason, in-worker wall seconds,
+    fast-forwarded iterations) — mirrors the event pool's in-worker
+    accounting so IPC and startup stay excluded.
+    """
+    out = []
+    for index, (tasks, batch) in enumerate(chunk):
+        start = time.perf_counter()
+        skipped_before = _ff_skipped(tasks[0])
+        try:
+            results, fallback = _run_unit(tasks, batch)
+        except Exception as exc:
+            raise _UnitPointError(index, exc) from exc
+        out.append(
+            (
+                results,
+                fallback,
+                time.perf_counter() - start,
+                _ff_skipped(tasks[0]) - skipped_before,
+            )
+        )
+    return out
+
+
+def batch_sweep(
+    tasks: Iterable[SimTask],
+    *,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    profile: ExecProfile | None = None,
+    chunk_size: int | None = None,
+    report: BatchReport | None = None,
+) -> list[Any]:
+    """The batch-backend twin of :func:`repro.exec.sweep.sweep`.
+
+    Same arguments and guarantees, minus ``observer`` (observed sweeps
+    are routed to the event path by ``sweep`` itself — a replayed tape
+    produces no events to observe).  ``report`` accumulates grouping and
+    fallback accounting across calls when provided.
+    """
+    ordered: Sequence[SimTask] = list(tasks)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    seen: set[tuple] = set()
+    for task in ordered:
+        if task.key in seen:
+            raise ConfigurationError(f"duplicate sweep point key {task.key!r}")
+        seen.add(task.key)
+
+    sweep_start = time.perf_counter()
+    results: dict[tuple, Any] = {}
+    pending: list[tuple[SimTask, str | None]] = []
+    lookups: dict[tuple, float] = {}
+    for task in ordered:
+        if cache is not None:
+            lookup_start = time.perf_counter()
+            batchable = type(task) in (GearSweepTask, MeasurementTask)
+            key = batch_cache_key(task) if batchable else cache_key(task)
+            payload = cache.load(key)
+            lookup_s = time.perf_counter() - lookup_start
+            if payload is not None:
+                results[task.key] = task.decode(payload)
+                if profile is not None:
+                    profile.add(
+                        TaskTiming(
+                            key=str(task.key),
+                            source=SOURCE_CACHE,
+                            seconds=0.0,
+                            lookup_s=lookup_s,
+                        )
+                    )
+                continue
+            lookups[task.key] = lookup_s
+            pending.append((task, key))
+        else:
+            pending.append((task, None))
+
+    units = _form_units(pending)
+    if report is not None:
+        for unit in units:
+            if unit.batch:
+                report.groups += 1
+                report.grouped_points += len(unit.tasks)
+            else:
+                report.passthrough_points += len(unit.tasks)
+
+    computed: list[Any] = [None] * len(pending)
+    if jobs > 1 and len(units) > 1:
+        # Group-aware chunking: size the chunks on the number of UNITS,
+        # never points — a unit's recording is one indivisible run, so a
+        # sweep of few large groups still spreads group-per-worker
+        # instead of splitting a recording (or idling the pool).
+        size = chunk_size or _auto_chunk_size(len(units), jobs)
+        _run_units_pool(units, jobs, size, computed, profile, report)
+        if profile is not None:
+            nchunks = math.ceil(len(units) / size)
+            profile.workers = max(profile.workers, min(jobs, nchunks))
+    else:
+        for unit in units:
+            start = time.perf_counter()
+            skipped_before = _ff_skipped(unit.tasks[0])
+            try:
+                unit_results, fallback = _run_unit(unit.tasks, unit.batch)
+            except Exception as exc:
+                raise _point_error(unit.tasks[0], exc) from exc
+            _merge_unit(
+                unit,
+                unit_results,
+                fallback,
+                time.perf_counter() - start,
+                _ff_skipped(unit.tasks[0]) - skipped_before,
+                computed,
+                profile,
+                report,
+            )
+
+    for i, ((task, key), result) in enumerate(zip(pending, computed)):
+        results[task.key] = result
+        store_s = 0.0
+        if cache is not None and key is not None:
+            store_start = time.perf_counter()
+            meta: dict[str, Any] = {"point": [str(part) for part in task.key]}
+            scenario = getattr(task, "scenario", None)
+            if scenario:
+                meta["scenario"] = scenario
+            cache.store(key, task.encode(result), meta=meta)
+            store_s = time.perf_counter() - store_start
+        if profile is not None and (store_s or task.key in lookups):
+            timing = profile.timings[-len(pending) + i]
+            profile.timings[-len(pending) + i] = TaskTiming(
+                key=timing.key,
+                source=timing.source,
+                seconds=timing.seconds,
+                lookup_s=lookups.get(task.key, 0.0),
+                store_s=store_s,
+                ff_skipped=timing.ff_skipped,
+            )
+    if profile is not None:
+        profile.wall_s += time.perf_counter() - sweep_start
+    return [results[task.key] for task in ordered]
+
+
+def _merge_unit(
+    unit: _Unit,
+    unit_results: list[Any],
+    fallback: str | None,
+    unit_s: float,
+    ff_skipped: int,
+    computed: list[Any],
+    profile: ExecProfile | None,
+    report: BatchReport | None,
+) -> None:
+    """Scatter a unit's results back to their sweep positions.
+
+    Profile rows synthesize per-point cost from the shared recording:
+    the unit's wall time is split evenly, so the rows still sum to the
+    measured unit wall and per-sweep totals stay meaningful.  The
+    fast-forward delta (the recording's jumps) is attributed to the
+    first point, mirroring how the ledger would see one recording run.
+    """
+    for index, result in zip(unit.indices, unit_results):
+        computed[index] = result
+    if fallback is not None and report is not None:
+        report.fallbacks.append(
+            BatchFallback(
+                point=str(unit.tasks[0].key),
+                points=len(unit.tasks),
+                reason=fallback,
+            )
+        )
+    if profile is not None:
+        share = unit_s / len(unit.tasks)
+        for i, task in enumerate(unit.tasks):
+            profile.add(
+                TaskTiming(
+                    key=str(task.key),
+                    source=SOURCE_RUN,
+                    seconds=share,
+                    ff_skipped=ff_skipped if i == 0 else 0,
+                )
+            )
+
+
+def _run_units_pool(
+    units: Sequence[_Unit],
+    jobs: int,
+    chunk_size: int,
+    computed: list[Any],
+    profile: ExecProfile | None,
+    report: BatchReport | None,
+) -> None:
+    """Fan unit chunks out to a process pool; merge in unit order."""
+    chunks = [
+        list(units[i : i + chunk_size])
+        for i in range(0, len(units), chunk_size)
+    ]
+    payloads = [
+        [(unit.tasks, unit.batch) for unit in chunk] for chunk in chunks
+    ]
+    workers = min(jobs, len(chunks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(_execute_unit_chunk, payload) for payload in payloads
+        ]
+        wait(futures, return_when=FIRST_EXCEPTION)
+        for chunk, future in zip(chunks, futures):
+            try:
+                outcomes = future.result()
+            except _UnitPointError as exc:
+                for other in futures:
+                    other.cancel()
+                raise _point_error(
+                    chunk[exc.unit_index].tasks[0], exc.cause
+                ) from exc.cause
+            except Exception as exc:
+                for other in futures:
+                    other.cancel()
+                raise _point_error(chunk[0].tasks[0], exc) from exc
+            for unit, (unit_results, fallback, unit_s, skipped) in zip(
+                chunk, outcomes
+            ):
+                # Workers mutate their own pickled fast-forward config;
+                # fold the recording's skip count back into the parent
+                # ledger exactly like the event pool does.
+                config = getattr(unit.tasks[0], "fast_forward", None)
+                if config is not None and skipped:
+                    config.aggregate.skipped_iterations += skipped
+                _merge_unit(
+                    unit,
+                    unit_results,
+                    fallback,
+                    unit_s,
+                    skipped,
+                    computed,
+                    profile,
+                    report,
+                )

@@ -49,6 +49,13 @@ class Executor:
             their own config keep it).  Fast-forwarded points cache
             under distinct keys, so the same cache can hold both exact
             and macro-stepped results.
+        backend: ``"event"`` (the default) simulates every point
+            independently; ``"batch"`` records gear-groupable points
+            once and replays their whole gear grid in one vectorized
+            pass (see :mod:`repro.exec.batch_sweep`).  Batch results
+            agree with event results to ~1e-9 and cache under distinct
+            keys; the :attr:`batch_report` accumulates grouping and
+            event-engine fallback accounting across sweeps.
     """
 
     def __init__(
@@ -60,7 +67,17 @@ class Executor:
         profile: bool = False,
         chunk_size: int | None = None,
         fast_forward: "FastForwardConfig | None" = None,
+        backend: str = "event",
     ):
+        from repro.exec.batch_sweep import BACKENDS, BatchReport
+
+        if backend not in BACKENDS:
+            from repro.util.errors import ConfigurationError
+
+            known = ", ".join(repr(b) for b in BACKENDS)
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose from {known}"
+            )
         if cache is True:
             cache = ResultCache()
         elif cache is False:
@@ -71,6 +88,9 @@ class Executor:
         self.profile: ExecProfile | None = ExecProfile() if profile else None
         self.chunk_size = chunk_size
         self.fast_forward = fast_forward
+        self.backend = backend
+        #: Grouping/fallback accounting; populated only under "batch".
+        self.batch_report = BatchReport() if backend == "batch" else None
 
     def _with_fast_forward(self, task: SimTask) -> SimTask:
         """Stamp this executor's fast-forward config onto a task.
@@ -97,6 +117,8 @@ class Executor:
             observer=self.observer,
             profile=self.profile,
             chunk_size=self.chunk_size,
+            backend=self.backend,
+            batch_report=self.batch_report,
         )
 
     @property

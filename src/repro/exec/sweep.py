@@ -145,6 +145,8 @@ def sweep(
     observer: "RunObserver | None" = None,
     profile: ExecProfile | None = None,
     chunk_size: int | None = None,
+    backend: str = "event",
+    batch_report: Any = None,
 ) -> list[Any]:
     """Execute simulation points, possibly in parallel, possibly cached.
 
@@ -164,18 +166,46 @@ def sweep(
         chunk_size: points dispatched per worker call when ``jobs > 1``
             (amortizes pickling/IPC).  ``None`` picks about four chunks
             per worker.  Chunks are consecutive slices in task order, so
-            chunking never changes results or merge order.
+            chunking never changes results or merge order.  Under the
+            batch backend the unit of chunking is a batch *group*, not a
+            point — one recording is never split across workers.
+        backend: ``"event"`` (the default) simulates every point
+            independently; ``"batch"`` routes the sweep through
+            :func:`repro.exec.batch_sweep.batch_sweep`, which records
+            gear-groupable points once and replays the grid (results
+            equal to ~1e-9, cached under distinct keys).  Observed
+            sweeps always use the event engine — a replayed tape
+            produces no events to observe.
+        batch_report: optional
+            :class:`repro.exec.batch_sweep.BatchReport` accumulating
+            grouping/fallback accounting (batch backend only).
 
     Returns:
         One result per task, in task order regardless of completion
         order or cache state.
 
     Raises:
-        ConfigurationError: duplicate task keys, ``jobs < 1``, or
-            ``chunk_size < 1``.
+        ConfigurationError: duplicate task keys, an unknown ``backend``,
+            ``jobs < 1``, or ``chunk_size < 1``.
         SimulationError: a point failed; the message names its key and
             the original exception is chained as ``__cause__``.
     """
+    from repro.exec.batch_sweep import BACKENDS, batch_sweep
+
+    if backend not in BACKENDS:
+        known = ", ".join(repr(b) for b in BACKENDS)
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {known}"
+        )
+    if backend == "batch" and observer is None:
+        return batch_sweep(
+            tasks,
+            jobs=jobs,
+            cache=cache,
+            profile=profile,
+            chunk_size=chunk_size,
+            report=batch_report,
+        )
     ordered: Sequence[SimTask] = list(tasks)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")

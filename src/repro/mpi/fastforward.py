@@ -350,6 +350,11 @@ class FastForward:
         self.stats = FastForwardStats()
         self.ranks = [_RankState() for _ in range(nranks)]
         self.any_deviation = False
+        #: One ``(rank, mark_index, jump, period)`` entry per executed
+        #: macro-step, in commit order.  The record/replay batch backend
+        #: reads this to locate each jump's replicated window on the
+        #: recorded tape; the event path itself never consults it.
+        self.jump_log: list[tuple[int, int, int, int]] = []
         #: (mark index, jump iterations) of the round armed for a
         #: coordinated macro-step, if any.
         self.armed: tuple[int, int] | None = None
@@ -595,4 +600,6 @@ class FastForward:
         )
         self.stats.jumps += 1
         self.stats.skipped_iterations += jump
+        assert st.last_index is not None
+        self.jump_log.append((rt.rank, st.last_index, jump, period))
         return t1 + copies * cycle

@@ -45,11 +45,12 @@ def _parse_params(pairs: list[str]) -> dict[str, Any]:
     return params
 
 
-def _executor(args: argparse.Namespace) -> Executor:
+def _executor(args: argparse.Namespace, backend: str = "event") -> Executor:
     return Executor(
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(),
         chunk_size=args.chunk_size,
+        backend=backend,
     )
 
 
@@ -74,19 +75,29 @@ def _load_set(args: argparse.Namespace) -> list[ScenarioSpec]:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     specs = _load_set(args)
-    executor = _executor(args)
+    # One executor per backend the pack asks for (specs declare theirs;
+    # both share the default cache, whose keys already separate them).
+    executors: dict[str, Executor] = {}
     total = 0
     for spec in specs:
+        executor = executors.get(spec.backend)
+        if executor is None:
+            executor = executors[spec.backend] = _executor(args, spec.backend)
         tasks = spec.tasks()
         results = executor.run(tasks)
         total += len(tasks)
-        print(f"{spec.name}: {len(tasks)} point(s) [{spec.kind}]")
+        suffix = "" if spec.backend == "event" else f", backend={spec.backend}"
+        print(f"{spec.name}: {len(tasks)} point(s) [{spec.kind}{suffix}]")
         for task, result in zip(tasks, results):
             payload = json.dumps(task.encode(result), sort_keys=True)
             print(f"  {task.key}: {payload}")
     print(f"[{total} point(s) across {len(specs)} scenario(s)]")
+    batch = executors.get("batch")
+    if batch is not None:
+        print(f"[{batch.batch_report.summary()}]")
     if args.cache_stats:
-        emit_cache_stats(executor.stats)
+        for executor in executors.values():
+            emit_cache_stats(executor.stats)
     return 0
 
 

@@ -45,6 +45,11 @@ FF_KNOBS: Mapping[str, int] = {"max_period": 2}
 #: equivalence twins for.
 FF_ELIGIBLE_TAG = "ff-eligible"
 
+#: Tag marking plain specs the validation harness re-runs through the
+#: record/replay batch backend (:mod:`repro.sim.batch`) and checks for
+#: 1e-9 time/energy agreement with exact event simulation.
+BATCH_ELIGIBLE_TAG = "batch-eligible"
+
 
 def scale_for_iterations(kind: str, iterations: int) -> float:
     """The ``scale`` putting a workload at an exact iteration count.
@@ -347,6 +352,12 @@ def fastforward_pack(
     twins agree to 1e-9 relative.  Periods: Jacobi/Synthetic/EP settle
     into period-1 limit cycles; CG on ``n`` nodes needs period
     ``n - 1``, so it runs on 2 nodes to stay inside ``max_period=2``.
+
+    The same specs double as the batch backend's equivalence set
+    (:data:`BATCH_ELIGIBLE_TAG`): their multi-gear measurement grids are
+    exactly what :mod:`repro.exec.batch_sweep` folds into shared-tape
+    groups, so validation sweeps exercise recording, grouping and replay
+    against the exact baseline too.
     """
     grids = {
         "Jacobi": (1, 2, 4),
@@ -366,7 +377,7 @@ def fastforward_pack(
                     workload=WorkloadRef(name, (("scale", scale),)),
                     nodes=nodes,
                     gears=tuple(gears),
-                    tags=("pack", FF_ELIGIBLE_TAG),
+                    tags=("pack", FF_ELIGIBLE_TAG, BATCH_ELIGIBLE_TAG),
                     description=f"{name}, {iters} steady iterations",
                 )
             )

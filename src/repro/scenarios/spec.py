@@ -264,6 +264,16 @@ class ScenarioSpec:
             :class:`~repro.exec.tasks.PolicyMeasurementTask` (the policy
             manages gears, so the gear grid must be left unset and is
             canonicalised to ``None``).
+        backend: simulation backend the scenario asks for — ``"event"``
+            (the default, point-by-point event simulation) or
+            ``"batch"`` (the record/replay backend of
+            :mod:`repro.sim.batch`, which records once per
+            workload x node count and replays the whole gear grid).
+            Validated at construction; unknown names raise
+            :class:`ConfigurationError`.  Identity: batch results cache
+            under distinct keys, so the fingerprint moves with it (but
+            ``"event"`` specs fingerprint exactly as before the field
+            existed).
         tags: free-form labels for registry filtering (metadata).
         description: one-line summary (metadata).
 
@@ -282,6 +292,7 @@ class ScenarioSpec:
     gears: tuple[int, ...] | None = None
     fast_forward: tuple[tuple[str, Any], ...] | None = None
     policy: PolicyRef | None = None
+    backend: str = "event"
     tags: tuple[str, ...] = ()
     description: str = ""
 
@@ -291,6 +302,13 @@ class ScenarioSpec:
         if self.kind not in KINDS:
             raise ConfigurationError(
                 f"unknown scenario kind {self.kind!r}; expected one of {KINDS}"
+            )
+        from repro.exec.batch_sweep import BACKENDS
+
+        if self.backend not in BACKENDS:
+            known = ", ".join(repr(b) for b in BACKENDS)
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from {known}"
             )
         object.__setattr__(self, "nodes", tuple(int(n) for n in self.nodes))
         if not self.nodes and self.kind != KIND_CALIBRATION:
@@ -445,6 +463,13 @@ class ScenarioSpec:
         # of policy-free specs are unchanged from earlier releases.
         if self.policy is not None:
             identity["policy"] = self.policy.build().describe()
+        # Same omitted-when-default treatment: batch-backed points cache
+        # under keys carrying the "backend": "batch" token (see
+        # repro.exec.batch_sweep.batch_cache_key), so the fingerprint
+        # must move with the backend — while event specs keep the exact
+        # fingerprints they had before the field existed.
+        if self.backend != "event":
+            identity["backend"] = self.backend
         return identity
 
     def fingerprint(self) -> str:
@@ -475,6 +500,7 @@ class ScenarioSpec:
                 None if self.fast_forward is None else dict(self.fast_forward)
             ),
             "policy": None if self.policy is None else self.policy.to_dict(),
+            "backend": self.backend,
             "tags": list(self.tags),
             "description": self.description,
         }
@@ -500,6 +526,7 @@ class ScenarioSpec:
             gears=None if gears is None else tuple(gears),
             fast_forward=None if ff is None else _pairs(ff),
             policy=None if policy is None else PolicyRef.from_dict(policy),
+            backend=data.get("backend", "event"),
             tags=tuple(data.get("tags", ())),
             description=data.get("description", ""),
         )

@@ -15,6 +15,12 @@ smaller unit suites check point by point:
    re-run with steady-state fast-forward enabled and their
    time/energy must match exact simulation to a relative tolerance
    (1e-9 by default), with the macro-stepping demonstrably engaged.
+4. **Batch-backend equivalence** — specs tagged ``batch-eligible`` are
+   re-run through the record/replay batch backend
+   (:mod:`repro.sim.batch` via ``Executor(backend="batch")``) and must
+   match exact simulation to the same tolerance, with the grouping
+   demonstrably engaged (points actually folded into shared-tape
+   groups, fallbacks to the event engine counted and reported).
 
 The result is a :class:`ValidationReport` — JSON-serializable, so the
 nightly CI job can archive it as ``VALIDATION_sweep.json``.
@@ -31,12 +37,15 @@ from typing import Any, Mapping, Sequence
 from repro.exec.cache import ResultCache
 from repro.exec.executor import Executor
 from repro.exec.tasks import MeasurementTask, SimTask
-from repro.scenarios.packs import FF_ELIGIBLE_TAG, FF_KNOBS
+from repro.scenarios.packs import BATCH_ELIGIBLE_TAG, FF_ELIGIBLE_TAG, FF_KNOBS
 from repro.scenarios.spec import ScenarioSpec, _pairs
 from repro.util.errors import ConfigurationError
 
 #: Default relative tolerance for fast-forward equivalence.
 FF_RTOL = 1e-9
+
+#: Default relative tolerance for batch-backend equivalence.
+BATCH_RTOL = 1e-9
 
 
 def canonical_payload(task: SimTask, result: Any) -> str:
@@ -94,6 +103,13 @@ class ValidationReport:
     ff_skipped_iterations: int = 0
     ff_max_rel_err: float = 0.0
     ff_rtol: float = FF_RTOL
+    batch_twins: int = 0
+    batch_points: int = 0
+    batch_groups: int = 0
+    batch_grouped_points: int = 0
+    batch_fallback_points: int = 0
+    batch_max_rel_err: float = 0.0
+    batch_rtol: float = BATCH_RTOL
     cache_bound_bytes: int | None = None
     mismatches: list[Mismatch] = field(default_factory=list)
 
@@ -105,6 +121,8 @@ class ValidationReport:
         if self.cache_bound_bytes is not None and self.cache_evicted == 0:
             return False
         if self.ff_twins and self.ff_skipped_iterations == 0:
+            return False
+        if self.batch_twins and self.batch_grouped_points == 0:
             return False
         return True
 
@@ -133,6 +151,11 @@ class ValidationReport:
             f"  fast-forward: {self.ff_points} points across {self.ff_twins} "
             f"twins, {self.ff_skipped_iterations} iterations skipped, "
             f"max rel err {self.ff_max_rel_err:.3e} (tol {self.ff_rtol:.0e})",
+            f"  batch: {self.batch_points} points across {self.batch_twins} "
+            f"twins, {self.batch_grouped_points} grouped into "
+            f"{self.batch_groups} recordings, {self.batch_fallback_points} "
+            f"fell back, max rel err {self.batch_max_rel_err:.3e} "
+            f"(tol {self.batch_rtol:.0e})",
         ]
         if self.mismatches:
             lines.append(f"  MISMATCHES: {len(self.mismatches)}")
@@ -148,6 +171,10 @@ class ValidationReport:
             if self.ff_twins and self.ff_skipped_iterations == 0:
                 lines.append(
                     "  NOT EXERCISED: fast-forward twins never skipped ahead"
+                )
+            if self.batch_twins and self.batch_grouped_points == 0:
+                lines.append(
+                    "  NOT EXERCISED: batch twins never formed a group"
                 )
         else:
             lines.append("  all contracts held")
@@ -172,6 +199,7 @@ def run_validation(
     recheck_stride: int = 7,
     ff_knobs: Mapping[str, Any] = FF_KNOBS,
     ff_rtol: float = FF_RTOL,
+    batch_rtol: float = BATCH_RTOL,
     progress=None,
 ) -> ValidationReport:
     """Run the validation sweep over ``specs``; see the module docstring.
@@ -192,6 +220,7 @@ def run_validation(
         recheck_stride: serially re-verify every Nth point (1 = all).
         ff_knobs: fast-forward settings for the equivalence twins.
         ff_rtol: relative tolerance for twin time/energy agreement.
+        batch_rtol: relative tolerance for batch-backend twin agreement.
         progress: optional callable taking one status string per phase
             step (the CLI wires this to stderr).
 
@@ -213,7 +242,10 @@ def run_validation(
 
     start = time.perf_counter()
     report = ValidationReport(
-        scenarios=len(specs), ff_rtol=ff_rtol, cache_bound_bytes=max_cache_bytes
+        scenarios=len(specs),
+        ff_rtol=ff_rtol,
+        batch_rtol=batch_rtol,
+        cache_bound_bytes=max_cache_bytes,
     )
 
     # ------------------------------------------------------------------
@@ -269,12 +301,13 @@ def run_validation(
     # ------------------------------------------------------------------
     # Phase C: fast-forward twins of the eligible specs.
     eligible = {s.name for s in specs if FF_ELIGIBLE_TAG in s.tags}
+    batch_eligible = {s.name for s in specs if BATCH_ELIGIBLE_TAG in s.tags}
     say(f"fast-forward twins: {len(eligible)} specs")
     exact_tasks_by_name: dict[str, list[SimTask]] = {}
     offset = 0
     for spec in specs:
         count = spec.points
-        if spec.name in eligible:
+        if spec.name in eligible or spec.name in batch_eligible:
             exact_tasks_by_name[spec.name] = tasks[offset : offset + count]
         offset += count
     for spec in (s for s in specs if s.name in eligible):
@@ -322,6 +355,53 @@ def run_validation(
                             ),
                         )
                     )
+
+    # ------------------------------------------------------------------
+    # Phase D: batch-backend twins of the eligible specs.  The twin spec
+    # carries ``backend="batch"`` — its fingerprint (and the executor's
+    # cache keys) move with it, so batch results never shadow the exact
+    # baseline in the cache — and runs under a batch executor, which
+    # folds the shared-gear points into one recording per node count.
+    say(f"batch twins: {len(batch_eligible)} specs")
+    if batch_eligible:
+        batch_executor = Executor(
+            jobs=jobs, cache=cache, chunk_size=chunk_size, backend="batch"
+        )
+        for spec in (s for s in specs if s.name in batch_eligible):
+            twin = replace(spec, name=f"{spec.name}+batch", backend="batch")
+            twin_tasks = twin.tasks()
+            report.batch_twins += 1
+            report.batch_points += len(twin_tasks)
+            twin_results = batch_executor.run(twin_tasks)
+            exact_tasks = exact_tasks_by_name[spec.name]
+            for exact_task, twin_task, twin_result in zip(
+                exact_tasks, twin_tasks, twin_results
+            ):
+                (exact_result,) = serial.run([exact_task])
+                for quantity in ("time", "energy"):
+                    err = _rel_err(
+                        getattr(exact_result, quantity),
+                        getattr(twin_result, quantity),
+                    )
+                    report.batch_max_rel_err = max(
+                        report.batch_max_rel_err, err
+                    )
+                    if err > batch_rtol:
+                        report.mismatches.append(
+                            Mismatch(
+                                check="batch",
+                                scenario=spec.name,
+                                point=str(twin_task.key),
+                                detail=(
+                                    f"{quantity} rel err {err:.3e} exceeds "
+                                    f"{batch_rtol:.0e}"
+                                ),
+                            )
+                        )
+        accounting = batch_executor.batch_report
+        report.batch_groups = accounting.groups
+        report.batch_grouped_points = accounting.grouped_points
+        report.batch_fallback_points = accounting.fallback_points
 
     report.cache_hits = cache.stats.hits
     report.cache_misses = cache.stats.misses

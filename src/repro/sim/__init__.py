@@ -9,3 +9,7 @@ from repro.sim.engine import Simulator, Event
 from repro.sim.process import RankProcess, ProcessState
 
 __all__ = ["Simulator", "Event", "RankProcess", "ProcessState"]
+
+# repro.sim.batch (the record/replay batch backend) is imported lazily by
+# its users — it pulls in the cluster/mpi/core layers, which would make
+# `import repro.sim` circular if re-exported here.

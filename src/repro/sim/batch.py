@@ -1,0 +1,858 @@
+"""Gear-invariant record/replay batch backend: one recording, whole grid.
+
+Every point of a gear sweep re-executes a near-identical discrete-event
+stream: the *structure* of an MPI run — which compute blocks run, who
+sends what to whom, where the program blocks — does not depend on the
+energy gear, only the *timings* and *power levels* do.  The fast-forward
+layer (:mod:`repro.mpi.fastforward`) already proves this structural
+invariance in steady state via per-iteration signatures; COUNTDOWN
+(Cesarini et al.) and Medhat et al.'s power redistribution rest on the
+same separation at runtime.
+
+This module exploits it across a whole sweep:
+
+1. **Record.**  One run at a reference gear (the first gear of the
+   grid) executes under the ordinary event engine with a transparent
+   per-rank tape recorder wrapped around the program generators.  The
+   tape holds the gear-invariant segment stream: compute blocks with
+   their operation counts, communication edges with payload sizes and
+   tags, waits with their handle references, disk bursts, disk-speed
+   transitions, and iteration marks (with the fast-forward jumps the
+   recording itself took).  The fast-forward signature machinery runs
+   during the recording — with the task's own config when set, else in
+   an observe-only mode that never jumps — and any signature deviation
+   disqualifies the tape.
+
+2. **Certify.**  A tape is replayable only if its structure is provably
+   gear-invariant.  Program logic can depend on the gear only through
+   :class:`~repro.mpi.requests.Now` (timings leak into control flow) or
+   :class:`~repro.mpi.requests.SetGear` (adaptive policies), so either
+   request fails certification; everything else resumes with
+   gear-invariant values (payloads, handles, skip counts), which makes
+   the whole request stream gear-invariant by induction.  Recorded
+   fast-forward jumps additionally require consistent reducible-walk
+   state at the jump window's boundaries, and a disk-speed change
+   inside a replicated window is rejected.
+
+3. **Replay.**  Per-segment durations are revalued for *all* gears in
+   one NumPy pass — ``t(f) = uops/(issue_rate · f) + misses · latency``
+   elementwise over ``(segments,)`` arrays, bitwise-identical to the
+   engine's scalar arithmetic — and a lightweight per-gear interpreter
+   re-runs only the *interactions*: message matching (same indexed
+   FIFO/wildcard algorithm as :class:`~repro.mpi.world.World`), the
+   stateful network server pool (contention re-forms per gear), blocking
+   waits, and recorded macro-step jumps.  No generators resume, no trace
+   rows or meter intervals are written.
+
+4. **Roll up.**  Energy decomposes exactly: each rank draws its idle
+   power for the whole run plus a busy *excess* for compute and disk
+   segments, so ``E(g) = Σ_phases P_idle(g)·Δt + Σ_seg w·(P_seg(g) −
+   P_idle(g))·d_seg(g) + disk-excess`` with the per-segment excess
+   vectorized over the grid.  Window weights ``w`` replicate skipped
+   cycles exactly as the event path's meter/trace replication does.
+
+Any disqualification raises :class:`BatchUnsupported`; callers fall back
+to the event engine point-by-point, which is bitwise-exact by
+definition.  A built-in self-check replays the recording gear and
+compares against the recording's own measurements at ``SELF_CHECK_RTOL``
+before any other gear is trusted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import ClusterSpec
+from repro.cluster.counters import CounterBank
+from repro.cluster.disk import DiskModel
+from repro.core.curves import CurvePoint, EnergyTimeCurve
+from repro.core.run import RunMeasurement
+from repro.mpi.fastforward import FastForwardConfig
+from repro.mpi.requests import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Compute,
+    DiskIO,
+    Elapse,
+    Irecv,
+    Isend,
+    IterationMark,
+    Now,
+    SetDiskSpeed,
+    SetGear,
+    TraceMark,
+    Wait,
+)
+from repro.mpi.tracing import BLOCKING_OPS
+from repro.mpi.world import World, WorldResult
+from repro.workloads.base import Workload
+
+#: Relative tolerance of the recording-gear self-check: the replay of the
+#: reference gear must reproduce the recording's own measurements this
+#: closely or the whole tape is rejected.
+SELF_CHECK_RTOL = 1e-9
+
+#: A fast-forward config that observes signatures but can never jump —
+#: used to certify recordings of tasks that carry no config of their own.
+#: ``min_jump`` above any possible iteration count means marks always
+#: resume with 0, so the recorded timeline is bitwise what a plain
+#: (no fast-forward) event run produces.
+_OBSERVE_ONLY = FastForwardConfig(min_jump=1_000_000_000)
+
+# Tape opcodes (first element of every op tuple).
+_OP_COMPUTE = 0
+_OP_SEND = 1
+_OP_RECV = 2
+_OP_WAIT = 3
+_OP_ELAPSE = 4
+_OP_DISK = 5
+_OP_DSPEED = 6
+_OP_MARK = 7
+
+
+class BatchUnsupported(Exception):
+    """The recorded run cannot be revalued across gears.
+
+    Raised when certification fails (a ``Now`` or ``SetGear`` request,
+    a signature deviation during the recording, inconsistent jump-window
+    state) or when the replay self-check misses.  Callers fall back to
+    the exact event engine, which handles every program.
+    """
+
+
+@dataclass
+class Tape:
+    """One certified recording, ready to revalue across a gear grid."""
+
+    cluster: ClusterSpec
+    workload_name: str
+    nodes: int
+    #: Per-rank flat op stream (tuples, opcode first).
+    ops: list[list[tuple]]
+    #: Per-rank compute-segment parameter arrays (float64).
+    seg_uops: list[np.ndarray]
+    seg_misses: list[np.ndarray]
+    seg_stall: list[np.ndarray]
+    #: Per-segment replication weight (1 + copies for jump windows).
+    seg_weight: list[np.ndarray]
+    #: Per-segment reducible-work membership (1.0 in, 0.0 out).
+    seg_reducible: list[np.ndarray]
+    #: Per-rank gear-independent disk busy-excess energy, joules.
+    disk_excess: list[float]
+    #: Per-rank number of receive slots.
+    recv_slots: list[int]
+    #: Weighted hardware-counter totals over all ranks.
+    total_uops: float
+    total_misses: float
+    #: Disk idle power at the initial spindle speed (0.0 without a disk).
+    initial_disk_idle: float
+    #: The recording's own event-engine measurements, folded to scalars
+    #: at record time: the self-check compares four floats per replay
+    #: instead of re-walking the recording's traces (``active_time`` and
+    #: ``reducible_time`` are O(events) properties).
+    recording_time: float
+    recording_energy: float
+    recording_active: float
+    recording_reducible: float
+    recording_gear: int
+    #: Iterations the recording's fast-forward macro-stepped past.
+    recorded_skips: int
+
+
+# ----------------------------------------------------------------------
+# Recording
+
+
+def _recording_program(program, tapes: list[list[tuple[Any, Any]]]):
+    """Wrap a program factory so every (request, resume value) pair of
+    every rank lands on its tape.  The wrapper is transparent: requests
+    and values pass through unchanged, so the recording run is bitwise
+    the run the event engine would execute without it."""
+
+    def factory(comm):
+        entries = tapes[comm.rank]
+        gen = program(comm)
+        value = None
+        while True:
+            try:
+                request = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = yield request
+            entries.append((request, value))
+
+    return factory
+
+
+def record_tape(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    nodes: int,
+    gear: int,
+    fast_forward: "FastForwardConfig | None" = None,
+) -> Tape:
+    """Execute one recording run and build a certified tape.
+
+    Raises:
+        BatchUnsupported: the program's structure cannot be certified
+            gear-invariant (see the class docstring for the rules).
+    """
+    workload.validate_nodes(nodes)
+    cluster.validate_run(nodes, gear)
+    entries: list[list[tuple[Any, Any]]] = [[] for _ in range(nodes)]
+    config = fast_forward if fast_forward is not None else _OBSERVE_ONLY
+    world = World(
+        cluster,
+        _recording_program(workload.program, entries),
+        nodes=nodes,
+        gear=gear,
+        fast_forward=config,
+    )
+    recording = world.run()
+    ff = world._ff
+    assert ff is not None
+    if ff.stats.deviations:
+        raise BatchUnsupported(
+            f"{ff.stats.deviations} signature deviation(s) during recording: "
+            "the event structure is not iteration-stable"
+        )
+    jumps = {(rank, idx): (jump, period) for rank, idx, jump, period in ff.jump_log}
+    return _build_tape(cluster, workload, nodes, gear, entries, jumps, recording)
+
+
+def _build_tape(
+    cluster: ClusterSpec,
+    workload: Workload,
+    nodes: int,
+    gear: int,
+    entries: list[list[tuple[Any, Any]]],
+    jumps: dict[tuple[int, int], tuple[int, int]],
+    recording: WorldResult,
+) -> Tape:
+    """Convert raw (request, value) streams into the certified tape."""
+    node_spec = cluster.node
+    issue_rate = node_spec.cpu.issue_rate
+    default_latency = node_spec.memory.effective_miss_latency
+    disk_model = DiskModel(node_spec.disk) if node_spec.disk else None
+    initial_speed = node_spec.disk.fastest if node_spec.disk else None
+    initial_disk_idle = (
+        disk_model.idle_power(initial_speed) if disk_model is not None else 0.0
+    )
+
+    ops_by_rank: list[list[tuple]] = []
+    seg_uops: list[np.ndarray] = []
+    seg_misses: list[np.ndarray] = []
+    seg_stall: list[np.ndarray] = []
+    seg_weight: list[np.ndarray] = []
+    seg_reducible: list[np.ndarray] = []
+    disk_excess: list[float] = []
+    recv_slots: list[int] = []
+    total_uops = 0.0
+    total_misses = 0.0
+    recorded_skips = 0
+
+    for rank in range(nodes):
+        ops: list[tuple] = []
+        uops: list[float] = []
+        misses: list[float] = []
+        stall: list[float] = []
+        handle_map: dict[int, tuple[str, int]] = {}  # uid -> (kind, slot)
+        slots = 0
+        speed = initial_speed
+        # Disk ops as (op position, excess joules) so window weights can
+        # be applied after all jumps are known.
+        disk_ops: list[tuple[int, float]] = []
+        # Reducible-work walk state (structural twin of
+        # RankTrace.reducible_time over top-level records in tape order).
+        depth = 0
+        seen_send = False
+        pending: list[int] = []
+        reducible: set[int] = set()
+        # Mark bookkeeping: request index -> (op position, walk state).
+        mark_info: dict[int, tuple[int, bool, bool, int]] = {}
+        rank_jumps: list[tuple[int, int, int]] = []  # (mark idx, jump, period)
+        # Positions of disk-speed *changes* (must stay outside windows).
+        speed_changes: list[int] = []
+
+        for request, value in entries[rank]:
+            cls = request.__class__
+            if cls is Compute:
+                block = request.block
+                seg = len(uops)
+                latency = (
+                    block.miss_latency
+                    if block.miss_latency is not None
+                    else default_latency
+                )
+                uops.append(block.uops)
+                misses.append(block.l2_misses)
+                stall.append(block.l2_misses * latency)
+                ops.append((_OP_COMPUTE, seg))
+                if depth == 0 and seen_send:
+                    pending.append(seg)
+            elif cls is Isend:
+                ops.append(
+                    (
+                        _OP_SEND,
+                        request.dest,
+                        request.tag,
+                        request.nbytes,
+                        request.dest == rank,
+                    )
+                )
+                handle_map[value.uid] = ("send", -1)
+                if depth == 0:
+                    seen_send = True
+                    pending = []
+            elif cls is Irecv:
+                ops.append((_OP_RECV, request.source, request.tag, slots))
+                handle_map[value.uid] = ("recv", slots)
+                slots += 1
+            elif cls is Wait:
+                kind, slot = handle_map[request.handle.uid]
+                if kind == "recv":
+                    # Waits on sends never block (eager sends complete at
+                    # inject, before the program can reach the wait) and
+                    # are not blocking points for the reducible walk, so
+                    # they are dropped from the tape entirely.
+                    ops.append((_OP_WAIT, slot))
+                    if depth == 0:
+                        reducible.update(pending)
+                        pending = []
+                        seen_send = False
+            elif cls is TraceMark:
+                if request.phase == "begin":
+                    depth += 1
+                else:
+                    depth -= 1
+                    if depth == 0 and request.op in BLOCKING_OPS:
+                        reducible.update(pending)
+                        pending = []
+                        seen_send = False
+            elif cls is IterationMark:
+                if depth != 0:
+                    raise BatchUnsupported(
+                        f"rank {rank}: iteration mark inside a collective"
+                    )
+                mark_info[request.index] = (
+                    len(ops),
+                    seen_send,
+                    not pending,
+                    request.index,
+                )
+                skipped = int(value or 0)
+                if skipped:
+                    jump = jumps.get((rank, request.index))
+                    if jump is None or jump[0] != skipped:
+                        raise BatchUnsupported(
+                            f"rank {rank}: unaccounted macro-step at mark "
+                            f"{request.index}"
+                        )
+                    period = jump[1]
+                    ops.append((_OP_MARK, skipped, period))
+                    rank_jumps.append((request.index, skipped, period))
+                    recorded_skips += skipped
+                else:
+                    ops.append((_OP_MARK, 0, 0))
+            elif cls is Elapse:
+                ops.append((_OP_ELAPSE, request.seconds))
+            elif cls is DiskIO:
+                assert disk_model is not None and speed is not None
+                duration = disk_model.io_time(request.nbytes, speed)
+                ops.append((_OP_DISK, duration))
+                excess = duration * (
+                    disk_model.io_power(speed) - disk_model.idle_power(speed)
+                )
+                disk_ops.append((len(ops) - 1, excess))
+            elif cls is SetDiskSpeed:
+                assert disk_model is not None
+                target = disk_model.spec[request.speed_index]
+                if speed is not None and target.index == speed.index:
+                    continue  # no-op in the engine: zero time, no record
+                speed = target
+                speed_changes.append(len(ops))
+                ops.append(
+                    (
+                        _OP_DSPEED,
+                        disk_model.spec.transition_time,
+                        disk_model.idle_power(target),
+                    )
+                )
+            elif cls is Now or cls is SetGear:
+                raise BatchUnsupported(
+                    f"rank {rank}: {cls.__name__} request — structure may "
+                    "depend on the gear"
+                )
+            else:
+                raise BatchUnsupported(
+                    f"rank {rank}: unsupported request {cls.__name__}"
+                )
+
+        # Replication weights: ops inside a jump's window (the `period`
+        # marks preceding the jump mark) repeat 1 + copies times, exactly
+        # as the event path's meter/trace/counter replication does.
+        nsegs = len(uops)
+        weight = np.ones(nsegs, dtype=np.float64)
+        disk_w = {pos: 1.0 for pos, _ in disk_ops}
+        for mark_idx, jump, period in rank_jumps:
+            end = mark_info.get(mark_idx)
+            start = mark_info.get(mark_idx - period)
+            if end is None or start is None:
+                raise BatchUnsupported(
+                    f"rank {rank}: jump window at mark {mark_idx} has no "
+                    f"recorded start (period {period})"
+                )
+            start_pos, start_send, start_clean, _ = start
+            end_pos, end_send, end_clean, _ = end
+            if not (start_clean and end_clean and start_send == end_send):
+                raise BatchUnsupported(
+                    f"rank {rank}: reducible-walk state differs across the "
+                    f"jump window at mark {mark_idx}"
+                )
+            for pos in speed_changes:
+                if start_pos <= pos < end_pos:
+                    raise BatchUnsupported(
+                        f"rank {rank}: disk-speed change inside a "
+                        "replicated window"
+                    )
+            copies = jump // period
+            for pos in range(start_pos, end_pos):
+                op = ops[pos]
+                code = op[0]
+                if code == _OP_COMPUTE:
+                    weight[op[1]] += copies
+                elif code == _OP_DISK:
+                    disk_w[pos] += copies
+
+        uops_arr = np.asarray(uops, dtype=np.float64)
+        misses_arr = np.asarray(misses, dtype=np.float64)
+        red = np.zeros(nsegs, dtype=np.float64)
+        if reducible:
+            red[sorted(reducible)] = 1.0
+
+        ops_by_rank.append(ops)
+        seg_uops.append(uops_arr)
+        seg_misses.append(misses_arr)
+        seg_stall.append(np.asarray(stall, dtype=np.float64))
+        seg_weight.append(weight)
+        seg_reducible.append(red)
+        disk_excess.append(
+            math.fsum(disk_w[pos] * excess for pos, excess in disk_ops)
+        )
+        recv_slots.append(slots)
+        total_uops += float(np.sum(weight * uops_arr))
+        total_misses += float(np.sum(weight * misses_arr))
+
+    return Tape(
+        cluster=cluster,
+        workload_name=workload.name,
+        nodes=nodes,
+        ops=ops_by_rank,
+        seg_uops=seg_uops,
+        seg_misses=seg_misses,
+        seg_stall=seg_stall,
+        seg_weight=seg_weight,
+        seg_reducible=seg_reducible,
+        disk_excess=disk_excess,
+        recv_slots=recv_slots,
+        total_uops=total_uops,
+        total_misses=total_misses,
+        initial_disk_idle=initial_disk_idle,
+        recording_time=recording.elapsed,
+        recording_energy=recording.total_energy,
+        recording_active=recording.active_time,
+        recording_reducible=recording.reducible_time(),
+        recording_gear=gear,
+        recorded_skips=recorded_skips,
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay
+
+
+def _replay_gear(
+    tape: Tape, durations: list[list[float]]
+) -> tuple[list[float], list[list[tuple[float, float]]]]:
+    """Re-run the tape's interactions at one gear.
+
+    Returns per-rank finish times and per-rank disk-speed phase
+    boundaries ``(time, new disk idle watts)``.  The interpreter mirrors
+    :class:`~repro.mpi.world.World` exactly — same matching algorithm,
+    same network server pool, same FIFO tie-breaking — so the timeline
+    is the event engine's, without generators, traces, or meters.
+    """
+    nodes = tape.nodes
+    network = tape.cluster.network_model()
+    schedule_transfer = network.schedule_transfer
+    overhead = network.endpoint_overhead()
+    ops_by_rank = tape.ops
+    nops = [len(ops) for ops in ops_by_rank]
+    pos = [0] * nodes
+    finish: list[float | None] = [None] * nodes
+    heap: list[tuple[float, int, int]] = []
+    seq = count()
+    msg_seq = count(1)
+    recv_uid = count()
+    recv_post: list[list[float]] = [[0.0] * n for n in tape.recv_slots]
+    recv_done: list[list[float | None]] = [[None] * n for n in tape.recv_slots]
+    recv_waiting: list[list[bool]] = [[False] * n for n in tape.recv_slots]
+    posted: list[dict[tuple[int, int], deque]] = [{} for _ in range(nodes)]
+    unexpected: list[dict[tuple[int, int], deque]] = [{} for _ in range(nodes)]
+    phases: list[list[tuple[float, float]]] = [[] for _ in range(nodes)]
+    marks: list[list[float]] = [[] for _ in range(nodes)]
+
+    def complete(rank: int, slot: int, arrival: float, now: float) -> None:
+        # Mirrors World._complete_recv: ready + per-endpoint overhead.
+        ready = max(recv_post[rank][slot], arrival, now)
+        done = ready + overhead
+        recv_done[rank][slot] = done
+        if recv_waiting[rank][slot]:
+            recv_waiting[rank][slot] = False
+            heappush(heap, (done, next(seq), rank))
+
+    def route(dest: int, source: int, tag: int, arrival: float, now: float) -> None:
+        # Mirrors World._route (indexed FIFO, earliest-posted wins).
+        pd = posted[dest]
+        if pd:
+            best_key = None
+            best_uid = -1
+            for key in (
+                (source, tag),
+                (ANY_SOURCE, tag),
+                (source, ANY_TAG),
+                (ANY_SOURCE, ANY_TAG),
+            ):
+                queue = pd.get(key)
+                if queue:
+                    uid = queue[0][0]
+                    if best_key is None or uid < best_uid:
+                        best_key, best_uid = key, uid
+            if best_key is not None:
+                queue = pd[best_key]
+                _, slot = queue.popleft()
+                if not queue:
+                    del pd[best_key]
+                complete(dest, slot, arrival, now)
+                return
+        ud = unexpected[dest]
+        key = (source, tag)
+        queue = ud.get(key)
+        if queue is None:
+            ud[key] = deque(((arrival, next(msg_seq)),))
+        else:
+            queue.append((arrival, next(msg_seq)))
+
+    def match_unexpected(rank: int, source: int, tag: int):
+        # Mirrors World._match_unexpected (earliest-sent wins).
+        ud = unexpected[rank]
+        if not ud:
+            return None
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            queue = ud.get((source, tag))
+            if not queue:
+                return None
+            message = queue.popleft()
+            if not queue:
+                del ud[(source, tag)]
+            return message
+        best_key = None
+        best_seq = -1
+        for key, queue in ud.items():
+            if source != ANY_SOURCE and key[0] != source:
+                continue
+            if tag != ANY_TAG and key[1] != tag:
+                continue
+            mseq = queue[0][1]
+            if best_key is None or mseq < best_seq:
+                best_key, best_seq = key, mseq
+        if best_key is None:
+            return None
+        queue = ud[best_key]
+        message = queue.popleft()
+        if not queue:
+            del ud[best_key]
+        return message
+
+    def advance(rank: int, now: float) -> None:
+        ops = ops_by_rank[rank]
+        n = nops[rank]
+        p = pos[rank]
+        durs = durations[rank]
+        while True:
+            if p == n:
+                pos[rank] = p
+                finish[rank] = now
+                return
+            op = ops[p]
+            p += 1
+            code = op[0]
+            if code == _OP_COMPUTE:
+                d = durs[op[1]]
+                if d != 0.0:
+                    pos[rank] = p
+                    heappush(heap, (now + d, next(seq), rank))
+                    return
+            elif code == _OP_SEND:
+                _, dest, tag, nbytes, same = op
+                inject = now + overhead
+                arrival = schedule_transfer(inject, nbytes, same_node=same)
+                route(dest, rank, tag, arrival, now)
+                if overhead != 0.0:
+                    pos[rank] = p
+                    heappush(heap, (inject, next(seq), rank))
+                    return
+            elif code == _OP_RECV:
+                _, source, tag, slot = op
+                recv_post[rank][slot] = now
+                message = match_unexpected(rank, source, tag)
+                if message is not None:
+                    complete(rank, slot, message[0], now)
+                else:
+                    key = (source, tag)
+                    queue = posted[rank].get(key)
+                    entry = (next(recv_uid), slot)
+                    if queue is None:
+                        posted[rank][key] = deque((entry,))
+                    else:
+                        queue.append(entry)
+            elif code == _OP_WAIT:
+                done = recv_done[rank][op[1]]
+                if done is not None:
+                    if done <= now:
+                        continue
+                    pos[rank] = p
+                    heappush(heap, (done, next(seq), rank))
+                    return
+                recv_waiting[rank][op[1]] = True
+                pos[rank] = p
+                return
+            elif code == _OP_MARK:
+                rank_marks = marks[rank]
+                rank_marks.append(now)
+                skipped = op[1]
+                if skipped:
+                    period = op[2]
+                    copies = skipped // period
+                    cycle = now - rank_marks[-1 - period]
+                    pos[rank] = p
+                    heappush(heap, (now + copies * cycle, next(seq), rank))
+                    return
+            elif code == _OP_ELAPSE:
+                if op[1] != 0.0:
+                    pos[rank] = p
+                    heappush(heap, (now + op[1], next(seq), rank))
+                    return
+            elif code == _OP_DISK:
+                if op[1] != 0.0:
+                    pos[rank] = p
+                    heappush(heap, (now + op[1], next(seq), rank))
+                    return
+            else:  # _OP_DSPEED
+                phases[rank].append((now, op[2]))
+                if op[1] != 0.0:
+                    pos[rank] = p
+                    heappush(heap, (now + op[1], next(seq), rank))
+                    return
+
+    for rank in range(nodes):
+        advance(rank, 0.0)
+    while heap:
+        now, _, rank = heappop(heap)
+        advance(rank, now)
+    if any(f is None for f in finish):
+        stuck = [r for r, f in enumerate(finish) if f is None]
+        raise BatchUnsupported(f"replay stalled on ranks {stuck}")
+    return finish, phases  # type: ignore[return-value]
+
+
+def replay_grid(
+    tape: Tape, gear_indices: Sequence[int]
+) -> list[RunMeasurement]:
+    """Revalue the tape at every gear of a grid.
+
+    The recording gear's replay is checked against the recording's own
+    event-engine measurements at :data:`SELF_CHECK_RTOL`; a miss rejects
+    the tape (:class:`BatchUnsupported`), so a defective replay can never
+    silently ship wrong numbers for the *other* gears.
+    """
+    cluster = tape.cluster
+    node_spec = cluster.node
+    cpu = node_spec.cpu
+    power_model = node_spec.power_model()
+    cpu_model = power_model.cpu_model
+    ref_bw = node_spec.memory.reference_miss_bandwidth
+    upm = CounterBank(uops=tape.total_uops, l2_misses=tape.total_misses).upm
+
+    out: list[RunMeasurement] = []
+    for gear_index in gear_indices:
+        gear = cluster.gears[gear_index]
+        scale = cpu_model.dynamic_scale(gear)
+        leak = cpu_model.leakage_power(gear)
+        # Scalar prefixes mirror CPUPowerModel's left-associated products
+        # so the vectorized power matches the engine's floats exactly.
+        k_active = cpu.dynamic_power_full * scale * cpu.active_activity
+        cpu_idle = cpu.dynamic_power_full * scale * cpu.idle_activity + leak
+        pm_idle = power_model.base_power + cpu_idle
+        denom = cpu.issue_rate * gear.frequency_hz
+        saf = cpu.stall_activity_fraction
+
+        durations: list[list[float]] = []
+        dur_arrays: list[np.ndarray] = []
+        for rank in range(tape.nodes):
+            d = tape.seg_uops[rank] / denom + tape.seg_stall[rank]
+            dur_arrays.append(d)
+            durations.append(d.tolist())
+
+        finish, phases = _replay_gear(tape, durations)
+        end_time = max(finish) if finish else 0.0
+
+        energy = 0.0
+        active_time = 0.0
+        reducible_time = 0.0
+        for rank in range(tape.nodes):
+            d = dur_arrays[rank]
+            w = tape.seg_weight[rank]
+            if len(d):
+                stall_frac = tape.seg_stall[rank] / d
+                occupancy = (1.0 - stall_frac) + saf * stall_frac
+                cpu_active = k_active * occupancy + leak
+                intensity = np.minimum(
+                    1.0, (tape.seg_misses[rank] / d) / ref_bw
+                )
+                p_active = (
+                    power_model.base_power
+                    + cpu_active
+                    + power_model.memory_power_max * intensity
+                )
+                wd = w * d
+                energy += float(np.sum(wd * (p_active - pm_idle)))
+                rank_active = float(np.sum(wd))
+                rank_reducible = float(np.sum(tape.seg_reducible[rank] * wd))
+            else:
+                rank_active = 0.0
+                rank_reducible = 0.0
+            if rank_active > active_time:
+                active_time = rank_active
+            if rank_reducible > reducible_time:
+                reducible_time = rank_reducible
+            # Idle baseline: the rank draws (CPU idle + disk idle) for
+            # the whole run; disk-speed transitions split it into phases.
+            t = 0.0
+            disk_idle = tape.initial_disk_idle
+            for boundary, new_idle in phases[rank]:
+                energy += (pm_idle + disk_idle) * (boundary - t)
+                t = boundary
+                disk_idle = new_idle
+            energy += (pm_idle + disk_idle) * (end_time - t)
+            energy += tape.disk_excess[rank]
+
+        measurement = RunMeasurement(
+            workload=tape.workload_name,
+            cluster=cluster.name,
+            nodes=tape.nodes,
+            gear=gear_index,
+            time=end_time,
+            energy=energy,
+            active_time=active_time,
+            idle_time=max(0.0, end_time - active_time),
+            reducible_time=reducible_time,
+            upm=upm,
+        )
+        if gear_index == tape.recording_gear:
+            _self_check(tape, measurement)
+        out.append(measurement)
+    return out
+
+
+def _self_check(tape: Tape, replay: RunMeasurement) -> None:
+    """Reject the tape if replaying the recording gear disagrees with
+    the recording's own event-engine measurements."""
+    checks = (
+        ("time", tape.recording_time, replay.time),
+        ("energy", tape.recording_energy, replay.energy),
+        ("active_time", tape.recording_active, replay.active_time),
+        ("reducible_time", tape.recording_reducible, replay.reducible_time),
+    )
+    for name, expected, got in checks:
+        denom = max(abs(expected), abs(got), 1e-300)
+        if abs(expected - got) / denom > SELF_CHECK_RTOL:
+            raise BatchUnsupported(
+                f"self-check failed on {name}: recording {expected!r} vs "
+                f"replay {got!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+
+
+def batch_gear_grid(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    nodes: int,
+    gears: Sequence[int] | None = None,
+    fast_forward: "FastForwardConfig | None" = None,
+) -> list[RunMeasurement]:
+    """Measure a workload at every gear of a grid from one recording.
+
+    The drop-in batch twin of running
+    :func:`repro.core.run.run_workload` once per gear: one recording at
+    the grid's first gear, then a vectorized replay per gear.  Results
+    agree with the event engine to ~1e-9 relative (exactly the
+    fast-forward tolerance class).
+
+    Raises:
+        BatchUnsupported: the workload's structure cannot be certified
+            gear-invariant; run the points on the event engine instead.
+    """
+    gear_indices = (
+        list(gears) if gears is not None else list(cluster.gears.indices)
+    )
+    workload.validate_nodes(nodes)
+    for g in gear_indices:
+        cluster.validate_run(nodes, g)
+    tape = record_tape(
+        cluster,
+        workload,
+        nodes=nodes,
+        gear=gear_indices[0],
+        fast_forward=fast_forward,
+    )
+    return replay_grid(tape, gear_indices)
+
+
+def batch_gear_sweep(
+    cluster: ClusterSpec,
+    workload: Workload,
+    *,
+    nodes: int,
+    gears: Sequence[int] | None = None,
+    fast_forward: "FastForwardConfig | None" = None,
+) -> EnergyTimeCurve:
+    """One energy-time curve from one recording (batch twin of
+    :func:`repro.core.run.gear_sweep`)."""
+    measurements = batch_gear_grid(
+        cluster,
+        workload,
+        nodes=nodes,
+        gears=gears,
+        fast_forward=fast_forward,
+    )
+    return EnergyTimeCurve(
+        workload=workload.name,
+        nodes=nodes,
+        points=tuple(
+            CurvePoint(gear=m.gear, time=m.time, energy=m.energy)
+            for m in measurements
+        ),
+    )

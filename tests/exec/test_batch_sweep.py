@@ -1,0 +1,184 @@
+"""Batch-backend sweeps: grouping, merge determinism, cache keying.
+
+The load-bearing guarantees: points sharing a recording fold into one
+group and scatter back byte-identically whether the sweep is serial or
+pooled (chunking counts *groups*, never splitting a recording across
+workers), batch results cache under keys the event engine never reads,
+and non-batchable points pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.machines import athlon_cluster
+from repro.exec import (
+    BatchReport,
+    CalibrationTask,
+    Executor,
+    GearSweepTask,
+    MeasurementTask,
+    ResultCache,
+    batch_sweep,
+)
+from repro.exec.batch_sweep import _form_units, batch_cache_key
+from repro.exec.sweep import _auto_chunk_size, cache_key, sweep
+from repro.util.errors import ConfigurationError
+from repro.workloads.jacobi import Jacobi
+from repro.workloads.nas import EP
+
+#: Tiny but non-degenerate workload scale for executor tests.
+SCALE = 0.03
+
+ALL_GEARS = (1, 2, 3, 4, 5, 6)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return athlon_cluster()
+
+
+@pytest.fixture(scope="module")
+def tasks(cluster):
+    """A mixed bag: one gear-grid family, one sweep, one passthrough."""
+    return (
+        [
+            MeasurementTask(cluster, EP(SCALE), nodes=2, gear=g)
+            for g in ALL_GEARS
+        ]
+        + [GearSweepTask(cluster, Jacobi(SCALE), nodes=2, gears=(1, 4))]
+        + [CalibrationTask(cluster, EP(SCALE))]
+    )
+
+
+def _payloads(tasks, results):
+    return [
+        json.dumps(task.encode(result), sort_keys=True)
+        for task, result in zip(tasks, results)
+    ]
+
+
+class TestGrouping:
+    def test_units_form_by_shared_recording(self, tasks):
+        units = _form_units([(task, None) for task in tasks])
+        # 6 measurements -> 1 group, the sweep -> its own group, the
+        # calibration -> passthrough.
+        assert [(len(u.tasks), u.batch) for u in units] == [
+            (6, True),
+            (1, True),
+            (1, False),
+        ]
+
+    def test_gear_moved_points_group_but_node_moved_do_not(self, cluster):
+        mixed = [
+            MeasurementTask(cluster, EP(SCALE), nodes=2, gear=1),
+            MeasurementTask(cluster, EP(SCALE), nodes=4, gear=1),
+            MeasurementTask(cluster, EP(SCALE), nodes=2, gear=5),
+        ]
+        units = _form_units([(task, None) for task in mixed])
+        assert [len(u.tasks) for u in units] == [2, 1]
+        # First-seen order: the nodes=2 pair merged into the first unit.
+        assert [t.gear for t in units[0].tasks] == [1, 5]
+
+    def test_report_accounts_groups_and_passthrough(self, tasks):
+        report = BatchReport()
+        batch_sweep(tasks, report=report)
+        assert report.groups == 2
+        assert report.grouped_points == 7
+        assert report.passthrough_points == 1
+        assert report.fallbacks == []
+
+
+class TestMergeDeterminism:
+    """The regression the group-aware chunk sizing pins down.
+
+    Chunk sizes are computed from the number of *units*, not points:
+    with more workers than groups, a point-count chunk size would split
+    a recording's points across workers (duplicating the recording) or
+    leave the merge order at the mercy of completion order.  Serial,
+    pooled, and explicitly-chunked sweeps must produce byte-identical
+    payload lists.
+    """
+
+    def test_pooled_merge_is_byte_identical_to_serial(self, tasks):
+        serial = _payloads(tasks, batch_sweep(tasks, jobs=1))
+        pooled = _payloads(tasks, batch_sweep(tasks, jobs=4))
+        assert pooled == serial
+
+    def test_explicit_chunk_size_changes_nothing(self, tasks):
+        serial = _payloads(tasks, batch_sweep(tasks, jobs=1))
+        chunked = _payloads(tasks, batch_sweep(tasks, jobs=2, chunk_size=1))
+        assert chunked == serial
+
+    def test_chunks_count_units_not_points(self, tasks):
+        # 8 batchable points but only 3 units: auto-sizing on points
+        # would give chunks of 2+ units and idle half a 4-worker pool;
+        # sizing on units keeps one unit per chunk.
+        units = _form_units([(task, None) for task in tasks])
+        assert _auto_chunk_size(len(units), jobs=4) == 1
+
+    def test_more_workers_than_groups_still_groups_once(self, tasks):
+        report = BatchReport()
+        batch_sweep(tasks, jobs=8, report=report)
+        assert report.groups == 2  # recordings never split by the pool
+
+    def test_duplicate_point_keys_rejected(self, tasks):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            batch_sweep([tasks[0], tasks[0]])
+
+
+class TestCacheKeying:
+    def test_batch_keys_never_collide_with_event_keys(self, tasks):
+        for task in tasks[:7]:  # the batchable kinds
+            assert batch_cache_key(task) != cache_key(task)
+
+    def test_warm_cache_replays_identically(self, tasks, tmp_path):
+        cache = ResultCache(root=tmp_path / "batch-cache")
+        cold = _payloads(tasks, batch_sweep(tasks, cache=cache))
+        report = BatchReport()
+        warm = _payloads(
+            tasks, batch_sweep(tasks, cache=cache, report=report)
+        )
+        assert warm == cold
+        assert cache.stats.hits == len(tasks)
+        assert report.groups == 0  # nothing left to record
+
+    def test_event_executor_never_reads_batch_entries(self, tasks, tmp_path):
+        cache = ResultCache(root=tmp_path / "shared-cache")
+        batch_sweep(tasks, cache=cache)
+        hits_before = cache.stats.hits
+        sweep(tasks[:1], cache=cache)
+        # The event sweep missed: batch results are 1e-9-equivalent,
+        # not bitwise, so they must not shadow exact results.
+        assert cache.stats.hits == hits_before
+
+
+class TestBackendSelection:
+    def test_sweep_routes_batch_backend(self, tasks):
+        via_sweep = _payloads(
+            tasks, sweep(tasks, backend="batch")
+        )
+        direct = _payloads(tasks, batch_sweep(tasks))
+        assert via_sweep == direct
+
+    @pytest.mark.parametrize("make", [
+        lambda: Executor(backend="turbo"),
+        lambda: sweep([], backend="turbo"),
+    ])
+    def test_unknown_backend_fails_loudly(self, make):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            make()
+
+    def test_executor_accumulates_batch_report(self, tasks):
+        executor = Executor(backend="batch")
+        executor.run(tasks[:6])
+        executor.run(tasks[6:])
+        assert executor.batch_report is not None
+        assert executor.batch_report.groups == 2
+        assert executor.batch_report.passthrough_points == 1
+        assert "batch backend:" in executor.batch_report.summary()
+
+    def test_event_executor_has_no_batch_report(self):
+        assert Executor().batch_report is None

@@ -86,6 +86,10 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="gear grid"):
             spec(gears=(0,))
 
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            spec(backend="turbo")
+
     def test_bad_fast_forward_knobs_rejected_eagerly(self):
         with pytest.raises(ConfigurationError, match="fast-forward"):
             spec(fast_forward=(("warp_factor", 9),))
@@ -187,6 +191,22 @@ class TestIdentity:
         assert [cache_key(t) for t in base.tasks()] == [
             cache_key(t) for t in renamed.tasks()
         ]
+
+    def test_batch_backend_moves_the_fingerprint(self):
+        """Batch results cache apart, so the identity must track it —
+        but event specs keep their pre-field fingerprints exactly."""
+        event = spec()
+        batch = spec(backend="batch")
+        assert event.fingerprint() != batch.fingerprint()
+        assert "backend" not in event.identity()
+        assert batch.identity()["backend"] == "batch"
+
+    def test_backend_round_trips_and_defaults_to_event(self):
+        batch = spec(backend="batch")
+        assert ScenarioSpec.from_json(batch.to_json()) == batch
+        legacy = spec().to_dict()
+        del legacy["backend"]  # packs written before the field existed
+        assert ScenarioSpec.from_dict(legacy).backend == "event"
 
     def test_same_points_tracks_identity(self):
         assert spec().same_points(spec().renamed("other"))

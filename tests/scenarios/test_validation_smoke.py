@@ -58,6 +58,14 @@ class TestSmokeSweep:
         assert report.ff_skipped_iterations > 0
         assert report.ff_max_rel_err <= report.ff_rtol
 
+    def test_batch_backend_engaged_and_agreed(self, report):
+        """Batch twins actually folded points into shared recordings."""
+        assert report.batch_twins > 0
+        assert report.batch_grouped_points > 0
+        assert report.batch_groups < report.batch_grouped_points
+        assert report.batch_fallback_points == 0
+        assert report.batch_max_rel_err <= report.batch_rtol
+
     def test_report_serializes(self, report, tmp_path):
         import json
 
@@ -78,6 +86,12 @@ class TestReportSemantics:
     def test_not_ok_when_twins_never_skipped(self):
         report = ValidationReport(ff_twins=2, ff_skipped_iterations=0)
         assert not report.ok
+
+    def test_not_ok_when_batch_never_grouped(self):
+        report = ValidationReport(batch_twins=2, batch_grouped_points=0)
+        assert not report.ok
+        report.batch_grouped_points = 8
+        assert report.ok
 
     def test_mismatches_always_fail(self):
         from repro.scenarios.validation import Mismatch
