@@ -21,8 +21,17 @@ readable report (``BENCH_sim.json``):
 - **batch** — the same sweep through the record/replay batch backend
   (one macro-stepped recording, the whole gear grid revalued from the
   tape): speedup vs the event path AND vs the fast-forward path, the
-  worst per-gear relative error, and any grid points that fell back to
-  the event engine; the detail goes to ``BENCH_batch.json``.
+  record/replay/merge stage split, a persistent tape-cache cold/warm
+  pair, the worst per-gear relative error, and any grid points that
+  fell back to the event engine;
+- **grid_replay** — the vectorized gear-axis replay against the scalar
+  reference interpreter on the *same* certified tape, over a dense
+  16-gear menu (dense grids are what the optimizer layer downstream
+  sweeps): replay-only walls with the compile amortized, the
+  ``grid_over_scalar_speedup`` ratchet, per-gear vector/scalar/
+  divergence accounting, and the worst relative error.
+
+The batch and grid-replay details go to ``BENCH_batch.json``.
 
 ``--check-baseline`` compares throughput against the committed floor in
 ``benchmarks/BENCH_baseline.json`` and exits non-zero on a >20 %
@@ -248,18 +257,34 @@ def bench_batch(nodes: int = 4, iterations_scale: float = 10.0) -> dict:
         fast_forward=FastForwardConfig(max_period=4),
     )
     batch_sweep([task])  # warm-up: first call pays numpy dispatch setup
-    accounting = BatchReport()
     batch_holder: list = []
-
-    def run_batch() -> None:
-        accounting.groups = 0
-        accounting.grouped_points = 0
-        accounting.passthrough_points = 0
-        accounting.fallbacks = []
-        batch_holder[:] = batch_sweep([task], report=accounting)
-
-    batch_s = best_of(run_batch)
+    reports: list[BatchReport] = []
+    walls: list[float] = []
+    for _ in range(3):
+        fresh = BatchReport()
+        start = time.perf_counter()
+        batch_holder[:] = batch_sweep([task], report=fresh)
+        walls.append(time.perf_counter() - start)
+        reports.append(fresh)
+    batch_s = min(walls)
+    accounting = reports[walls.index(batch_s)]
     (batch,) = batch_holder
+
+    # Persistent tape cache: a cold sweep records and stores the tape,
+    # a warm sweep deserializes it instead of re-recording — the
+    # cross-invocation path the executor takes with caching on.
+    import tempfile
+
+    from repro.exec.cache import TapeCache
+
+    with tempfile.TemporaryDirectory(prefix="bench-tapes-") as tmp:
+        tape_cache = TapeCache(Path(tmp))
+        start = time.perf_counter()
+        batch_sweep([task], tape_cache=tape_cache)
+        tape_cold_s = time.perf_counter() - start
+        tape_warm_s = best_of(
+            lambda: batch_sweep([task], tape_cache=tape_cache)
+        )
 
     gears = []
     for a, b in zip(full.points, batch.points):
@@ -279,12 +304,107 @@ def bench_batch(nodes: int = 4, iterations_scale: float = 10.0) -> dict:
         "batch_s": batch_s,
         "speedup_vs_event": full_s / batch_s,
         "speedup_vs_fast_forward": fast_s / batch_s,
+        "stages": {
+            "record_s": accounting.record_s,
+            "replay_s": accounting.replay_s,
+            "merge_s": accounting.merge_s,
+        },
+        "tape_cache_cold_s": tape_cold_s,
+        "tape_cache_warm_s": tape_warm_s,
         "groups": accounting.groups,
         "fallback_points": accounting.fallback_points,
         "fallbacks": [
             {"point": f.point, "points": f.points, "reason": f.reason}
             for f in accounting.fallbacks
         ],
+        "max_rel_err": max(
+            max(g["time_rel_err"], g["energy_rel_err"]) for g in gears
+        ),
+        "gears": gears,
+    }
+
+
+def _dense_gear_cluster(menu_gears: int):
+    """The athlon cluster with an interpolated ``menu_gears``-step menu.
+
+    Frequencies 2000→800 MHz and voltages 1.5→1.0 V, both strictly
+    decreasing — the paper's six-gear endpoints, densified.  Dense gear
+    menus are what the optimizer layer downstream sweeps, and where
+    whole-grid revaluation amortizes its per-grid constant.
+    """
+    import dataclasses
+
+    from repro.cluster.gears import Gear, GearTable
+
+    base = athlon_cluster()
+    steps = []
+    for i in range(menu_gears):
+        frac = i / (menu_gears - 1)
+        steps.append(Gear(i + 1, 2000.0 - 1200.0 * frac, 1.5 - 0.5 * frac))
+    cpu = dataclasses.replace(base.node.cpu, gears=GearTable(tuple(steps)))
+    node = dataclasses.replace(base.node, cpu=cpu)
+    return dataclasses.replace(
+        base, node=node, name=f"{base.name}-dense{menu_gears}"
+    )
+
+
+def bench_grid_replay(
+    nodes: int = 4, iterations_scale: float = 10.0, menu_gears: int = 16
+) -> dict:
+    """Vectorized gear-axis replay vs the scalar reference interpreter.
+
+    Both modes revalue the *same* certified tape (a dense non-macro-
+    stepped 1000-iteration Jacobi recording, ~50k ops), so the timing
+    isolates exactly the tentpole: per-gear scalar walks vs one
+    ``(gears × ops)`` NumPy pass.  The compiled form is warmed first —
+    compilation is a one-time cost cached on the tape — and each mode
+    takes the best of three replay-only walls.
+    """
+    from repro.sim.batch import ReplayStats, record_tape, replay_grid
+
+    cluster = _dense_gear_cluster(menu_gears)
+    workload = Jacobi(iterations_scale)
+    tape = record_tape(cluster, workload, nodes=nodes, gear=1)
+    grid = list(cluster.gears.indices)
+
+    def best_of(fn, repeats: int = 3) -> float:
+        walls = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            walls.append(time.perf_counter() - start)
+        return min(walls)
+
+    replay_grid(tape, grid, mode="grid")  # warm: compile + numpy setup
+    replay_grid(tape, grid, mode="scalar")
+    grid_s = best_of(lambda: replay_grid(tape, grid, mode="grid"))
+    scalar_s = best_of(lambda: replay_grid(tape, grid, mode="scalar"))
+
+    stats = ReplayStats()
+    vector_results = replay_grid(tape, grid, mode="grid", stats=stats)
+    scalar_results = replay_grid(tape, grid, mode="scalar")
+    gears = []
+    for a, b in zip(scalar_results, vector_results):
+        gears.append(
+            {
+                "gear": a.gear,
+                "time_rel_err": abs(a.time - b.time) / a.time,
+                "energy_rel_err": abs(a.energy - b.energy) / a.energy,
+            }
+        )
+    return {
+        "workload": "Jacobi",
+        "iterations": workload.spec.iterations,
+        "nodes": nodes,
+        "menu_gears": menu_gears,
+        "tape_ops": sum(len(rank_ops) for rank_ops in tape.ops),
+        "grid_s": grid_s,
+        "scalar_s": scalar_s,
+        "grid_over_scalar_speedup": scalar_s / grid_s,
+        "vector_gears": stats.vector_gears,
+        "scalar_gears": stats.scalar_gears,
+        "divergent_gears": stats.divergent_gears,
+        "fallback_reasons": list(stats.fallback_reasons),
         "max_rel_err": max(
             max(g["time_rel_err"], g["energy_rel_err"]) for g in gears
         ),
@@ -306,6 +426,7 @@ def run_bench(scale: float, engine_events: int) -> dict:
     report["dispatch"] = bench_dispatch(scale)
     report["fast_forward"] = bench_fast_forward()
     report["batch"] = bench_batch()
+    report["grid_replay"] = bench_grid_replay()
     return report
 
 
@@ -360,6 +481,35 @@ def render_report(report: dict) -> str:
             f"max rel err {batch['max_rel_err']:.1e}{fell})",
         ]
     )
+    stages = batch["stages"]
+    table.add_row(
+        [
+            "batch stages",
+            f"record {stages['record_s']:.2f} s, "
+            f"replay {stages['replay_s']:.2f} s, "
+            f"merge {stages['merge_s']:.3f} s",
+        ]
+    )
+    table.add_row(
+        [
+            "batch tape cache",
+            f"cold {batch['tape_cache_cold_s']:.2f} s, "
+            f"warm {batch['tape_cache_warm_s']:.2f} s "
+            f"({batch['tape_cache_cold_s'] / batch['tape_cache_warm_s']:.1f}x)",
+        ]
+    )
+    grid = report["grid_replay"]
+    table.add_row(
+        [
+            f"grid replay ({grid['menu_gears']} gears, "
+            f"{grid['tape_ops']} ops)",
+            f"vector {grid['grid_s'] * 1e3:.0f} ms, "
+            f"scalar {grid['scalar_s'] * 1e3:.0f} ms "
+            f"({grid['grid_over_scalar_speedup']:.1f}x, "
+            f"max rel err {grid['max_rel_err']:.1e}, "
+            f"{grid['divergent_gears']} divergent)",
+        ]
+    )
     return table.render()
 
 
@@ -410,6 +560,30 @@ def check_baseline(report: dict, path: Path) -> list[str]:
             f"{batch['fallback_points']} batch grid point(s) fell back to "
             "the event engine — the Jacobi sweep must certify cleanly: "
             + "; ".join(f["reason"] for f in batch["fallbacks"])
+        )
+    grid = report["grid_replay"]
+    floor = baseline.get("grid_over_scalar_speedup")
+    if floor is not None and grid["grid_over_scalar_speedup"] < floor:
+        failures.append(
+            f"vectorized grid replay {grid['grid_over_scalar_speedup']:.1f}x "
+            f"over scalar is below the baseline floor ({floor:.1f}x)"
+        )
+    if grid["max_rel_err"] > 1e-9:
+        failures.append(
+            f"grid-replay equivalence error {grid['max_rel_err']:.2e} "
+            "exceeds 1e-9 — the vectorized walk is drifting from the "
+            "scalar interpreter"
+        )
+    if (
+        grid["scalar_gears"]
+        or grid["divergent_gears"]
+        or grid["fallback_reasons"]
+    ):
+        failures.append(
+            f"vectorized replay silently narrowed: {grid['scalar_gears']} "
+            f"scalar gear(s), {grid['divergent_gears']} divergent, "
+            f"reasons {grid['fallback_reasons']!r} — the dense Jacobi menu "
+            "must revalue fully vectorized"
         )
     return failures
 
@@ -467,7 +641,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[fast-forward equivalence written to {equivalence}]")
     batch_detail = Path(args.output).parent / "BENCH_batch.json"
     batch_detail.write_text(
-        json.dumps(report["batch"], indent=2, sort_keys=True) + "\n"
+        json.dumps(
+            {"batch": report["batch"], "grid_replay": report["grid_replay"]},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
     )
     print(f"[batch backend detail written to {batch_detail}]")
     if args.check_baseline:

@@ -13,8 +13,19 @@ experiment whose inputs have not changed costs one JSON read per point.
 the experiment harness (``repro.experiments``) passes around.
 """
 
-from repro.exec.batch_sweep import BatchFallback, BatchReport, batch_sweep
-from repro.exec.cache import CacheStats, ResultCache, default_cache_dir
+from repro.exec.batch_sweep import (
+    BatchFallback,
+    BatchReport,
+    batch_sweep,
+    tape_key,
+)
+from repro.exec.cache import (
+    CacheStats,
+    ResultCache,
+    TapeCache,
+    default_cache_dir,
+    default_tape_dir,
+)
 from repro.exec.executor import Executor
 from repro.exec.fingerprint import code_version_token, fingerprint, jsonable
 from repro.exec.profile import ExecProfile, TaskTiming
@@ -39,11 +50,14 @@ __all__ = [
     "PolicyMeasurementTask",
     "ResultCache",
     "SimTask",
+    "TapeCache",
     "TaskTiming",
     "batch_sweep",
     "code_version_token",
     "default_cache_dir",
+    "default_tape_dir",
     "fingerprint",
     "jsonable",
     "sweep",
+    "tape_key",
 ]

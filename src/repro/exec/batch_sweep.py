@@ -32,6 +32,27 @@ not points — :func:`repro.exec.sweep._auto_chunk_size` is applied to the
 group count, so one recording is never split across workers and a sweep
 of few large groups still fans out group-per-worker.
 
+Recordings are the serial bottleneck once replay is vectorized, so they
+are handled as a stage of their own:
+
+- **Tape cache** — with ``tape_cache`` set, every batch group's
+  recording is serialized (:func:`repro.sim.batch.tape_to_payload`)
+  into a persistent :class:`~repro.exec.cache.TapeCache` under
+  :func:`tape_key` — the fingerprint of the group's configuration
+  *minus the gear axis* plus the recording gear, the code-version
+  token, and the tape format version.  Later sweeps (same process or
+  not) deserialize instead of re-recording; the replay-time self-check
+  still runs on every loaded tape, so a stale or corrupt entry rejects
+  itself into the exact event fallback.
+- **Parallel recording** — with ``jobs > 1`` the missing tapes are
+  recorded first, one pool task per distinct tape key, before any unit
+  chunk is dispatched; units then load their tape from the cache (an
+  ephemeral sweep-local store when no ``tape_cache`` was given).  A
+  sweep of N groups thus records N-wide instead of chunk-by-chunk.
+- **Stage timings** — :class:`BatchReport` splits the wall into
+  record/replay/merge so the dominant stage is visible in the CLI
+  summary and the bench harness.
+
 Tasks that cannot batch (calibration, policy runs — their structure is
 gear-dependent by design) pass through on the event engine with their
 normal cache keys, inside the same deterministic merge.
@@ -39,13 +60,15 @@ normal cache keys, inside the same deterministic merge.
 
 from __future__ import annotations
 
-import math
+import tempfile
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from contextlib import ExitStack
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Sequence
 
-from repro.exec.cache import ResultCache
+from repro.exec.cache import ResultCache, TapeCache
 from repro.exec.fingerprint import code_version_token, fingerprint
 from repro.exec.profile import SOURCE_CACHE, SOURCE_RUN, ExecProfile, TaskTiming
 from repro.exec.sweep import _auto_chunk_size, _ff_skipped, _point_error, cache_key
@@ -60,6 +83,10 @@ BACKEND_TOKEN = "batch"
 #: Backends :func:`repro.exec.sweep.sweep` accepts.
 BACKENDS = ("event", "batch")
 
+#: Replay modes :func:`batch_sweep` accepts (see
+#: :func:`repro.sim.batch.replay_grid`).
+REPLAY_MODES = ("grid", "scalar")
+
 
 def batch_cache_key(task: SimTask) -> str:
     """Cache key of a point executed through the batch backend."""
@@ -68,6 +95,47 @@ def batch_cache_key(task: SimTask) -> str:
             "task": task.describe(),
             "code_version": code_version_token(),
             "backend": BACKEND_TOKEN,
+        }
+    )
+
+
+def _recording_gear(task: SimTask) -> int:
+    """The gear a group led by ``task`` records at.
+
+    Mirrors :func:`repro.sim.batch.batch_gear_grid`: the first gear of
+    the requested grid.  Deterministic per group, so the tape key is
+    stable across invocations.
+    """
+    if type(task) is GearSweepTask:
+        if task.gears is not None:
+            return task.gears[0]
+        return list(task.cluster.gears.indices)[0]
+    return task.gear  # type: ignore[attr-defined]
+
+
+def tape_key(task: SimTask, recording_gear: int) -> str:
+    """Persistent-cache key of the tape a group led by ``task`` shares.
+
+    The fingerprint covers the task description *minus the gear axis*
+    (``kind``/``gear``/``gears`` dropped — a recording is reusable by
+    any grid over the same configuration, and a
+    :class:`~repro.exec.tasks.GearSweepTask` can share a tape with a
+    :class:`~repro.exec.tasks.MeasurementTask` group), plus the
+    recording gear, the code-version token, and the tape format
+    version, so stale tapes are never hit and
+    :meth:`~repro.exec.cache.ResultCache.prune` invalidates them.
+    """
+    from repro.sim.batch import TAPE_FORMAT_VERSION
+
+    desc = dict(task.describe())
+    for axis in ("kind", "gear", "gears"):
+        desc.pop(axis, None)
+    return fingerprint(
+        {
+            "recording": desc,
+            "recording_gear": recording_gear,
+            "code_version": code_version_token(),
+            "tape_format": TAPE_FORMAT_VERSION,
         }
     )
 
@@ -94,12 +162,28 @@ class BatchReport:
         passthrough_points: non-batchable points run on the event engine.
         fallbacks: groups whose recording could not be certified and were
             re-run point-by-point on the event engine.
+        tape_cache_enabled: whether a persistent tape cache was in play.
+        tape_hits: distinct tapes loaded from the persistent cache
+            instead of re-recorded.
+        tape_misses: distinct tapes that had to be recorded (and were
+            stored for the next sweep).
+        record_s: seconds spent executing recording runs (in-worker
+            when pooled — IPC and pool startup excluded).
+        replay_s: seconds spent revaluing gear grids from tapes.
+        merge_s: parent-side seconds scattering unit results back to
+            sweep order and writing the result cache.
     """
 
     groups: int = 0
     grouped_points: int = 0
     passthrough_points: int = 0
     fallbacks: list[BatchFallback] = field(default_factory=list)
+    tape_cache_enabled: bool = False
+    tape_hits: int = 0
+    tape_misses: int = 0
+    record_s: float = 0.0
+    replay_s: float = 0.0
+    merge_s: float = 0.0
 
     @property
     def fallback_points(self) -> int:
@@ -107,15 +191,30 @@ class BatchReport:
         return sum(f.points for f in self.fallbacks)
 
     def summary(self) -> str:
-        """One human-readable line for CLI/bench reporting."""
+        """One human-readable summary for CLI/bench reporting.
+
+        Always names the fallback count (zero included — silence is not
+        a signal), the tape-cache hit/miss counts when a persistent
+        cache was in play, and the record/replay/merge stage split.
+        """
         line = (
             f"batch backend: {self.grouped_points} point(s) in "
             f"{self.groups} group(s)"
         )
         if self.passthrough_points:
             line += f", {self.passthrough_points} passthrough"
+        line += f", {len(self.fallbacks)} fallback(s)"
+        if self.tape_cache_enabled:
+            line += (
+                f"; tape cache: {self.tape_hits} hit(s), "
+                f"{self.tape_misses} miss(es)"
+            )
+        line += (
+            f"; stages: record {self.record_s:.3f}s, "
+            f"replay {self.replay_s:.3f}s, merge {self.merge_s:.3f}s"
+        )
         if self.fallbacks:
-            line += f", {self.fallback_points} fell back to event engine:"
+            line += f", {self.fallback_points} point(s) fell back:"
             for fb in self.fallbacks:
                 line += f"\n  {fb.point}: {fb.reason}"
         return line
@@ -129,6 +228,19 @@ class _Unit:
     #: Positions of each task in the pending list (for the merge).
     indices: list[int]
     batch: bool
+    #: Persistent-cache key of the group's tape (batch units only).
+    tape_key: str | None = None
+    #: Gear the group's recording runs at (batch units only).
+    rec_gear: int | None = None
+    #: Certification failure from the parallel-recording phase; set on
+    #: every unit sharing the failed tape so each falls back without
+    #: re-attempting the recording.
+    prefail: str | None = None
+    #: Warm-phase recording seconds attributed to this unit (first
+    #: owner of a freshly recorded tape) for profile-row accounting.
+    warm_s: float = 0.0
+    #: Warm-phase fast-forwarded iterations attributed likewise.
+    warm_skipped: int = 0
 
 
 def _group_token(task: SimTask) -> tuple | None:
@@ -171,41 +283,138 @@ def _form_units(pending: Sequence[tuple[SimTask, str | None]]) -> list[_Unit]:
     return units
 
 
-def _run_unit(
-    tasks: Sequence[SimTask], batch: bool
-) -> tuple[list[Any], str | None]:
-    """Execute one unit; returns (results in task order, fallback reason).
+def _load_tape(cluster: Any, tape_root: Path, key: str) -> Any | None:
+    """Deserialize a cached tape, or None on miss/corruption/version skew.
 
-    Any :class:`~repro.sim.batch.BatchUnsupported` — from certification
-    or from the recording-gear self-check — downgrades the whole unit to
-    per-point event-engine runs, which are exact by definition.
+    A payload that does not decode (format bump, truncated write an
+    atomic rename should have prevented, hand-edited entry) is treated
+    as a miss — the caller re-records.  A payload that decodes but no
+    longer matches its recording totals is caught later by the replay
+    self-check, which rejects the whole tape into the event fallback.
     """
-    from repro.sim.batch import BatchUnsupported, batch_gear_grid, batch_gear_sweep
+    from repro.sim.batch import tape_from_payload
 
-    if batch:
-        try:
-            first = tasks[0]
-            if type(first) is GearSweepTask:
-                return [
-                    batch_gear_sweep(
-                        first.cluster,
-                        first.workload,
-                        nodes=first.nodes,
-                        gears=first.gears,
-                        fast_forward=first.fast_forward,
-                    )
-                ], None
-            measurements = batch_gear_grid(
-                first.cluster,
-                first.workload,
-                nodes=first.nodes,
-                gears=[t.gear for t in tasks],  # type: ignore[union-attr]
-                fast_forward=first.fast_forward,
+    payload = TapeCache(tape_root).load(key)
+    if payload is None:
+        return None
+    try:
+        return tape_from_payload(cluster, payload)
+    except (ValueError, KeyError, TypeError, IndexError):
+        return None
+
+
+def _record_tape_job(
+    task: SimTask, rec_gear: int, tape_root: Path, key: str
+) -> tuple[str | None, float, int]:
+    """Record one group's tape into the cache (parallel-recording phase).
+
+    Returns (certification-failure reason or None, in-worker recording
+    seconds, fast-forwarded iterations) — plain values so the tuple
+    pickles back from a pool worker.
+    """
+    from repro.sim.batch import BatchUnsupported, record_tape, tape_to_payload
+
+    start = time.perf_counter()
+    skipped_before = _ff_skipped(task)
+    try:
+        tape = record_tape(
+            task.cluster,  # type: ignore[attr-defined]
+            task.workload,  # type: ignore[attr-defined]
+            nodes=task.nodes,  # type: ignore[attr-defined]
+            gear=rec_gear,
+            fast_forward=getattr(task, "fast_forward", None),
+        )
+    except BatchUnsupported as exc:
+        return (
+            str(exc),
+            time.perf_counter() - start,
+            _ff_skipped(task) - skipped_before,
+        )
+    TapeCache(tape_root).store(key, tape_to_payload(tape))
+    return (
+        None,
+        time.perf_counter() - start,
+        _ff_skipped(task) - skipped_before,
+    )
+
+
+def _run_unit(
+    tasks: Sequence[SimTask],
+    batch: bool,
+    *,
+    replay_mode: str = "grid",
+    tape_root: Path | None = None,
+    tape_key: str | None = None,
+    prefail: str | None = None,
+) -> tuple[list[Any], str | None, float, float]:
+    """Execute one unit.
+
+    Returns (results in task order, fallback reason, recording seconds,
+    replay seconds).  Any :class:`~repro.sim.batch.BatchUnsupported` —
+    from certification, from the recording-gear self-check, or carried
+    in as ``prefail`` from the parallel-recording phase — downgrades
+    the whole unit to per-point event-engine runs, which are exact by
+    definition.  With a tape store available the recording is loaded
+    from it when present and stored into it when fresh.
+    """
+    from repro.sim.batch import (
+        BatchUnsupported,
+        batch_gear_grid,
+        batch_gear_sweep,
+        record_tape,
+        tape_to_payload,
+    )
+
+    if not batch:
+        return [task.run() for task in tasks], None, 0.0, 0.0
+    if prefail is not None:
+        return [task.run() for task in tasks], prefail, 0.0, 0.0
+    first = tasks[0]
+    record_s = 0.0
+    try:
+        tape = None
+        if tape_root is not None and tape_key is not None:
+            tape = _load_tape(first.cluster, tape_root, tape_key)  # type: ignore[attr-defined]
+        if tape is None:
+            rec_start = time.perf_counter()
+            tape = record_tape(
+                first.cluster,  # type: ignore[attr-defined]
+                first.workload,  # type: ignore[attr-defined]
+                nodes=first.nodes,  # type: ignore[attr-defined]
+                gear=_recording_gear(first),
+                fast_forward=getattr(first, "fast_forward", None),
             )
-            return list(measurements), None
-        except BatchUnsupported as exc:
-            return [task.run() for task in tasks], str(exc)
-    return [task.run() for task in tasks], None
+            record_s = time.perf_counter() - rec_start
+            if tape_root is not None and tape_key is not None:
+                TapeCache(tape_root).store(tape_key, tape_to_payload(tape))
+        replay_start = time.perf_counter()
+        if type(first) is GearSweepTask:
+            results: list[Any] = [
+                batch_gear_sweep(
+                    first.cluster,
+                    first.workload,
+                    nodes=first.nodes,
+                    gears=first.gears,
+                    fast_forward=first.fast_forward,
+                    replay_mode=replay_mode,
+                    tape=tape,
+                )
+            ]
+        else:
+            results = list(
+                batch_gear_grid(
+                    first.cluster,  # type: ignore[attr-defined]
+                    first.workload,  # type: ignore[attr-defined]
+                    nodes=first.nodes,  # type: ignore[attr-defined]
+                    gears=[t.gear for t in tasks],  # type: ignore[union-attr]
+                    fast_forward=getattr(first, "fast_forward", None),
+                    replay_mode=replay_mode,
+                    tape=tape,
+                )
+            )
+        return results, None, record_s, time.perf_counter() - replay_start
+    except BatchUnsupported as exc:
+        return [task.run() for task in tasks], str(exc), record_s, 0.0
 
 
 class _UnitPointError(Exception):
@@ -221,20 +430,30 @@ class _UnitPointError(Exception):
 
 
 def _execute_unit_chunk(
-    chunk: Sequence[tuple[list[SimTask], bool]],
-) -> list[tuple[list[Any], str | None, float, int]]:
+    chunk: Sequence[tuple[list[SimTask], bool, str | None, str | None]],
+    tape_root: Path | None = None,
+    replay_mode: str = "grid",
+) -> list[tuple[list[Any], str | None, float, int, float, float]]:
     """Run a chunk of units in one worker call.
 
     Per unit: (results, fallback reason, in-worker wall seconds,
-    fast-forwarded iterations) — mirrors the event pool's in-worker
-    accounting so IPC and startup stay excluded.
+    fast-forwarded iterations, recording seconds, replay seconds) —
+    mirrors the event pool's in-worker accounting so IPC and startup
+    stay excluded.
     """
     out = []
-    for index, (tasks, batch) in enumerate(chunk):
+    for index, (tasks, batch, key, prefail) in enumerate(chunk):
         start = time.perf_counter()
         skipped_before = _ff_skipped(tasks[0])
         try:
-            results, fallback = _run_unit(tasks, batch)
+            results, fallback, record_s, replay_s = _run_unit(
+                tasks,
+                batch,
+                replay_mode=replay_mode,
+                tape_root=tape_root,
+                tape_key=key,
+                prefail=prefail,
+            )
         except Exception as exc:
             raise _UnitPointError(index, exc) from exc
         out.append(
@@ -243,6 +462,8 @@ def _execute_unit_chunk(
                 fallback,
                 time.perf_counter() - start,
                 _ff_skipped(tasks[0]) - skipped_before,
+                record_s,
+                replay_s,
             )
         )
     return out
@@ -256,19 +477,40 @@ def batch_sweep(
     profile: ExecProfile | None = None,
     chunk_size: int | None = None,
     report: BatchReport | None = None,
+    tape_cache: TapeCache | None = None,
+    replay_mode: str = "grid",
 ) -> list[Any]:
     """The batch-backend twin of :func:`repro.exec.sweep.sweep`.
 
     Same arguments and guarantees, minus ``observer`` (observed sweeps
     are routed to the event path by ``sweep`` itself — a replayed tape
-    produces no events to observe).  ``report`` accumulates grouping and
-    fallback accounting across calls when provided.
+    produces no events to observe).  ``report`` accumulates grouping,
+    fallback, tape-cache, and stage-timing accounting across calls when
+    provided.
+
+    Args:
+        tape_cache: optional persistent store of serialized recordings;
+            groups whose tape is present skip re-recording entirely
+            (across processes and executor invocations — the key pins
+            configuration, recording gear, and code version), and fresh
+            recordings are stored for the next sweep.  ``None`` keeps
+            recordings sweep-local (a temporary store still backs the
+            parallel-recording phase when ``jobs > 1``).
+        replay_mode: ``"grid"`` (default) revalues each group's gear
+            grid in one vectorized pass; ``"scalar"`` forces the
+            per-gear reference interpreter (see
+            :func:`repro.sim.batch.replay_grid`).
     """
     ordered: Sequence[SimTask] = list(tasks)
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if chunk_size is not None and chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if replay_mode not in REPLAY_MODES:
+        known = ", ".join(repr(m) for m in REPLAY_MODES)
+        raise ConfigurationError(
+            f"unknown replay mode {replay_mode!r}; choose from {known}"
+        )
     seen: set[tuple] = set()
     for task in ordered:
         if task.key in seen:
@@ -304,6 +546,10 @@ def batch_sweep(
             pending.append((task, None))
 
     units = _form_units(pending)
+    for unit in units:
+        if unit.batch:
+            unit.rec_gear = _recording_gear(unit.tasks[0])
+            unit.tape_key = tape_key(unit.tasks[0], unit.rec_gear)
     if report is not None:
         for unit in units:
             if unit.batch:
@@ -311,7 +557,23 @@ def batch_sweep(
                 report.grouped_points += len(unit.tasks)
             else:
                 report.passthrough_points += len(unit.tasks)
+        if tape_cache is not None:
+            # Parent-side hit/miss attribution, counted per distinct
+            # tape (cross-kind units can share one) before anything
+            # runs — workers rebuild their own cache handles, so their
+            # CacheStats never travel back.
+            report.tape_cache_enabled = True
+            counted: set[str] = set()
+            for unit in units:
+                if not unit.batch or unit.tape_key in counted:
+                    continue
+                counted.add(unit.tape_key)  # type: ignore[arg-type]
+                if tape_cache.contains(unit.tape_key):  # type: ignore[arg-type]
+                    report.tape_hits += 1
+                else:
+                    report.tape_misses += 1
 
+    tape_root = Path(tape_cache.root) if tape_cache is not None else None
     computed: list[Any] = [None] * len(pending)
     if jobs > 1 and len(units) > 1:
         # Group-aware chunking: size the chunks on the number of UNITS,
@@ -319,16 +581,39 @@ def batch_sweep(
         # sweep of few large groups still spreads group-per-worker
         # instead of splitting a recording (or idling the pool).
         size = chunk_size or _auto_chunk_size(len(units), jobs)
-        _run_units_pool(units, jobs, size, computed, profile, report)
-        if profile is not None:
-            nchunks = math.ceil(len(units) / size)
-            profile.workers = max(profile.workers, min(jobs, nchunks))
+        with ExitStack() as stack:
+            pool_root = tape_root
+            if pool_root is None and any(unit.batch for unit in units):
+                # No persistent cache: an ephemeral sweep-local store
+                # still lets the parallel-recording phase hand tapes to
+                # the unit workers without a second IPC round-trip.
+                pool_root = Path(
+                    stack.enter_context(
+                        tempfile.TemporaryDirectory(prefix="repro-tapes-")
+                    )
+                )
+            _run_units_pool(
+                units,
+                jobs,
+                size,
+                computed,
+                profile,
+                report,
+                pool_root,
+                replay_mode,
+            )
     else:
         for unit in units:
             start = time.perf_counter()
             skipped_before = _ff_skipped(unit.tasks[0])
             try:
-                unit_results, fallback = _run_unit(unit.tasks, unit.batch)
+                unit_results, fallback, record_s, replay_s = _run_unit(
+                    unit.tasks,
+                    unit.batch,
+                    replay_mode=replay_mode,
+                    tape_root=tape_root,
+                    tape_key=unit.tape_key,
+                )
             except Exception as exc:
                 raise _point_error(unit.tasks[0], exc) from exc
             _merge_unit(
@@ -340,8 +625,11 @@ def batch_sweep(
                 computed,
                 profile,
                 report,
+                record_s=record_s,
+                replay_s=replay_s,
             )
 
+    merge_start = time.perf_counter()
     for i, ((task, key), result) in enumerate(zip(pending, computed)):
         results[task.key] = result
         store_s = 0.0
@@ -363,6 +651,8 @@ def batch_sweep(
                 store_s=store_s,
                 ff_skipped=timing.ff_skipped,
             )
+    if report is not None:
+        report.merge_s += time.perf_counter() - merge_start
     if profile is not None:
         profile.wall_s += time.perf_counter() - sweep_start
     return [results[task.key] for task in ordered]
@@ -377,36 +667,109 @@ def _merge_unit(
     computed: list[Any],
     profile: ExecProfile | None,
     report: BatchReport | None,
+    *,
+    record_s: float = 0.0,
+    replay_s: float = 0.0,
 ) -> None:
     """Scatter a unit's results back to their sweep positions.
 
     Profile rows synthesize per-point cost from the shared recording:
-    the unit's wall time is split evenly, so the rows still sum to the
-    measured unit wall and per-sweep totals stay meaningful.  The
-    fast-forward delta (the recording's jumps) is attributed to the
-    first point, mirroring how the ledger would see one recording run.
+    the unit's wall time (plus any warm-phase recording attributed to
+    this unit) is split evenly, so the rows still sum to the measured
+    walls and per-sweep totals stay meaningful.  The fast-forward delta
+    (the recording's jumps) is attributed to the first point, mirroring
+    how the ledger would see one recording run.
     """
+    merge_start = time.perf_counter()
     for index, result in zip(unit.indices, unit_results):
         computed[index] = result
-    if fallback is not None and report is not None:
-        report.fallbacks.append(
-            BatchFallback(
-                point=str(unit.tasks[0].key),
-                points=len(unit.tasks),
-                reason=fallback,
+    if report is not None:
+        report.record_s += record_s
+        report.replay_s += replay_s
+        if fallback is not None:
+            report.fallbacks.append(
+                BatchFallback(
+                    point=str(unit.tasks[0].key),
+                    points=len(unit.tasks),
+                    reason=fallback,
+                )
             )
-        )
     if profile is not None:
-        share = unit_s / len(unit.tasks)
+        share = (unit_s + unit.warm_s) / len(unit.tasks)
+        skipped_total = ff_skipped + unit.warm_skipped
         for i, task in enumerate(unit.tasks):
             profile.add(
                 TaskTiming(
                     key=str(task.key),
                     source=SOURCE_RUN,
                     seconds=share,
-                    ff_skipped=ff_skipped if i == 0 else 0,
+                    ff_skipped=skipped_total if i == 0 else 0,
                 )
             )
+    if report is not None:
+        report.merge_s += time.perf_counter() - merge_start
+
+
+def _missing_tapes(
+    units: Sequence[_Unit], tape_root: Path
+) -> dict[str, list[_Unit]]:
+    """Batch units whose tape is absent from the store, keyed by tape.
+
+    Cross-kind units can share one tape key; the list preserves unit
+    order so warm-phase accounting lands on the first owner.
+    """
+    store = TapeCache(tape_root)
+    missing: dict[str, list[_Unit]] = {}
+    for unit in units:
+        if unit.batch and unit.tape_key is not None:
+            if not store.contains(unit.tape_key):
+                missing.setdefault(unit.tape_key, []).append(unit)
+    return missing
+
+
+def _warm_tapes(
+    missing: dict[str, list[_Unit]],
+    pool: ProcessPoolExecutor,
+    tape_root: Path,
+    report: BatchReport | None,
+) -> None:
+    """Record every missing tape in parallel, one pool task per tape.
+
+    Recording is the serial bottleneck once replay is vectorized, so it
+    fans out recording-per-worker *before* unit chunks are formed — a
+    sweep of N fresh groups records N-wide even when chunking would
+    have packed those groups onto fewer workers.  A certification
+    failure marks every owning unit ``prefail`` so each falls back to
+    the event engine without re-attempting the recording; the
+    fast-forward skip delta folds into the parent ledger exactly like
+    the event pool does.
+    """
+    futures = {
+        key: pool.submit(
+            _record_tape_job, owners[0].tasks[0], owners[0].rec_gear,
+            tape_root, key,
+        )
+        for key, owners in missing.items()
+    }
+    wait(futures.values(), return_when=FIRST_EXCEPTION)
+    for key, future in futures.items():
+        owners = missing[key]
+        try:
+            fail, record_s, skipped = future.result()
+        except Exception as exc:
+            for other in futures.values():
+                other.cancel()
+            raise _point_error(owners[0].tasks[0], exc) from exc
+        if report is not None:
+            report.record_s += record_s
+        config = getattr(owners[0].tasks[0], "fast_forward", None)
+        if config is not None and skipped:
+            config.aggregate.skipped_iterations += skipped
+        owners[0].warm_s += record_s
+        owners[0].warm_skipped += skipped
+        if fail is not None:
+            for unit in owners:
+                unit.prefail = fail
 
 
 def _run_units_pool(
@@ -416,19 +779,36 @@ def _run_units_pool(
     computed: list[Any],
     profile: ExecProfile | None,
     report: BatchReport | None,
+    tape_root: Path | None,
+    replay_mode: str,
 ) -> None:
-    """Fan unit chunks out to a process pool; merge in unit order."""
+    """Fan unit chunks out to a process pool; merge in unit order.
+
+    Two pool phases on one worker pool: first the parallel-recording
+    phase fills the tape store (see :func:`_warm_tapes`), then unit
+    chunks replay from it.
+    """
     chunks = [
         list(units[i : i + chunk_size])
         for i in range(0, len(units), chunk_size)
     ]
-    payloads = [
-        [(unit.tasks, unit.batch) for unit in chunk] for chunk in chunks
-    ]
-    workers = min(jobs, len(chunks))
+    missing = _missing_tapes(units, tape_root) if tape_root is not None else {}
+    workers = min(jobs, max(len(chunks), len(missing)))
+    if profile is not None:
+        profile.workers = max(profile.workers, workers)
     with ProcessPoolExecutor(max_workers=workers) as pool:
+        if missing:
+            _warm_tapes(missing, pool, tape_root, report)  # type: ignore[arg-type]
+        payloads = [
+            [
+                (unit.tasks, unit.batch, unit.tape_key, unit.prefail)
+                for unit in chunk
+            ]
+            for chunk in chunks
+        ]
         futures = [
-            pool.submit(_execute_unit_chunk, payload) for payload in payloads
+            pool.submit(_execute_unit_chunk, payload, tape_root, replay_mode)
+            for payload in payloads
         ]
         wait(futures, return_when=FIRST_EXCEPTION)
         for chunk, future in zip(chunks, futures):
@@ -444,9 +824,14 @@ def _run_units_pool(
                 for other in futures:
                     other.cancel()
                 raise _point_error(chunk[0].tasks[0], exc) from exc
-            for unit, (unit_results, fallback, unit_s, skipped) in zip(
-                chunk, outcomes
-            ):
+            for unit, (
+                unit_results,
+                fallback,
+                unit_s,
+                skipped,
+                record_s,
+                replay_s,
+            ) in zip(chunk, outcomes):
                 # Workers mutate their own pickled fast-forward config;
                 # fold the recording's skip count back into the parent
                 # ledger exactly like the event pool does.
@@ -462,4 +847,6 @@ def _run_units_pool(
                     computed,
                     profile,
                     report,
+                    record_s=record_s,
+                    replay_s=replay_s,
                 )

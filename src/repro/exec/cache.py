@@ -48,6 +48,16 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def default_tape_dir() -> Path:
+    """The tape-cache root: a ``tapes/`` subdirectory of the cache root.
+
+    Nested under the result cache so one ``$REPRO_CACHE_DIR`` override
+    relocates both.  The result cache's entry glob (``??/*.json``) never
+    descends into ``tapes/``, so the two stores cannot shadow each other.
+    """
+    return default_cache_dir() / "tapes"
+
+
 def env_max_bytes() -> int | None:
     """The ``$REPRO_CACHE_MAX_MB`` bound in bytes, or None when unset.
 
@@ -115,6 +125,16 @@ class ResultCache:
 
     def _entry_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists under ``key`` (no stats update).
+
+        A pure existence probe: it does not read, validate, or discard
+        the entry, so a later :meth:`load` still performs (and counts)
+        the real lookup.  Used by callers that want to attribute
+        hit/miss accounting before handing the key to a worker process.
+        """
+        return self._entry_path(key).is_file()
 
     def load(self, key: str) -> Any | None:
         """Payload stored under ``key``, or None on a miss.
@@ -245,3 +265,21 @@ class ResultCache:
             total_bytes -= size
             removed += 1
         return removed
+
+
+@dataclass
+class TapeCache(ResultCache):
+    """Content-addressed store of serialized batch-replay tapes.
+
+    Same mechanics as :class:`ResultCache` — atomic writes, corrupt-entry
+    invalidation, :meth:`~ResultCache.prune` honoring
+    ``max_entries``/``max_bytes``/``$REPRO_CACHE_MAX_MB`` — but rooted at
+    :func:`default_tape_dir` and holding
+    :func:`repro.sim.batch.tape_to_payload` documents keyed by
+    :func:`repro.exec.batch_sweep.tape_key`.  Kept as a separate store
+    (not more entries in the result cache) because tapes are an order of
+    magnitude larger than point payloads and are evicted on their own
+    LRU clock.
+    """
+
+    root: Path = field(default_factory=default_tape_dir)

@@ -12,9 +12,10 @@ changes behind anyone's back.
 from __future__ import annotations
 
 import dataclasses
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
 
-from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.cache import CacheStats, ResultCache, TapeCache
 from repro.exec.profile import ExecProfile
 from repro.exec.sweep import sweep
 from repro.exec.tasks import SimTask
@@ -54,8 +55,16 @@ class Executor:
             once and replays their whole gear grid in one vectorized
             pass (see :mod:`repro.exec.batch_sweep`).  Batch results
             agree with event results to ~1e-9 and cache under distinct
-            keys; the :attr:`batch_report` accumulates grouping and
-            event-engine fallback accounting across sweeps.
+            keys; the :attr:`batch_report` accumulates grouping,
+            event-engine fallback, tape-cache, and stage-timing
+            accounting across sweeps.
+        tape_cache: persistent store of batch recordings
+            (:class:`repro.exec.cache.TapeCache`) so later sweeps and
+            invocations skip re-recording.  ``None`` (the default)
+            derives one under the result cache's root (``<cache
+            root>/tapes``) whenever the batch backend and a result
+            cache are both active — opt out with ``False``.  Ignored
+            by the event backend.
     """
 
     def __init__(
@@ -68,6 +77,7 @@ class Executor:
         chunk_size: int | None = None,
         fast_forward: "FastForwardConfig | None" = None,
         backend: str = "event",
+        tape_cache: TapeCache | bool | None = None,
     ):
         from repro.exec.batch_sweep import BACKENDS, BatchReport
 
@@ -89,7 +99,14 @@ class Executor:
         self.chunk_size = chunk_size
         self.fast_forward = fast_forward
         self.backend = backend
-        #: Grouping/fallback accounting; populated only under "batch".
+        if tape_cache is None and backend == "batch" and cache is not None:
+            tape_cache = TapeCache(Path(cache.root) / "tapes")
+        elif not isinstance(tape_cache, TapeCache):
+            tape_cache = None
+        #: Persistent batch-recording store; None when caching is off,
+        #: the backend is "event", or the caller passed ``False``.
+        self.tape_cache: TapeCache | None = tape_cache
+        #: Grouping/fallback/stage accounting; populated under "batch".
         self.batch_report = BatchReport() if backend == "batch" else None
 
     def _with_fast_forward(self, task: SimTask) -> SimTask:
@@ -119,6 +136,7 @@ class Executor:
             chunk_size=self.chunk_size,
             backend=self.backend,
             batch_report=self.batch_report,
+            tape_cache=self.tape_cache,
         )
 
     @property

@@ -147,6 +147,8 @@ def sweep(
     chunk_size: int | None = None,
     backend: str = "event",
     batch_report: Any = None,
+    tape_cache: Any = None,
+    replay_mode: str = "grid",
 ) -> list[Any]:
     """Execute simulation points, possibly in parallel, possibly cached.
 
@@ -178,7 +180,15 @@ def sweep(
             produces no events to observe.
         batch_report: optional
             :class:`repro.exec.batch_sweep.BatchReport` accumulating
-            grouping/fallback accounting (batch backend only).
+            grouping/fallback/tape-cache/stage-timing accounting (batch
+            backend only).
+        tape_cache: optional :class:`repro.exec.cache.TapeCache`
+            persisting batch recordings across sweeps and processes
+            (batch backend only; see
+            :func:`repro.exec.batch_sweep.batch_sweep`).
+        replay_mode: batch-backend replay strategy — ``"grid"``
+            (vectorized whole-grid revaluation, the default) or
+            ``"scalar"`` (the per-gear reference interpreter).
 
     Returns:
         One result per task, in task order regardless of completion
@@ -205,6 +215,8 @@ def sweep(
             profile=profile,
             chunk_size=chunk_size,
             report=batch_report,
+            tape_cache=tape_cache,
+            replay_mode=replay_mode,
         )
     ordered: Sequence[SimTask] = list(tasks)
     if jobs < 1:

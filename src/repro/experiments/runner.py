@@ -168,7 +168,8 @@ def main(argv: list[str] | None = None) -> int:
         "replays the whole gear grid from the tape (results agree with "
         "event simulation to ~1e-9 relative and cache under distinct "
         "keys; groups that cannot be certified fall back to the event "
-        "engine automatically)",
+        "engine automatically, and recordings persist in a tape cache "
+        "under the result cache root so repeat runs skip re-recording)",
     )
     parser.add_argument(
         "--policy",
@@ -291,6 +292,8 @@ def main(argv: list[str] | None = None) -> int:
         # (and stale code versions) after the run, so the cache never
         # grows without limit on CI or shared machines.
         executor.cache.prune()
+        if executor.tape_cache is not None:
+            executor.tape_cache.prune()
     if args.cache_stats:
         emit_cache_stats(executor.stats)
     return 1 if failures else 0

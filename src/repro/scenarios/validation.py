@@ -108,6 +108,8 @@ class ValidationReport:
     batch_groups: int = 0
     batch_grouped_points: int = 0
     batch_fallback_points: int = 0
+    batch_tape_hits: int = 0
+    batch_tape_misses: int = 0
     batch_max_rel_err: float = 0.0
     batch_rtol: float = BATCH_RTOL
     cache_bound_bytes: int | None = None
@@ -154,7 +156,9 @@ class ValidationReport:
             f"  batch: {self.batch_points} points across {self.batch_twins} "
             f"twins, {self.batch_grouped_points} grouped into "
             f"{self.batch_groups} recordings, {self.batch_fallback_points} "
-            f"fell back, max rel err {self.batch_max_rel_err:.3e} "
+            f"fell back, tape cache {self.batch_tape_hits} hits / "
+            f"{self.batch_tape_misses} misses, "
+            f"max rel err {self.batch_max_rel_err:.3e} "
             f"(tol {self.batch_rtol:.0e})",
         ]
         if self.mismatches:
@@ -402,6 +406,8 @@ def run_validation(
         report.batch_groups = accounting.groups
         report.batch_grouped_points = accounting.grouped_points
         report.batch_fallback_points = accounting.fallback_points
+        report.batch_tape_hits = accounting.tape_hits
+        report.batch_tape_misses = accounting.tape_misses
 
     report.cache_hits = cache.stats.hits
     report.cache_misses = cache.stats.misses

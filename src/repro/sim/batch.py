@@ -36,13 +36,28 @@ This module exploits it across a whole sweep:
 
 3. **Replay.**  Per-segment durations are revalued for *all* gears in
    one NumPy pass — ``t(f) = uops/(issue_rate · f) + misses · latency``
-   elementwise over ``(segments,)`` arrays, bitwise-identical to the
-   engine's scalar arithmetic — and a lightweight per-gear interpreter
-   re-runs only the *interactions*: message matching (same indexed
-   FIFO/wildcard algorithm as :class:`~repro.mpi.world.World`), the
-   stateful network server pool (contention re-forms per gear), blocking
-   waits, and recorded macro-step jumps.  No generators resume, no trace
-   rows or meter intervals are written.
+   elementwise over ``(gears × segments)`` matrices, bitwise-identical
+   to the engine's scalar arithmetic — and the tape's *interactions*
+   (message completions, the stateful network server pool, recorded
+   macro-step jumps) are walked **once for the whole grid**: the tape is
+   compiled to structure-of-arrays columns (:func:`compile_columns`)
+   plus a gear-invariant schedule (the wire-send order and the
+   send↔receive pairing observed by one instrumented scalar replay at
+   the recording gear), and every gear's timeline advances in lockstep
+   as ``(gears,)`` time vectors.  Stretches between interactions
+   collapse to one cumulative-sum gap per gear; receive completions are
+   pure ``max`` dataflow because the pairing is FIFO per (source, tag)
+   channel and hence gear-invariant.  Two recorded properties *can*
+   legitimately vary with the gear and are guarded per gear: a receive
+   with a wildcard source/tag (matching order is time-dependent —
+   the whole tape replays scalar), and the injection order of wire
+   sends through the contended server pool (an inversion or a
+   contended tie against the recorded order flags that gear, which is
+   re-replayed by the scalar interpreter — exact, reported via
+   :class:`ReplayStats`, never silent).  The scalar per-gear
+   interpreter (:func:`_replay_gear`) remains the reference path,
+   selectable via ``replay_mode="scalar"`` and equivalence-tested
+   against the vectorized walk at 1e-9.
 
 4. **Roll up.**  Energy decomposes exactly: each rank draws its idle
    power for the whole run plus a busy *excess* for compute and disk
@@ -62,7 +77,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Sequence
@@ -92,6 +107,7 @@ from repro.mpi.requests import (
 )
 from repro.mpi.tracing import BLOCKING_OPS
 from repro.mpi.world import World, WorldResult
+from repro.util.errors import ConfigurationError
 from repro.workloads.base import Workload
 
 #: Relative tolerance of the recording-gear self-check: the replay of the
@@ -117,6 +133,11 @@ _OP_DSPEED = 6
 _OP_MARK = 7
 
 
+#: Serialization format of :func:`tape_to_payload`.  Part of every tape
+#: cache key, so a format change can never collide with older entries.
+TAPE_FORMAT_VERSION = 1
+
+
 class BatchUnsupported(Exception):
     """The recorded run cannot be revalued across gears.
 
@@ -125,6 +146,27 @@ class BatchUnsupported(Exception):
     state) or when the replay self-check misses.  Callers fall back to
     the exact event engine, which handles every program.
     """
+
+
+@dataclass
+class ReplayStats:
+    """How a :func:`replay_grid` call executed each gear column.
+
+    The vectorized walk is conservative: any gear whose interaction
+    order cannot be proven to match the recorded schedule is re-replayed
+    by the exact scalar interpreter and counted here, so truncated
+    vector coverage is visible, never silent.
+    """
+
+    #: Gear columns revalued by the vectorized gear-axis walk.
+    vector_gears: int = 0
+    #: Gear columns replayed by the scalar reference interpreter
+    #: (``replay_mode="scalar"``, an ineligible tape, or a guard).
+    scalar_gears: int = 0
+    #: Scalar columns forced by an order-divergence guard specifically.
+    divergent_gears: int = 0
+    #: Why whole tapes were routed to the scalar path, when they were.
+    fallback_reasons: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -164,6 +206,11 @@ class Tape:
     recording_gear: int
     #: Iterations the recording's fast-forward macro-stepped past.
     recorded_skips: int
+    #: Lazily-built compiled form (SoA columns + replay schedule).
+    #: Derived state: not part of the tape's identity or its payload.
+    _compiled: "CompiledTape | None" = field(
+        default=None, repr=False, compare=False
+    )
 
 
 # ----------------------------------------------------------------------
@@ -479,8 +526,28 @@ def _build_tape(
 # Replay
 
 
+@dataclass
+class _ReplayTrace:
+    """Schedule observed by one instrumented scalar replay.
+
+    ``sends`` is the execution order of *wire* sends as ``(rank,
+    ordinal)`` — the ordinal counts every SEND op of that rank in tape
+    order — and ``pairing`` maps each ``(rank, recv slot)`` to the send
+    that completed it.  Both are gear-invariant for wildcard-free tapes
+    (FIFO per (source, tag) channel); the vector walk follows this
+    schedule and guards the send order per gear.
+    """
+
+    sends: list[tuple[int, int]] = field(default_factory=list)
+    pairing: dict[tuple[int, int], tuple[int, int]] = field(
+        default_factory=dict
+    )
+
+
 def _replay_gear(
-    tape: Tape, durations: list[list[float]]
+    tape: Tape,
+    durations: list[list[float]],
+    trace: _ReplayTrace | None = None,
 ) -> tuple[list[float], list[list[tuple[float, float]]]]:
     """Re-run the tape's interactions at one gear.
 
@@ -489,6 +556,8 @@ def _replay_gear(
     :class:`~repro.mpi.world.World` exactly — same matching algorithm,
     same network server pool, same FIFO tie-breaking — so the timeline
     is the event engine's, without generators, traces, or meters.
+    With ``trace`` the replay additionally records the wire-send order
+    and the send↔receive pairing (see :class:`_ReplayTrace`).
     """
     nodes = tape.nodes
     network = tape.cluster.network_model()
@@ -509,9 +578,15 @@ def _replay_gear(
     unexpected: list[dict[tuple[int, int], deque]] = [{} for _ in range(nodes)]
     phases: list[list[tuple[float, float]]] = [[] for _ in range(nodes)]
     marks: list[list[float]] = [[] for _ in range(nodes)]
+    # Send ordinals: the k-th SEND op of a rank (any kind) is (rank, k).
+    send_ord = [0] * nodes
 
-    def complete(rank: int, slot: int, arrival: float, now: float) -> None:
+    def complete(
+        rank: int, slot: int, arrival: float, now: float, ident: tuple[int, int]
+    ) -> None:
         # Mirrors World._complete_recv: ready + per-endpoint overhead.
+        if trace is not None:
+            trace.pairing[(rank, slot)] = ident
         ready = max(recv_post[rank][slot], arrival, now)
         done = ready + overhead
         recv_done[rank][slot] = done
@@ -519,7 +594,14 @@ def _replay_gear(
             recv_waiting[rank][slot] = False
             heappush(heap, (done, next(seq), rank))
 
-    def route(dest: int, source: int, tag: int, arrival: float, now: float) -> None:
+    def route(
+        dest: int,
+        source: int,
+        tag: int,
+        arrival: float,
+        now: float,
+        ident: tuple[int, int],
+    ) -> None:
         # Mirrors World._route (indexed FIFO, earliest-posted wins).
         pd = posted[dest]
         if pd:
@@ -541,15 +623,15 @@ def _replay_gear(
                 _, slot = queue.popleft()
                 if not queue:
                     del pd[best_key]
-                complete(dest, slot, arrival, now)
+                complete(dest, slot, arrival, now, ident)
                 return
         ud = unexpected[dest]
         key = (source, tag)
         queue = ud.get(key)
         if queue is None:
-            ud[key] = deque(((arrival, next(msg_seq)),))
+            ud[key] = deque(((arrival, next(msg_seq), ident),))
         else:
-            queue.append((arrival, next(msg_seq)))
+            queue.append((arrival, next(msg_seq), ident))
 
     def match_unexpected(rank: int, source: int, tag: int):
         # Mirrors World._match_unexpected (earliest-sent wins).
@@ -603,9 +685,13 @@ def _replay_gear(
                     return
             elif code == _OP_SEND:
                 _, dest, tag, nbytes, same = op
+                ordinal = send_ord[rank]
+                send_ord[rank] = ordinal + 1
                 inject = now + overhead
+                if trace is not None and not same:
+                    trace.sends.append((rank, ordinal))
                 arrival = schedule_transfer(inject, nbytes, same_node=same)
-                route(dest, rank, tag, arrival, now)
+                route(dest, rank, tag, arrival, now, (rank, ordinal))
                 if overhead != 0.0:
                     pos[rank] = p
                     heappush(heap, (inject, next(seq), rank))
@@ -615,7 +701,7 @@ def _replay_gear(
                 recv_post[rank][slot] = now
                 message = match_unexpected(rank, source, tag)
                 if message is not None:
-                    complete(rank, slot, message[0], now)
+                    complete(rank, slot, message[0], now, message[2])
                 else:
                     key = (source, tag)
                     queue = posted[rank].get(key)
@@ -674,15 +760,501 @@ def _replay_gear(
     return finish, phases  # type: ignore[return-value]
 
 
-def replay_grid(
-    tape: Tape, gear_indices: Sequence[int]
-) -> list[RunMeasurement]:
-    """Revalue the tape at every gear of a grid.
+# ----------------------------------------------------------------------
+# Compilation: SoA columns + gear-axis replay plan
 
-    The recording gear's replay is checked against the recording's own
-    event-engine measurements at :data:`SELF_CHECK_RTOL`; a miss rejects
-    the tape (:class:`BatchUnsupported`), so a defective replay can never
-    silently ship wrong numbers for the *other* gears.
+#: Parameter lanes of :class:`RankColumns` (fixed-width SoA layout).
+_INT_LANES = 4
+_FLOAT_LANES = 2
+
+
+@dataclass
+class RankColumns:
+    """Structure-of-arrays form of one rank's op tape.
+
+    ``codes[i]`` is the opcode of op ``i``; its parameters live in fixed
+    lanes of ``ints``/``floats`` (layout in :func:`compile_columns`).
+    The mapping is exact: :func:`columns_to_ops` reconstructs the tuple
+    stream value-for-value, so the columns — not the tuples — are the
+    form the vectorized replay plan is built from.
+    """
+
+    codes: np.ndarray  # (n,) int64 opcodes
+    ints: np.ndarray  # (n, 4) int64 integer parameters
+    floats: np.ndarray  # (n, 2) float64 parameters
+
+
+def compile_columns(ops: Sequence[tuple]) -> RankColumns:
+    """Compile one rank's op tuples into SoA columns.
+
+    Lane layout (unused lanes are zero):
+
+    ========  ======================================  =========================
+    opcode    ``ints`` lanes                          ``floats`` lanes
+    ========  ======================================  =========================
+    COMPUTE   0: segment index                        —
+    SEND      0: dest, 1: tag, 2: nbytes, 3: same     —
+    RECV      0: source, 1: tag, 2: slot              —
+    WAIT      0: slot                                 —
+    ELAPSE    —                                       0: seconds
+    DISK      —                                       0: duration
+    DSPEED    —                                       0: transition, 1: idle W
+    MARK      0: skipped, 1: period                   —
+    ========  ======================================  =========================
+    """
+    n = len(ops)
+    codes = np.zeros(n, dtype=np.int64)
+    ints = np.zeros((n, _INT_LANES), dtype=np.int64)
+    floats = np.zeros((n, _FLOAT_LANES), dtype=np.float64)
+    for i, op in enumerate(ops):
+        code = op[0]
+        codes[i] = code
+        if code == _OP_COMPUTE:
+            ints[i, 0] = op[1]
+        elif code == _OP_SEND:
+            ints[i, 0] = op[1]
+            ints[i, 1] = op[2]
+            ints[i, 2] = op[3]
+            ints[i, 3] = 1 if op[4] else 0
+        elif code == _OP_RECV:
+            ints[i, 0] = op[1]
+            ints[i, 1] = op[2]
+            ints[i, 2] = op[3]
+        elif code == _OP_WAIT:
+            ints[i, 0] = op[1]
+        elif code == _OP_MARK:
+            ints[i, 0] = op[1]
+            ints[i, 1] = op[2]
+        elif code in (_OP_ELAPSE, _OP_DISK):
+            floats[i, 0] = op[1]
+        else:  # _OP_DSPEED
+            floats[i, 0] = op[1]
+            floats[i, 1] = op[2]
+    return RankColumns(codes=codes, ints=ints, floats=floats)
+
+
+def columns_to_ops(columns: RankColumns) -> list[tuple]:
+    """Reconstruct the op tuple stream from SoA columns (exact inverse)."""
+    ops: list[tuple] = []
+    codes = columns.codes
+    ints = columns.ints
+    floats = columns.floats
+    for i in range(len(codes)):
+        code = int(codes[i])
+        if code == _OP_COMPUTE:
+            ops.append((code, int(ints[i, 0])))
+        elif code == _OP_SEND:
+            ops.append(
+                (
+                    code,
+                    int(ints[i, 0]),
+                    int(ints[i, 1]),
+                    int(ints[i, 2]),
+                    bool(ints[i, 3]),
+                )
+            )
+        elif code == _OP_RECV:
+            ops.append(
+                (code, int(ints[i, 0]), int(ints[i, 1]), int(ints[i, 2]))
+            )
+        elif code == _OP_WAIT:
+            ops.append((code, int(ints[i, 0])))
+        elif code == _OP_MARK:
+            ops.append((code, int(ints[i, 0]), int(ints[i, 1])))
+        elif code in (_OP_ELAPSE, _OP_DISK):
+            ops.append((code, float(floats[i, 0])))
+        else:  # _OP_DSPEED
+            ops.append((code, float(floats[i, 0]), float(floats[i, 1])))
+    return ops
+
+
+# Interaction kinds of the vectorized replay plan.  Everything that is
+# not an interaction is a pure delay and is folded into the gaps.
+_IN_WIRE = 0  # wire send through the (possibly pooled) backplane
+_IN_LOCAL = 1  # rank-to-self memcpy send (stateless)
+_IN_RECV = 2  # receive post (records the post-time vector)
+_IN_WAIT = 3  # blocking wait on a receive slot (timeline boundary)
+_IN_MARK = 4  # iteration mark / recorded macro-step jump
+_IN_PHASE = 5  # disk-speed transition (idle-power phase boundary)
+_IN_END = 6  # sentinel: apply the tail gap, record the finish time
+
+
+@dataclass
+class _RankPlan:
+    """One rank's interaction schedule for the gear-axis walk.
+
+    Everything between two interactions is a *gap*: a gear-independent
+    constant (endpoint overheads, elapses, disk busy time, disk-speed
+    transitions) plus a contiguous run ``[lo, hi)`` of compute segments
+    whose durations scale with the gear.  ``steps[k]`` is ``(kind,
+    *params)`` and gap ``k`` precedes it; the last step is the
+    :data:`_IN_END` sentinel whose gap is the tape's tail.
+
+    ``boundary_before[k]`` is 1 + the index of the last
+    timeline-resetting interaction (a WAIT or a recorded jump) strictly
+    before ``k``, or 0 at the start of the tape.  Between boundaries the
+    timeline is an affine offset from the boundary's base time, so the
+    walk precomputes every offset vector with two cumulative sums and
+    touches Python only at the interactions — its cost is independent
+    of the gear count.
+
+    The receive-side endpoint overhead is pre-folded: a completion is
+    ``max(post, arrival) + overhead``, which equals ``max(post +
+    overhead, arrival + overhead)`` exactly (IEEE addition is
+    monotone), so send steps carry ``overhead`` inside their arrival
+    constants and ``recv_rows`` names the offset rows that get it added
+    once per walk — the WAIT step then needs no addition of its own.
+    """
+
+    steps: list[tuple]
+    gap_const: np.ndarray  # (K,) float64
+    gap_lo: np.ndarray  # (K,) int64 segment-range starts
+    gap_hi: np.ndarray  # (K,) int64 segment-range ends (exclusive)
+    boundary_before: np.ndarray  # (K,) int64
+    recv_rows: np.ndarray  # (R,) int64 indices of _IN_RECV steps
+
+
+def _build_plan(
+    tape: Tape, rank: int, columns: RankColumns, trace: _ReplayTrace
+) -> _RankPlan:
+    """Fold one rank's columns + the observed schedule into a plan."""
+    link = tape.cluster.network_model().spec
+    overhead = link.software_overhead
+    pooled = link.concurrency is not None
+    codes = columns.codes
+    ints = columns.ints
+    floats = columns.floats
+    # Ranks with no recorded jump never read the mark history, so plain
+    # marks compile to nothing at all (dense recordings have thousands).
+    mark_rows = codes == _OP_MARK
+    has_jump = bool(mark_rows.any()) and bool((ints[mark_rows, 0] > 0).any())
+
+    steps: list[tuple] = []
+    gap_const: list[float] = []
+    gap_lo: list[int] = []
+    gap_hi: list[int] = []
+    const = 0.0
+    lo = 0
+    hi = 0
+    ordinal = 0
+
+    def emit(step: tuple) -> None:
+        nonlocal const, lo
+        steps.append(step)
+        gap_const.append(const)
+        gap_lo.append(lo)
+        gap_hi.append(hi)
+        const = 0.0
+        lo = hi
+
+    for i in range(len(codes)):
+        code = int(codes[i])
+        if code == _OP_COMPUTE:
+            seg = int(ints[i, 0])
+            assert seg == hi, "segments must be contiguous in tape order"
+            hi = seg + 1
+        elif code == _OP_SEND:
+            # The sender-side overhead precedes the injection, so folding
+            # it into the gap makes the walk's time *be* the inject time;
+            # the receiver-side overhead rides inside the arrival const.
+            const += overhead
+            nbytes = int(ints[i, 2])
+            if ints[i, 3]:
+                emit(
+                    (
+                        _IN_LOCAL,
+                        ordinal,
+                        nbytes / link.memcpy_bandwidth + overhead,
+                    )
+                )
+            else:
+                occupancy = nbytes / link.bandwidth
+                emit(
+                    (
+                        _IN_WIRE,
+                        ordinal,
+                        occupancy,
+                        link.latency + occupancy + overhead,
+                    )
+                )
+            ordinal += 1
+        elif code == _OP_RECV:
+            emit((_IN_RECV, int(ints[i, 2])))
+        elif code == _OP_WAIT:
+            slot = int(ints[i, 0])
+            src, sord = trace.pairing[(rank, slot)]
+            emit((_IN_WAIT, slot, src, sord))
+        elif code in (_OP_ELAPSE, _OP_DISK):
+            const += float(floats[i, 0])
+        elif code == _OP_DSPEED:
+            emit((_IN_PHASE, float(floats[i, 1])))
+            const += float(floats[i, 0])
+        else:  # _OP_MARK
+            if has_jump:
+                emit((_IN_MARK, int(ints[i, 0]), int(ints[i, 1])))
+    emit((_IN_END,))
+
+    boundary = np.zeros(len(steps), dtype=np.int64)
+    recv_rows: list[int] = []
+    b = 0
+    for k, step in enumerate(steps):
+        boundary[k] = b
+        kind = step[0]
+        if kind == _IN_WAIT or (kind == _IN_MARK and step[1]):
+            b = k + 1
+        elif kind == _IN_RECV:
+            recv_rows.append(k)
+    return _RankPlan(
+        steps=steps,
+        gap_const=np.asarray(gap_const, dtype=np.float64),
+        gap_lo=np.asarray(gap_lo, dtype=np.int64),
+        gap_hi=np.asarray(gap_hi, dtype=np.int64),
+        boundary_before=boundary,
+        recv_rows=np.asarray(recv_rows, dtype=np.int64),
+    )
+
+
+@dataclass
+class CompiledTape:
+    """Derived form of a tape: SoA columns, plans, observed schedule.
+
+    Built lazily by :func:`_compiled` and cached on the tape, so
+    repeated grid replays of one tape pay only the vectorized walk.
+    ``eligible`` is False when the tape cannot be walked vectorized at
+    all (wildcard receives); ``reason`` says why.
+    """
+
+    eligible: bool
+    reason: str | None
+    columns: list[RankColumns]
+    plans: list[_RankPlan]
+    schedule: _ReplayTrace
+
+
+def _vector_ineligible(tape: Tape) -> str | None:
+    """A whole-tape reason the vectorized walk cannot run, or None.
+
+    Wildcard receives make the matching order time-dependent, so the
+    recorded pairing cannot be certified gear-invariant; such tapes
+    replay through the scalar interpreter for every gear.
+    """
+    for rank, ops in enumerate(tape.ops):
+        for op in ops:
+            if op[0] == _OP_RECV and (
+                op[1] == ANY_SOURCE or op[2] == ANY_TAG
+            ):
+                return (
+                    f"rank {rank}: wildcard receive — matching order is "
+                    "time-dependent"
+                )
+    return None
+
+
+def _compile_tape(tape: Tape) -> CompiledTape:
+    """Compile a tape: columns, one instrumented scalar replay, plans."""
+    reason = _vector_ineligible(tape)
+    if reason is not None:
+        return CompiledTape(False, reason, [], [], _ReplayTrace())
+    columns = [compile_columns(ops) for ops in tape.ops]
+    trace = _ReplayTrace()
+    durations = [
+        d.tolist() for d in _segment_durations(tape, tape.recording_gear)
+    ]
+    _replay_gear(tape, durations, trace)
+    plans = [
+        _build_plan(tape, rank, columns[rank], trace)
+        for rank in range(tape.nodes)
+    ]
+    return CompiledTape(True, None, columns, plans, trace)
+
+
+def _compiled(tape: Tape) -> CompiledTape:
+    if tape._compiled is None:
+        tape._compiled = _compile_tape(tape)
+    return tape._compiled
+
+
+def _segment_durations(tape: Tape, gear_index: int) -> list[np.ndarray]:
+    """Per-rank compute-segment durations at one gear, engine-exact."""
+    cluster = tape.cluster
+    cpu = cluster.node.cpu
+    denom = cpu.issue_rate * cluster.gears[gear_index].frequency_hz
+    return [
+        tape.seg_uops[rank] / denom + tape.seg_stall[rank]
+        for rank in range(tape.nodes)
+    ]
+
+
+def _duration_grid(
+    tape: Tape, gear_indices: Sequence[int]
+) -> list[np.ndarray]:
+    """Per-rank ``(gears, segments)`` duration matrices.
+
+    Elementwise identical to :func:`_segment_durations` per row: the
+    broadcast performs the same scalar division and addition per cell.
+    """
+    cluster = tape.cluster
+    cpu = cluster.node.cpu
+    denom = np.asarray(
+        [
+            cpu.issue_rate * cluster.gears[g].frequency_hz
+            for g in gear_indices
+        ],
+        dtype=np.float64,
+    )
+    return [
+        tape.seg_uops[rank][None, :] / denom[:, None]
+        + tape.seg_stall[rank][None, :]
+        for rank in range(tape.nodes)
+    ]
+
+
+def _vector_walk(
+    tape: Tape, compiled: CompiledTape, dur_grid: list[np.ndarray]
+) -> tuple[
+    list[np.ndarray], list[list[tuple[np.ndarray, float]]], np.ndarray
+]:
+    """Walk the recorded schedule once for every gear column.
+
+    Returns per-rank ``(gears,)`` finish-time vectors, per-rank
+    disk-phase boundary lists, and a boolean mask over gear columns
+    flagging those whose wire-send order could not be certified against
+    the recorded schedule — an injection-order inversion, or a tie
+    (within noise) involving a contended transfer.  Flagged columns
+    must be re-replayed by the scalar interpreter.
+    """
+    nodes = tape.nodes
+    G = dur_grid[0].shape[0]
+    link = tape.cluster.network_model().spec
+    overhead = link.software_overhead
+    conc = link.concurrency
+
+    # Precompute every interaction's offset from its block boundary:
+    # gap vectors via one gather on the segment cumsum, then a blockwise
+    # cumulative sum.  (K, G) layout so offs[k] is a contiguous row.
+    offs: list[np.ndarray] = []
+    zero_col = np.zeros((G, 1))
+    for rank in range(nodes):
+        plan = compiled.plans[rank]
+        D = dur_grid[rank]
+        segcum = np.concatenate([zero_col, np.cumsum(D, axis=1)], axis=1)
+        gaps = plan.gap_const[None, :] + (
+            segcum[:, plan.gap_hi] - segcum[:, plan.gap_lo]
+        )
+        cpad = np.concatenate([zero_col, np.cumsum(gaps, axis=1)], axis=1)
+        off_mat = np.ascontiguousarray(
+            (cpad[:, 1:] - cpad[:, plan.boundary_before]).T
+        )
+        if overhead != 0.0 and len(plan.recv_rows):
+            # Receive posts carry the completion overhead (see
+            # _RankPlan): max(post, arrival) + oh == max(post+oh, arr+oh).
+            off_mat[plan.recv_rows] += overhead
+        offs.append(off_mat)
+
+    start_vec = np.zeros(G)
+    base: list[np.ndarray] = [start_vec] * nodes
+    ptr = [0] * nodes
+    arrivals: dict[tuple[int, int], np.ndarray] = {}
+    posts: list[list[np.ndarray | None]] = [
+        [None] * n for n in tape.recv_slots
+    ]
+    phases: list[list[tuple[np.ndarray, float]]] = [[] for _ in range(nodes)]
+    mark_hist: list[list[np.ndarray]] = [[] for _ in range(nodes)]
+    finish: list[np.ndarray | None] = [None] * nodes
+    servers = np.zeros((conc, G)) if conc is not None else None
+    gcols = np.arange(G)
+    inj_rows: list[np.ndarray] = []
+    start_rows: list[np.ndarray] = []
+
+    np_maximum = np.maximum
+
+    def advance(rank: int, upto: int | None) -> None:
+        plan = compiled.plans[rank]
+        steps = plan.steps
+        off = offs[rank]
+        rank_posts = posts[rank]
+        b = base[rank]
+        k = ptr[rank]
+        while True:
+            step = steps[k]
+            kind = step[0]
+            if kind == _IN_WAIT:
+                done = np_maximum(
+                    rank_posts[step[1]], arrivals[(step[2], step[3])]
+                )
+                b = np_maximum(b + off[k], done)
+                k += 1
+            elif kind == _IN_WIRE:
+                inject = b + off[k]
+                if servers is None:
+                    arrivals[(rank, step[1])] = inject + step[3]
+                else:
+                    idx = servers.argmin(axis=0)
+                    free_at = servers[idx, gcols]
+                    start = np_maximum(inject, free_at)
+                    servers[idx, gcols] = start + step[2]
+                    arrivals[(rank, step[1])] = start + step[3]
+                    inj_rows.append(inject)
+                    start_rows.append(start)
+                k += 1
+                if step[1] == upto:
+                    break
+            elif kind == _IN_RECV:
+                rank_posts[step[1]] = b + off[k]
+                k += 1
+            elif kind == _IN_LOCAL:
+                arrivals[(rank, step[1])] = b + (off[k] + step[2])
+                k += 1
+            elif kind == _IN_MARK:
+                t = b + off[k]
+                hist = mark_hist[rank]
+                hist.append(t)
+                skipped = step[1]
+                if skipped:
+                    period = step[2]
+                    cycle = t - hist[-1 - period]
+                    b = t + (skipped // period) * cycle
+                k += 1
+            elif kind == _IN_PHASE:
+                phases[rank].append((b + off[k], step[1]))
+                k += 1
+            else:  # _IN_END
+                finish[rank] = b + off[k]
+                k += 1
+                break
+        base[rank] = b
+        ptr[rank] = k
+
+    # Wire sends drive the walk in the recorded schedule order (the
+    # pooled backplane is the only stateful cross-rank resource); the
+    # drain then runs every rank to its end — all remaining waits pair
+    # with sends already scheduled.
+    for rank, ordinal in compiled.schedule.sends:
+        advance(rank, ordinal)
+    for rank in range(nodes):
+        if finish[rank] is None:
+            advance(rank, None)
+
+    divergent = np.zeros(G, dtype=bool)
+    if servers is not None and len(inj_rows) > 1:
+        inj = np.stack(inj_rows)
+        starts = np.stack(start_rows)
+        contended = starts > inj
+        diffs = inj[1:] - inj[:-1]
+        tie_tol = 1e-9 * max(1.0, float(np.max(np.abs(inj))))
+        near = np.abs(diffs) <= tie_tol
+        divergent = (diffs < 0).any(axis=0) | (
+            near & (contended[1:] | contended[:-1])
+        ).any(axis=0)
+    return finish, phases, divergent  # type: ignore[return-value]
+
+
+def _measure_gear(tape: Tape, gear_index: int) -> RunMeasurement:
+    """Scalar reference path: replay + roll up one gear exactly.
+
+    This is PR 7's per-gear loop body, unchanged float-for-float; the
+    vectorized grid falls back to it per gear column when the send-order
+    guard fires, and ``replay_mode="scalar"`` runs it for every gear.
     """
     cluster = tape.cluster
     node_spec = cluster.node
@@ -692,84 +1264,270 @@ def replay_grid(
     ref_bw = node_spec.memory.reference_miss_bandwidth
     upm = CounterBank(uops=tape.total_uops, l2_misses=tape.total_misses).upm
 
-    out: list[RunMeasurement] = []
-    for gear_index in gear_indices:
+    gear = cluster.gears[gear_index]
+    scale = cpu_model.dynamic_scale(gear)
+    leak = cpu_model.leakage_power(gear)
+    # Scalar prefixes mirror CPUPowerModel's left-associated products
+    # so the vectorized power matches the engine's floats exactly.
+    k_active = cpu.dynamic_power_full * scale * cpu.active_activity
+    cpu_idle = cpu.dynamic_power_full * scale * cpu.idle_activity + leak
+    pm_idle = power_model.base_power + cpu_idle
+    saf = cpu.stall_activity_fraction
+
+    dur_arrays = _segment_durations(tape, gear_index)
+    durations = [d.tolist() for d in dur_arrays]
+
+    finish, phases = _replay_gear(tape, durations)
+    end_time = max(finish) if finish else 0.0
+
+    energy = 0.0
+    active_time = 0.0
+    reducible_time = 0.0
+    for rank in range(tape.nodes):
+        d = dur_arrays[rank]
+        w = tape.seg_weight[rank]
+        if len(d):
+            stall_frac = tape.seg_stall[rank] / d
+            occupancy = (1.0 - stall_frac) + saf * stall_frac
+            cpu_active = k_active * occupancy + leak
+            intensity = np.minimum(
+                1.0, (tape.seg_misses[rank] / d) / ref_bw
+            )
+            p_active = (
+                power_model.base_power
+                + cpu_active
+                + power_model.memory_power_max * intensity
+            )
+            wd = w * d
+            energy += float(np.sum(wd * (p_active - pm_idle)))
+            rank_active = float(np.sum(wd))
+            rank_reducible = float(np.sum(tape.seg_reducible[rank] * wd))
+        else:
+            rank_active = 0.0
+            rank_reducible = 0.0
+        if rank_active > active_time:
+            active_time = rank_active
+        if rank_reducible > reducible_time:
+            reducible_time = rank_reducible
+        # Idle baseline: the rank draws (CPU idle + disk idle) for
+        # the whole run; disk-speed transitions split it into phases.
+        t = 0.0
+        disk_idle = tape.initial_disk_idle
+        for boundary, new_idle in phases[rank]:
+            energy += (pm_idle + disk_idle) * (boundary - t)
+            t = boundary
+            disk_idle = new_idle
+        energy += (pm_idle + disk_idle) * (end_time - t)
+        energy += tape.disk_excess[rank]
+
+    measurement = RunMeasurement(
+        workload=tape.workload_name,
+        cluster=cluster.name,
+        nodes=tape.nodes,
+        gear=gear_index,
+        time=end_time,
+        energy=energy,
+        active_time=active_time,
+        idle_time=max(0.0, end_time - active_time),
+        reducible_time=reducible_time,
+        upm=upm,
+    )
+    if gear_index == tape.recording_gear:
+        _self_check(tape, measurement)
+    return measurement
+
+
+@dataclass
+class _GridRollup:
+    """Per-gear-column measurement arrays from one vectorized rollup."""
+
+    time: np.ndarray
+    energy: np.ndarray
+    active: np.ndarray
+    reducible: np.ndarray
+    upm: float
+
+
+def _rollup_vector(
+    tape: Tape,
+    gear_indices: Sequence[int],
+    dur_grid: list[np.ndarray],
+    finish: list[np.ndarray],
+    phases: list[list[tuple[np.ndarray, float]]],
+) -> _GridRollup:
+    """Energy/counter rollup for all gear columns in one pass.
+
+    Mirrors :func:`_measure_gear`'s arithmetic elementwise over the gear
+    axis: every per-gear scalar becomes a ``(gears,)`` vector built from
+    the same left-associated scalar prefixes, and the per-segment matrix
+    ops reduce along the segment axis exactly as the per-gear rows do.
+    """
+    cluster = tape.cluster
+    node_spec = cluster.node
+    cpu = node_spec.cpu
+    power_model = node_spec.power_model()
+    cpu_model = power_model.cpu_model
+    ref_bw = node_spec.memory.reference_miss_bandwidth
+    upm = CounterBank(uops=tape.total_uops, l2_misses=tape.total_misses).upm
+
+    G = len(gear_indices)
+    k_active = np.empty(G)
+    leak = np.empty(G)
+    pm_idle = np.empty(G)
+    for col, gear_index in enumerate(gear_indices):
         gear = cluster.gears[gear_index]
         scale = cpu_model.dynamic_scale(gear)
-        leak = cpu_model.leakage_power(gear)
-        # Scalar prefixes mirror CPUPowerModel's left-associated products
-        # so the vectorized power matches the engine's floats exactly.
-        k_active = cpu.dynamic_power_full * scale * cpu.active_activity
-        cpu_idle = cpu.dynamic_power_full * scale * cpu.idle_activity + leak
-        pm_idle = power_model.base_power + cpu_idle
-        denom = cpu.issue_rate * gear.frequency_hz
-        saf = cpu.stall_activity_fraction
-
-        durations: list[list[float]] = []
-        dur_arrays: list[np.ndarray] = []
-        for rank in range(tape.nodes):
-            d = tape.seg_uops[rank] / denom + tape.seg_stall[rank]
-            dur_arrays.append(d)
-            durations.append(d.tolist())
-
-        finish, phases = _replay_gear(tape, durations)
-        end_time = max(finish) if finish else 0.0
-
-        energy = 0.0
-        active_time = 0.0
-        reducible_time = 0.0
-        for rank in range(tape.nodes):
-            d = dur_arrays[rank]
-            w = tape.seg_weight[rank]
-            if len(d):
-                stall_frac = tape.seg_stall[rank] / d
-                occupancy = (1.0 - stall_frac) + saf * stall_frac
-                cpu_active = k_active * occupancy + leak
-                intensity = np.minimum(
-                    1.0, (tape.seg_misses[rank] / d) / ref_bw
-                )
-                p_active = (
-                    power_model.base_power
-                    + cpu_active
-                    + power_model.memory_power_max * intensity
-                )
-                wd = w * d
-                energy += float(np.sum(wd * (p_active - pm_idle)))
-                rank_active = float(np.sum(wd))
-                rank_reducible = float(np.sum(tape.seg_reducible[rank] * wd))
-            else:
-                rank_active = 0.0
-                rank_reducible = 0.0
-            if rank_active > active_time:
-                active_time = rank_active
-            if rank_reducible > reducible_time:
-                reducible_time = rank_reducible
-            # Idle baseline: the rank draws (CPU idle + disk idle) for
-            # the whole run; disk-speed transitions split it into phases.
-            t = 0.0
-            disk_idle = tape.initial_disk_idle
-            for boundary, new_idle in phases[rank]:
-                energy += (pm_idle + disk_idle) * (boundary - t)
-                t = boundary
-                disk_idle = new_idle
-            energy += (pm_idle + disk_idle) * (end_time - t)
-            energy += tape.disk_excess[rank]
-
-        measurement = RunMeasurement(
-            workload=tape.workload_name,
-            cluster=cluster.name,
-            nodes=tape.nodes,
-            gear=gear_index,
-            time=end_time,
-            energy=energy,
-            active_time=active_time,
-            idle_time=max(0.0, end_time - active_time),
-            reducible_time=reducible_time,
-            upm=upm,
+        g_leak = cpu_model.leakage_power(gear)
+        leak[col] = g_leak
+        k_active[col] = cpu.dynamic_power_full * scale * cpu.active_activity
+        cpu_idle = (
+            cpu.dynamic_power_full * scale * cpu.idle_activity + g_leak
         )
-        if gear_index == tape.recording_gear:
-            _self_check(tape, measurement)
-        out.append(measurement)
+        pm_idle[col] = power_model.base_power + cpu_idle
+    saf = cpu.stall_activity_fraction
+
+    end_time = finish[0]
+    for rank in range(1, tape.nodes):
+        end_time = np.maximum(end_time, finish[rank])
+
+    energy = np.zeros(G)
+    active_time = np.zeros(G)
+    reducible_time = np.zeros(G)
+    for rank in range(tape.nodes):
+        D = dur_grid[rank]
+        w = tape.seg_weight[rank]
+        if D.shape[1]:
+            stall_frac = tape.seg_stall[rank][None, :] / D
+            occupancy = (1.0 - stall_frac) + saf * stall_frac
+            cpu_active = k_active[:, None] * occupancy + leak[:, None]
+            intensity = np.minimum(
+                1.0, (tape.seg_misses[rank][None, :] / D) / ref_bw
+            )
+            p_active = (
+                power_model.base_power
+                + cpu_active
+                + power_model.memory_power_max * intensity
+            )
+            wd = w[None, :] * D
+            energy += np.sum(wd * (p_active - pm_idle[:, None]), axis=1)
+            rank_active = np.sum(wd, axis=1)
+            rank_reducible = np.sum(
+                tape.seg_reducible[rank][None, :] * wd, axis=1
+            )
+            active_time = np.maximum(active_time, rank_active)
+            reducible_time = np.maximum(reducible_time, rank_reducible)
+        t = np.zeros(G)
+        disk_idle = tape.initial_disk_idle
+        for boundary, new_idle in phases[rank]:
+            energy += (pm_idle + disk_idle) * (boundary - t)
+            t = boundary
+            disk_idle = new_idle
+        energy += (pm_idle + disk_idle) * (end_time - t)
+        energy += tape.disk_excess[rank]
+
+    return _GridRollup(
+        time=end_time,
+        energy=energy,
+        active=active_time,
+        reducible=reducible_time,
+        upm=upm,
+    )
+
+
+def _column_measurement(
+    tape: Tape, gear_index: int, rollup: _GridRollup, col: int
+) -> RunMeasurement:
+    end_time = float(rollup.time[col])
+    active = float(rollup.active[col])
+    return RunMeasurement(
+        workload=tape.workload_name,
+        cluster=tape.cluster.name,
+        nodes=tape.nodes,
+        gear=gear_index,
+        time=end_time,
+        energy=float(rollup.energy[col]),
+        active_time=active,
+        idle_time=max(0.0, end_time - active),
+        reducible_time=float(rollup.reducible[col]),
+        upm=rollup.upm,
+    )
+
+
+def _replay_grid_scalar(
+    tape: Tape, gear_indices: Sequence[int], stats: ReplayStats
+) -> list[RunMeasurement]:
+    stats.scalar_gears += len(gear_indices)
+    return [_measure_gear(tape, g) for g in gear_indices]
+
+
+def replay_grid(
+    tape: Tape,
+    gear_indices: Sequence[int],
+    *,
+    mode: str = "grid",
+    stats: ReplayStats | None = None,
+) -> list[RunMeasurement]:
+    """Revalue the tape at every gear of a grid.
+
+    ``mode="grid"`` (the default) compiles the tape once (cached on the
+    tape) and walks the whole grid as gear-axis vectors; gear columns
+    the send-order guard cannot certify are re-replayed by the scalar
+    interpreter — exact, counted in ``stats``, never silent.
+    ``mode="scalar"`` runs the PR 7 reference interpreter per gear.
+
+    The recording gear is always revalued — appended to the grid when
+    absent — and checked against the recording's own event-engine
+    measurements at :data:`SELF_CHECK_RTOL`; a miss rejects the tape
+    (:class:`BatchUnsupported`), so a defective replay can never
+    silently ship wrong numbers for the *other* gears.  In grid mode
+    the check runs against the *vectorized* column; if that column
+    itself diverges, the whole grid falls back to the scalar path so
+    vectorized numbers never ship unchecked.
+    """
+    if mode not in ("grid", "scalar"):
+        raise ConfigurationError(
+            f"unknown replay mode {mode!r} (expected 'grid' or 'scalar')"
+        )
+    if stats is None:
+        stats = ReplayStats()
+    if mode == "scalar":
+        return _replay_grid_scalar(tape, gear_indices, stats)
+
+    compiled = _compiled(tape)
+    if not compiled.eligible:
+        assert compiled.reason is not None
+        stats.fallback_reasons.append(compiled.reason)
+        return _replay_grid_scalar(tape, gear_indices, stats)
+
+    extended = list(gear_indices)
+    try:
+        check_col = extended.index(tape.recording_gear)
+    except ValueError:
+        check_col = len(extended)
+        extended.append(tape.recording_gear)
+    dur_grid = _duration_grid(tape, extended)
+    finish, phases, divergent = _vector_walk(tape, compiled, dur_grid)
+    if divergent[check_col]:
+        stats.fallback_reasons.append(
+            "recording-gear column diverged from the recorded send order; "
+            "scalar replay for the whole grid"
+        )
+        return _replay_grid_scalar(tape, gear_indices, stats)
+    rollup = _rollup_vector(tape, extended, dur_grid, finish, phases)
+    # Validate the vectorized path itself before any column ships.
+    _self_check(
+        tape, _column_measurement(tape, tape.recording_gear, rollup, check_col)
+    )
+
+    out: list[RunMeasurement] = []
+    for col, gear_index in enumerate(gear_indices):
+        if divergent[col]:
+            stats.divergent_gears += 1
+            stats.scalar_gears += 1
+            out.append(_measure_gear(tape, gear_index))
+        else:
+            stats.vector_gears += 1
+            out.append(_column_measurement(tape, gear_index, rollup, col))
     return out
 
 
@@ -792,6 +1550,82 @@ def _self_check(tape: Tape, replay: RunMeasurement) -> None:
 
 
 # ----------------------------------------------------------------------
+# Tape serialization (persistent tape cache)
+
+#: Scalar (JSON-native) tape fields, serialized verbatim.
+_TAPE_SCALAR_FIELDS = (
+    "workload_name",
+    "nodes",
+    "disk_excess",
+    "recv_slots",
+    "total_uops",
+    "total_misses",
+    "initial_disk_idle",
+    "recording_time",
+    "recording_energy",
+    "recording_active",
+    "recording_reducible",
+    "recording_gear",
+    "recorded_skips",
+)
+
+#: Per-rank float64 array fields, serialized as lists.
+_TAPE_ARRAY_FIELDS = (
+    "seg_uops",
+    "seg_misses",
+    "seg_stall",
+    "seg_weight",
+    "seg_reducible",
+)
+
+
+def tape_to_payload(tape: Tape) -> dict:
+    """Serialize a tape to a JSON-safe dict (exact round-trip).
+
+    Ints and bools are JSON-native and float64 survives JSON's
+    repr/parse round-trip bit-for-bit, so a deserialized tape replays
+    bitwise-identically to the original.  The cluster spec is *not*
+    serialized: a tape cache key already pins the cluster fingerprint
+    and the caller re-injects the live spec on load.
+    """
+    payload: dict[str, Any] = {
+        "format": TAPE_FORMAT_VERSION,
+        "ops": [[list(op) for op in rank_ops] for rank_ops in tape.ops],
+    }
+    for name in _TAPE_SCALAR_FIELDS:
+        payload[name] = getattr(tape, name)
+    for name in _TAPE_ARRAY_FIELDS:
+        payload[name] = [arr.tolist() for arr in getattr(tape, name)]
+    return payload
+
+
+def tape_from_payload(cluster: ClusterSpec, payload: dict) -> Tape:
+    """Rebuild a tape from :func:`tape_to_payload` output.
+
+    Raises:
+        ValueError: the payload's format version is not the current
+            one.  Callers treat this as a cache miss and re-record —
+            :data:`TAPE_FORMAT_VERSION` is part of every tape cache
+            key, so this only fires on hand-fed payloads.
+    """
+    version = payload.get("format")
+    if version != TAPE_FORMAT_VERSION:
+        raise ValueError(
+            f"tape format {version!r} != {TAPE_FORMAT_VERSION}"
+        )
+    kwargs: dict[str, Any] = {
+        name: payload[name] for name in _TAPE_SCALAR_FIELDS
+    }
+    for name in _TAPE_ARRAY_FIELDS:
+        kwargs[name] = [
+            np.asarray(values, dtype=np.float64)
+            for values in payload[name]
+        ]
+    ops = [[tuple(op) for op in rank_ops] for rank_ops in payload["ops"]]
+    return Tape(cluster=cluster, ops=ops, **kwargs)
+
+
+# ----------------------------------------------------------------------
 # Public entry points
 
 
@@ -802,14 +1636,21 @@ def batch_gear_grid(
     nodes: int,
     gears: Sequence[int] | None = None,
     fast_forward: "FastForwardConfig | None" = None,
+    replay_mode: str = "grid",
+    stats: ReplayStats | None = None,
+    tape: Tape | None = None,
 ) -> list[RunMeasurement]:
     """Measure a workload at every gear of a grid from one recording.
 
     The drop-in batch twin of running
     :func:`repro.core.run.run_workload` once per gear: one recording at
-    the grid's first gear, then a vectorized replay per gear.  Results
-    agree with the event engine to ~1e-9 relative (exactly the
-    fast-forward tolerance class).
+    the grid's first gear, then one vectorized replay of the whole
+    grid.  Results agree with the event engine to ~1e-9 relative
+    (exactly the fast-forward tolerance class).
+
+    A pre-recorded ``tape`` (e.g. from the persistent tape cache)
+    skips the recording; it must come from the same (cluster, workload,
+    nodes, fast-forward) configuration — the tape cache key pins this.
 
     Raises:
         BatchUnsupported: the workload's structure cannot be certified
@@ -821,14 +1662,20 @@ def batch_gear_grid(
     workload.validate_nodes(nodes)
     for g in gear_indices:
         cluster.validate_run(nodes, g)
-    tape = record_tape(
-        cluster,
-        workload,
-        nodes=nodes,
-        gear=gear_indices[0],
-        fast_forward=fast_forward,
-    )
-    return replay_grid(tape, gear_indices)
+    if tape is None:
+        tape = record_tape(
+            cluster,
+            workload,
+            nodes=nodes,
+            gear=gear_indices[0],
+            fast_forward=fast_forward,
+        )
+    elif tape.workload_name != workload.name or tape.nodes != nodes:
+        raise ConfigurationError(
+            f"tape records {tape.workload_name!r} on {tape.nodes} node(s), "
+            f"not {workload.name!r} on {nodes}"
+        )
+    return replay_grid(tape, gear_indices, mode=replay_mode, stats=stats)
 
 
 def batch_gear_sweep(
@@ -838,6 +1685,9 @@ def batch_gear_sweep(
     nodes: int,
     gears: Sequence[int] | None = None,
     fast_forward: "FastForwardConfig | None" = None,
+    replay_mode: str = "grid",
+    stats: ReplayStats | None = None,
+    tape: Tape | None = None,
 ) -> EnergyTimeCurve:
     """One energy-time curve from one recording (batch twin of
     :func:`repro.core.run.gear_sweep`)."""
@@ -847,6 +1697,9 @@ def batch_gear_sweep(
         nodes=nodes,
         gears=gears,
         fast_forward=fast_forward,
+        replay_mode=replay_mode,
+        stats=stats,
+        tape=tape,
     )
     return EnergyTimeCurve(
         workload=workload.name,

@@ -21,7 +21,9 @@ from repro.exec import (
     GearSweepTask,
     MeasurementTask,
     ResultCache,
+    TapeCache,
     batch_sweep,
+    tape_key,
 )
 from repro.exec.batch_sweep import _form_units, batch_cache_key
 from repro.exec.sweep import _auto_chunk_size, cache_key, sweep
@@ -182,3 +184,159 @@ class TestBackendSelection:
 
     def test_event_executor_has_no_batch_report(self):
         assert Executor().batch_report is None
+
+
+class TestTapeCache:
+    """The persistent recording store: skip re-recording, never re-trust."""
+
+    def test_miss_then_hit_with_identical_results(self, tasks, tmp_path):
+        tape_cache = TapeCache(tmp_path / "tapes")
+        cold_report = BatchReport()
+        cold = _payloads(
+            tasks, batch_sweep(tasks, report=cold_report, tape_cache=tape_cache)
+        )
+        assert cold_report.tape_cache_enabled
+        assert (cold_report.tape_hits, cold_report.tape_misses) == (0, 2)
+        warm_report = BatchReport()
+        warm = _payloads(
+            tasks, batch_sweep(tasks, report=warm_report, tape_cache=tape_cache)
+        )
+        assert warm == cold  # a loaded tape replays byte-identically
+        assert (warm_report.tape_hits, warm_report.tape_misses) == (2, 0)
+        assert warm_report.record_s == 0.0  # nothing re-recorded
+
+    def test_pooled_sweep_shares_tapes_and_matches_serial(self, tasks, tmp_path):
+        serial = _payloads(tasks, batch_sweep(tasks))
+        tape_cache = TapeCache(tmp_path / "tapes")
+        cold = _payloads(tasks, batch_sweep(tasks, jobs=4, tape_cache=tape_cache))
+        warm = _payloads(tasks, batch_sweep(tasks, jobs=4, tape_cache=tape_cache))
+        assert cold == serial
+        assert warm == serial
+
+    def test_prune_evicts_tapes(self, tasks, tmp_path, monkeypatch):
+        tape_cache = TapeCache(tmp_path / "tapes")
+        batch_sweep(tasks, tape_cache=tape_cache)
+        assert len(tape_cache) == 2
+        # Explicit size bound: evict (LRU) until the store fits.
+        assert tape_cache.prune(max_bytes=0) == 2
+        assert len(tape_cache) == 0
+        assert tape_cache.stats.evicted == 2
+        # The environment knob drives the same bound when prune() gets
+        # no explicit argument (the runner's post-run prune path).
+        batch_sweep(tasks, tape_cache=tape_cache)
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "0.000001")
+        assert tape_cache.prune() == 2
+        # Eviction is never silent corruption: the next sweep simply
+        # re-records and produces the same numbers.
+        report = BatchReport()
+        batch_sweep(tasks, report=report, tape_cache=tape_cache)
+        assert (report.tape_hits, report.tape_misses) == (0, 2)
+
+    def test_tape_store_is_invisible_to_the_result_cache(self, tasks, tmp_path):
+        # The tape cache nests under the result-cache root in the
+        # executor's derived layout; the result cache's entry glob must
+        # never see (or prune) tape entries as its own.
+        cache = ResultCache(root=tmp_path / "cache")
+        tape_cache = TapeCache(tmp_path / "cache" / "tapes")
+        batch_sweep(tasks, cache=cache, tape_cache=tape_cache)
+        assert len(tape_cache) == 2
+        assert len(cache) == len(tasks)
+
+    def test_summary_names_fallbacks_stages_and_tape_counts(
+        self, tasks, tmp_path
+    ):
+        report = BatchReport()
+        batch_sweep(
+            tasks, report=report, tape_cache=TapeCache(tmp_path / "tapes")
+        )
+        line = report.summary()
+        assert ", 0 fallback(s)" in line
+        assert "tape cache: 0 hit(s), 2 miss(es)" in line
+        assert "stages: record" in line
+        assert "replay" in line and "merge" in line
+        assert report.record_s > 0.0
+        assert report.replay_s > 0.0
+
+    def test_no_cache_summary_omits_tape_counts(self, tasks):
+        report = BatchReport()
+        batch_sweep(tasks, report=report)
+        assert not report.tape_cache_enabled
+        assert "tape cache" not in report.summary()
+
+
+class TestTapeKey:
+    def test_shared_across_kinds_and_requested_gears(self, cluster):
+        # Every member of a gear-grid family — and the sweep task that
+        # covers the same grid — must map to ONE tape.
+        low = MeasurementTask(cluster, EP(SCALE), nodes=2, gear=1)
+        high = MeasurementTask(cluster, EP(SCALE), nodes=2, gear=5)
+        grid = GearSweepTask(cluster, EP(SCALE), nodes=2, gears=ALL_GEARS)
+        assert tape_key(low, 1) == tape_key(high, 1) == tape_key(grid, 1)
+
+    def test_sensitive_to_everything_that_changes_the_recording(self, cluster):
+        base = MeasurementTask(cluster, EP(SCALE), nodes=2, gear=1)
+        keys = {
+            tape_key(base, 1),
+            tape_key(base, 2),  # recording gear
+            tape_key(MeasurementTask(cluster, EP(SCALE), nodes=4, gear=1), 1),
+            tape_key(MeasurementTask(cluster, Jacobi(SCALE), nodes=2, gear=1), 1),
+            tape_key(MeasurementTask(cluster, EP(0.3), nodes=2, gear=1), 1),
+        }
+        assert len(keys) == 5
+
+
+class TestReplayModePlumbing:
+    def test_scalar_mode_is_equivalent_not_identical_machinery(self, tasks):
+        grid = batch_sweep(tasks)
+        scalar = batch_sweep(tasks, replay_mode="scalar")
+        for ours, theirs in zip(scalar, grid):
+            if not hasattr(ours, "time"):
+                continue  # the calibration passthrough
+            scale = max(abs(ours.time), abs(theirs.time))
+            assert abs(ours.time - theirs.time) <= 1e-9 * scale
+            scale = max(abs(ours.energy), abs(theirs.energy))
+            assert abs(ours.energy - theirs.energy) <= 1e-9 * scale
+
+    def test_unknown_mode_rejected(self, tasks):
+        with pytest.raises(ConfigurationError, match="replay mode"):
+            batch_sweep(tasks, replay_mode="per-gear")
+
+    def test_sweep_forwards_replay_mode_and_tape_cache(self, tasks, tmp_path):
+        tape_cache = TapeCache(tmp_path / "tapes")
+        via_sweep = _payloads(
+            tasks,
+            sweep(
+                tasks,
+                backend="batch",
+                replay_mode="scalar",
+                tape_cache=tape_cache,
+            ),
+        )
+        direct = _payloads(tasks, batch_sweep(tasks, replay_mode="scalar"))
+        assert via_sweep == direct
+        assert len(tape_cache) == 2  # the cache saw the recordings
+
+
+class TestExecutorTapeCache:
+    def test_derived_under_the_result_cache_root(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        executor = Executor(backend="batch", cache=cache)
+        assert isinstance(executor.tape_cache, TapeCache)
+        assert executor.tape_cache.root == tmp_path / "cache" / "tapes"
+
+    def test_not_derived_without_batch_backend_or_cache(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        assert Executor(cache=cache).tape_cache is None
+        assert Executor(backend="batch").tape_cache is None
+        executor = Executor(backend="batch", cache=cache, tape_cache=False)
+        assert executor.tape_cache is None  # explicit opt-out
+
+    def test_tapes_outlive_a_cleared_result_cache(self, tasks, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache")
+        executor = Executor(backend="batch", cache=cache)
+        executor.run(tasks)
+        cache.clear()  # point payloads gone; recordings survive
+        executor.run(tasks)
+        assert executor.batch_report is not None
+        assert executor.batch_report.tape_misses == 2
+        assert executor.batch_report.tape_hits == 2

@@ -22,9 +22,11 @@ from repro.mpi import FastForwardConfig
 from repro.mpi.comm import Comm
 from repro.sim.batch import (
     BatchUnsupported,
+    ReplayStats,
     batch_gear_grid,
     batch_gear_sweep,
     record_tape,
+    replay_grid,
 )
 from repro.workloads import (
     BT,
@@ -58,12 +60,32 @@ def _rel(a: float, b: float) -> float:
 def _assert_grid_equivalent(
     cluster, workload, *, nodes, gears=ALL_GEARS, fast_forward=None
 ):
-    """Batch grid vs one event run per gear, three quantities each."""
+    """Batch grid vs one event run per gear, three quantities each.
+
+    One recording backs both replay modes, so this also pins the
+    tentpole's own contract: the vectorized gear-axis walk agrees with
+    the scalar reference interpreter at the same tolerance, for every
+    workload and gear, and the mode accounting covers the whole grid.
+    """
+    tape = record_tape(
+        cluster, workload, nodes=nodes, gear=gears[0], fast_forward=fast_forward
+    )
+    stats = ReplayStats()
     batch = batch_gear_grid(
-        cluster, workload, nodes=nodes, gears=gears, fast_forward=fast_forward
+        cluster,
+        workload,
+        nodes=nodes,
+        gears=gears,
+        replay_mode="grid",
+        stats=stats,
+        tape=tape,
+    )
+    scalar = batch_gear_grid(
+        cluster, workload, nodes=nodes, gears=gears, replay_mode="scalar", tape=tape
     )
     assert len(batch) == len(gears)
-    for gear, measurement in zip(gears, batch):
+    assert stats.vector_gears + stats.scalar_gears == len(gears)
+    for gear, measurement, reference in zip(gears, batch, scalar):
         event = run_workload(
             cluster, workload, nodes=nodes, gear=gear, fast_forward=fast_forward
         )
@@ -71,6 +93,10 @@ def _assert_grid_equivalent(
         assert _rel(event.time, measurement.time) <= RTOL
         assert _rel(event.energy, measurement.energy) <= RTOL
         assert _rel(event.active_time, measurement.active_time) <= RTOL
+        assert reference.gear == gear
+        assert _rel(reference.time, measurement.time) <= RTOL
+        assert _rel(reference.energy, measurement.energy) <= RTOL
+        assert _rel(reference.active_time, measurement.active_time) <= RTOL
 
 
 class TestEquivalenceGrid:
@@ -136,6 +162,40 @@ class TestEquivalenceGrid:
         for ours, theirs in zip(batch, event):
             assert _rel(ours.time, theirs.time) <= RTOL
             assert _rel(ours.energy, theirs.energy) <= RTOL
+
+
+class TestVectorizedReplay:
+    """Mode accounting and rejection semantics of the gear-axis walk."""
+
+    def test_jacobi_grid_is_fully_vectorized(self, cluster):
+        # The dense steady workload the bench ratchet gates on: every
+        # gear column must come off the vectorized walk — any scalar
+        # re-replay or divergence guard firing here is a regression.
+        tape = record_tape(cluster, Jacobi(0.2), nodes=4, gear=1)
+        stats = ReplayStats()
+        replay_grid(tape, list(ALL_GEARS), mode="grid", stats=stats)
+        assert stats.vector_gears == len(ALL_GEARS)
+        assert stats.scalar_gears == 0
+        assert stats.divergent_gears == 0
+        assert stats.fallback_reasons == []
+
+    def test_unknown_mode_rejected(self, cluster):
+        from repro.util.errors import ConfigurationError
+
+        tape = record_tape(cluster, Jacobi(0.2), nodes=2, gear=1)
+        with pytest.raises(ConfigurationError, match="replay mode"):
+            replay_grid(tape, [1, 2], mode="per-gear")
+
+    @pytest.mark.parametrize("mode", ["grid", "scalar"])
+    def test_self_check_miss_rejects_whole_tape(self, cluster, mode):
+        # A tape whose recorded totals no longer match its own replay —
+        # bitrot, a stale cache entry surviving a model change — must
+        # reject in BOTH modes; the vectorized path may never ship
+        # numbers the recording gear cannot vouch for.
+        tape = record_tape(cluster, Jacobi(0.2), nodes=4, gear=1)
+        tape.recording_energy *= 1.0 + 1e-6
+        with pytest.raises(BatchUnsupported, match="self-check"):
+            replay_grid(tape, list(ALL_GEARS), mode=mode)
 
 
 class _DeviatingRing(Workload):
